@@ -1,0 +1,87 @@
+"""A7 — aging fleets and the reconfiguration deadline (paper §2/§4).
+
+"Fault probabilities evolve over time ... changing f is cumbersome as it
+requires costly reconfiguration."  This bench projects a wear-out fleet's
+reliability across its life, finds the window where it first misses its
+nines target (the preemptive-reconfiguration deadline), and shows that
+the greedy replacement policy keeps the deployment above target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.horizon import (
+    first_subtarget_window,
+    horizon_survival,
+    reliability_over_horizon,
+)
+from repro.analysis.result import from_nines
+from repro.faults.curves import WeibullCurve
+from repro.faults.mixture import NodeModel
+from repro.planner.reconfig import PreemptiveReconfigPolicy
+from repro.protocols.raft import RaftSpec
+
+from conftest import print_table
+
+WINDOW = 720.0  # 30 days
+TARGET_NINES = 4.0
+CURVES = [WeibullCurve(shape=4.0, scale_hours=25_000.0) for _ in range(5)]
+
+
+def test_aging_reliability_series(benchmark):
+    points = benchmark(
+        reliability_over_horizon, RaftSpec, CURVES, window_hours=WINDOW, n_windows=36
+    )
+    rows = [
+        [f"{p.start_hours / 8766.0:.2f} yr", f"{p.safe_and_live:.8f}"]
+        for p in points[::6]
+    ]
+    print_table("A7: 5-node Raft on wear-out hardware (Weibull k=4)", ["age", "S&L"], rows)
+    values = [p.safe_and_live for p in points]
+    assert all(b <= a + 1e-15 for a, b in zip(values, values[1:]))  # monotone decline
+    assert values[0] > from_nines(TARGET_NINES)
+    assert values[-1] < from_nines(TARGET_NINES)
+
+
+def test_reconfiguration_deadline(benchmark):
+    deadline = benchmark(
+        first_subtarget_window,
+        RaftSpec,
+        CURVES,
+        window_hours=WINDOW,
+        target_nines=TARGET_NINES,
+    )
+    assert deadline is not None
+    years = deadline.start_hours / 8766.0
+    print(f"\nA7b: {TARGET_NINES:.0f}-nines deadline at window {deadline.window_index} "
+          f"(~{years:.2f} years of age)")
+    assert 0.5 < years < 3.0  # wear-out bites within the design life
+
+
+def test_policy_holds_the_target(benchmark):
+    def run_policy():
+        policy = PreemptiveReconfigPolicy(
+            RaftSpec, TARGET_NINES, NodeModel(0.001), max_replacements_per_window=2
+        )
+        return policy.simulate_schedule(
+            list(CURVES), total_hours=36 * WINDOW, window_hours=WINDOW
+        )
+
+    decisions = benchmark(run_policy)
+    acted = [d for d in decisions if d.acted]
+    print(f"\nA7c: policy replaced hardware in {len(acted)} of {len(decisions)} windows; "
+          f"min S&L after action {min(d.reliability_after for d in decisions):.6f}")
+    assert acted  # the policy had to intervene
+    # After interventions, every window ends at or near the target.
+    assert min(d.reliability_after for d in decisions) >= from_nines(TARGET_NINES) - 1e-4
+
+
+def test_unattended_fleet_survival_collapses(benchmark):
+    survival = benchmark(
+        horizon_survival, RaftSpec, CURVES, window_hours=WINDOW, n_windows=36
+    )
+    attended_floor = from_nines(TARGET_NINES) ** 36
+    print(f"\nA7d: 3-year survival unattended {survival:.4f} vs "
+          f">= {attended_floor:.4f} if the target were held every window")
+    assert survival < attended_floor

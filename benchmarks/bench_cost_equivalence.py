@@ -1,0 +1,57 @@
+"""E2 — larger networks of less reliable nodes can help (paper §1/§3).
+
+Reproduces: a 9-node cluster of p=8% spot nodes matches the 99.97% S&L of
+a 3-node p=1% cluster; at the paper's 10× price gap that is a ~3.3× cost
+reduction.  Also sweeps the spot-cluster size to show where the crossover
+lands.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import counting_reliability, format_probability
+from repro.faults.mixture import uniform_fleet
+from repro.planner.cost import RELIABLE_SKU, SPOT_SKU, DeploymentPlan, cost_ratio
+from repro.planner.optimizer import equivalent_reliability_size, evaluate_plan
+from repro.protocols.raft import RaftSpec
+
+from conftest import print_table
+
+
+def _sweep():
+    reference = evaluate_plan(DeploymentPlan(RELIABLE_SKU, 3))
+    candidates = [evaluate_plan(DeploymentPlan(SPOT_SKU, n)) for n in range(3, 14, 2)]
+    match = equivalent_reliability_size(DeploymentPlan(RELIABLE_SKU, 3), SPOT_SKU)
+    return reference, candidates, match
+
+
+def test_cost_equivalence(benchmark):
+    reference, candidates, match = benchmark(_sweep)
+    rows = [
+        [
+            c.plan.describe(),
+            format_probability(c.reliability),
+            f"{c.hourly_cost:.2f}",
+        ]
+        for c in candidates
+    ]
+    print_table(
+        "E2: spot-node cluster size sweep vs 3 x reliable (99.9702% S&L, $3.00/h)",
+        ["plan", "Safe&Live", "$/h"],
+        rows,
+    )
+    assert match is not None
+    assert match.plan.count == 9
+
+    savings = cost_ratio(reference.plan, match.plan)
+    print(
+        f"match: {match.plan.describe()} at {format_probability(match.reliability)}; "
+        f"cost reduction {savings:.2f}x (paper: ~3x)"
+    )
+    # Shape: ~3x cheaper, reliability equal at the paper's precision.
+    assert savings == pytest.approx(10.0 / 3.0)
+    assert abs(match.reliability - reference.reliability) < 5e-5
+    # Crossover shape: 7 spot nodes are NOT enough, 9 are.
+    seven = counting_reliability(RaftSpec(7), uniform_fleet(7, SPOT_SKU.p_fail))
+    assert seven.safe_and_live.value < reference.reliability - 5e-5

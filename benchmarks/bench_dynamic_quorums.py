@@ -1,0 +1,71 @@
+"""A2 — dynamic quorum sizing ablation (paper §4 first step).
+
+"We can choose quorum sizes dynamically such that they overlap with high
+probability."  Sweeps cluster size × nines target and reports the sampled
+quorum sizes the planner picks, contrasting them with majority quorums;
+also exercises the flexible (q_per, q_vc) chooser on heterogeneous fleets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.mixture import NodeModel, heterogeneous_fleet, uniform_fleet
+from repro.planner.quorum_sizing import best_flexible_pair, size_quorums
+from repro.quorums.probabilistic import ProbabilisticQuorums
+
+from conftest import print_table
+
+P_FAIL = 0.01
+
+
+def _sweep():
+    table = {}
+    for n in (10, 30, 50, 100):
+        for target in (3.0, 6.0, 9.0):
+            table[(n, target)] = size_quorums(n, P_FAIL, target)
+    return table
+
+
+def test_dynamic_quorum_sizes(benchmark):
+    table = benchmark(_sweep)
+    rows = []
+    for (n, target), sizing in table.items():
+        rows.append(
+            [
+                str(n),
+                f"{target:.0f}",
+                str(n // 2 + 1),
+                str(sizing.sampled_quorum),
+                str(sizing.sampled_quorum_correct_overlap),
+                str(sizing.view_change_trigger),
+            ]
+        )
+    print_table(
+        f"A2: quorum sizes to hit a nines target (p={P_FAIL:.0%})",
+        ["N", "target", "majority", "sampled", "sampled+correct", "vc-trigger"],
+        rows,
+    )
+    for (n, target), sizing in table.items():
+        system = ProbabilisticQuorums(n, sizing.sampled_quorum)
+        assert system.intersection_probability() >= 1 - 10.0**-target
+        # Sub-majority quorums appear at scale — the paper's O(sqrt N) point.
+        if n >= 50 and target <= 6.0:
+            assert sizing.sampled_quorum < n // 2 + 1
+    # Monotone laws of the sweep.
+    assert table[(100, 9.0)].sampled_quorum >= table[(100, 3.0)].sampled_quorum
+    assert table[(100, 3.0)].sampled_quorum <= table[(10, 3.0)].sampled_quorum + 30
+
+
+def test_flexible_pair_choice_heterogeneous(benchmark):
+    fleet = heterogeneous_fleet([(4, NodeModel(0.08)), (3, NodeModel(0.01))])
+    choice = benchmark(best_flexible_pair, fleet)
+    print(
+        f"\nA2b: best (q_per={choice.q_per}, q_vc={choice.q_vc}) on the mixed fleet "
+        f"-> S&L {choice.safe_and_live:.6f}"
+    )
+    assert 7 < choice.q_per + choice.q_vc
+    assert 7 < 2 * choice.q_vc
+
+    uniform_choice = best_flexible_pair(uniform_fleet(7, 0.08))
+    assert (uniform_choice.q_per, uniform_choice.q_vc) == (4, 4)

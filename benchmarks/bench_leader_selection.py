@@ -1,0 +1,122 @@
+"""A4 — reliability-aware leader selection (paper §4 second step).
+
+"Probabilistic approaches can choose leaders among the most reliable
+nodes ... improve tail latency [and] reduce reconfiguration delays."
+
+Two views:
+
+* analytic — expected in-window leader failures and annual view-change
+  rates for aware vs oblivious selection on a mixed fleet;
+* executable — DES Raft runs where the initial leader is the most (or
+  least) reliable node and the flaky nodes crash mid-run; we count
+  elections and measure commit-gap downtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.curves import ConstantHazard, WeibullCurve
+from repro.faults.mixture import NodeModel, heterogeneous_fleet
+from repro.planner.leader import (
+    compare_leader_policies,
+    expected_view_changes_per_year,
+    rank_leaders,
+    rank_leaders_by_curves,
+)
+from repro.sim import Cluster
+from repro.sim.raft import raft_node_factory
+from repro.sim.stats import leadership_stats, unavailable_windows
+
+from conftest import print_table
+
+MIXED = heterogeneous_fleet([(4, NodeModel(0.08)), (3, NodeModel(0.01))])
+
+
+def test_analytic_leader_comparison(benchmark):
+    def compute():
+        ranking = rank_leaders(MIXED)
+        policies = compare_leader_policies(MIXED)
+        curves = [ConstantHazard.from_window_probability(node.p_fail, 720.0) for node in MIXED]
+        rates = {
+            "aware (best node)": expected_view_changes_per_year(curves[ranking.best]),
+            "oblivious (worst node)": expected_view_changes_per_year(curves[ranking.order[-1]]),
+        }
+        return ranking, policies, rates
+
+    ranking, policies, rates = benchmark(compute)
+    print_table(
+        "A4: leader policies on the mixed 7-node fleet (4 x 8% + 3 x 1%)",
+        ["policy", "P(leader fails in window)", "view changes / year"],
+        [
+            ["reliability-aware", f"{policies.aware_failure_probability:.3f}", f"{rates['aware (best node)']:.1f}"],
+            ["oblivious (mean)", f"{policies.oblivious_failure_probability:.3f}", "-"],
+            ["worst case", f"{max(MIXED.failure_probabilities):.3f}", f"{rates['oblivious (worst node)']:.1f}"],
+        ],
+    )
+    assert policies.improvement_factor > 4.0
+    assert rates["aware (best node)"] < rates["oblivious (worst node)"] / 4.0
+
+
+def test_time_varying_ranking(benchmark):
+    """Fault curves flip the ranking with the lease horizon (§2 point 2)."""
+
+    def compute():
+        curves = [ConstantHazard(2e-4), WeibullCurve(shape=6.0, scale_hours=4_000.0)]
+        return (
+            rank_leaders_by_curves(curves, horizon_hours=100.0).best,
+            rank_leaders_by_curves(curves, horizon_hours=6_000.0).best,
+        )
+
+    short_best, long_best = benchmark(compute)
+    print(f"\nA4b: best leader for 100h lease: node {short_best}; for 6000h lease: node {long_best}")
+    assert short_best != long_best
+
+
+def _run_with_leader(preferred: int, seed: int) -> tuple[int, float]:
+    """DES run where `preferred` is given a head start to become leader;
+    the flaky nodes (0-3) crash mid-run.  Returns (elections, downtime)."""
+    cluster = Cluster(7, raft_node_factory(), seed=seed)
+    # Bias the first election by crashing everyone else's timers: simplest
+    # faithful mechanism is to boot the preferred node first.
+    for node_id, process in enumerate(cluster.nodes):
+        if node_id == preferred:
+            process.start()
+    cluster.run_until(0.5)  # preferred node wins an uncontested election
+    for node_id, process in enumerate(cluster.nodes):
+        if node_id != preferred:
+            process.start()
+    for flaky in (0, 1, 2):  # a bad week for the 8% nodes
+        cluster.crash_at(flaky, 3.0 + 0.1 * flaky)
+    at = 1.0
+    for i in range(40):
+        cluster.submit(f"cmd{i}", at=at)
+        at += 0.2
+    cluster.run_until(12.0)
+    stats = leadership_stats(cluster.trace)
+    gaps = unavailable_windows(cluster.trace, horizon=12.0, gap_threshold=0.25)
+    downtime = sum(end - start for start, end in gaps if start > 0.5)
+    return stats.elections, downtime
+
+
+def test_simulated_leader_placement(benchmark):
+    def compare():
+        flaky_leader = _run_with_leader(preferred=0, seed=5)  # an 8% node
+        reliable_leader = _run_with_leader(preferred=5, seed=5)  # a 1% node
+        return flaky_leader, reliable_leader
+
+    (flaky_elections, flaky_downtime), (reliable_elections, reliable_downtime) = benchmark(
+        compare
+    )
+    print_table(
+        "A4c: DES Raft, flaky nodes crash at t=3s",
+        ["initial leader", "elections", "commit-gap downtime (s)"],
+        [
+            ["node 0 (p=8%, crashes)", str(flaky_elections), f"{flaky_downtime:.2f}"],
+            ["node 5 (p=1%, survives)", str(reliable_elections), f"{reliable_downtime:.2f}"],
+        ],
+    )
+    # Losing the leader forces an election + downtime; a reliable leader
+    # rides out the same fault pattern.
+    assert flaky_elections > reliable_elections
+    assert flaky_downtime > reliable_downtime

@@ -1,0 +1,58 @@
+"""E6 — durability quorums are too conservative (paper §4).
+
+Reproduces the 100-node example: with |Q_per| = 10 and p = 10% there is a
+~50% chance that 10 or more nodes fail, but only a one-in-ten-billion
+chance that the failures cover the most recently formed persistence
+quorum.  Verified three ways: closed form, importance sampling, and the
+binomial tail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.importance import quorum_wipeout_probability
+from repro.quorums.intersection import (
+    prob_failure_count_reaches,
+    prob_fixed_quorum_wiped_out,
+)
+
+from conftest import print_table
+
+N = 100
+Q_PER = 10
+P_FAIL = 0.10
+
+
+def _closed_forms():
+    p_many_failures = prob_failure_count_reaches(N, P_FAIL, Q_PER)
+    p_wipeout = prob_fixed_quorum_wiped_out([P_FAIL] * Q_PER)
+    return p_many_failures, p_wipeout
+
+
+def test_persistence_overlap_closed_form(benchmark):
+    p_many_failures, p_wipeout = benchmark(_closed_forms)
+    print_table(
+        "E6: N=100, |Qper|=10, p=10% (paper: ~50% and 1e-10)",
+        ["event", "probability"],
+        [
+            [">= |Qper| failures occur", f"{p_many_failures:.3f}"],
+            ["failures cover the formed quorum", f"{p_wipeout:.2e}"],
+            ["ratio (conservatism of f-threshold view)", f"{p_many_failures / p_wipeout:.2e}"],
+        ],
+    )
+    assert p_many_failures == pytest.approx(0.549, abs=0.01)
+    assert p_wipeout == pytest.approx(1e-10)
+    # The gap the paper highlights: nine-plus orders of magnitude.
+    assert p_many_failures / p_wipeout > 1e9
+
+
+def test_importance_sampler_agrees(benchmark):
+    result = benchmark(
+        quorum_wipeout_probability, N, Q_PER, P_FAIL, trials=200_000, seed=0
+    )
+    print(
+        f"\nE6b: importance-sampled wipe-out = {result.violation.value:.2e} "
+        f"(ESS {result.effective_sample_size:.0f}; closed form 1e-10)"
+    )
+    assert result.violation.value == pytest.approx(1e-10, rel=0.2)

@@ -1,0 +1,45 @@
+"""E3 — linear-size quorums are overkill (paper §3).
+
+Reproduces: at N=100, p=1%, the worst-case view-change trigger quorum is
+f+1 = 34 nodes, but a *sampled* quorum of five already contains at least
+one correct node with ten nines of probability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.result import nines
+from repro.quorums.committee import (
+    prob_committee_contains_correct,
+    required_committee_size,
+)
+from repro.planner.quorum_sizing import size_quorums
+
+from conftest import print_table
+
+N = 100
+P_FAIL = 0.01
+WORST_CASE_TRIGGER = 34  # f + 1 at N = 100 (paper §3)
+
+
+def _sweep_sizes():
+    return {k: prob_committee_contains_correct(P_FAIL, k) for k in range(1, 12)}
+
+
+def test_sampled_trigger_quorum(benchmark):
+    table = benchmark(_sweep_sizes)
+    rows = [[str(k), f"{nines(p):.1f} nines"] for k, p in table.items()]
+    print_table(
+        f"E3: P(sampled quorum of k contains a correct node), N={N}, p={P_FAIL:.0%}",
+        ["k", "reliability"],
+        rows,
+    )
+    # The paper's claim: 5 nodes give ten nines, vs the f+1=34 rule.
+    assert nines(table[5]) == pytest.approx(10.0)
+    assert required_committee_size(P_FAIL, 10.0) == 5
+    assert required_committee_size(P_FAIL, 10.0) < WORST_CASE_TRIGGER
+
+    sizing = size_quorums(N, P_FAIL, target_nines=10.0)
+    print(f"planner recommendation: {sizing.describe()}")
+    assert sizing.view_change_trigger == 5

@@ -1,0 +1,69 @@
+"""E5 — the hidden safety/liveness trade-off (paper §3).
+
+Reproduces: with f=1, the 5-node PBFT deployment improves safety 42–60×
+over the 4-node one while degrading liveness only ~1.67×; the 5-node
+system is even safer than the 40%-more-expensive 7-node system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import counting_reliability, format_probability
+from repro.faults.mixture import byzantine_fleet
+from repro.protocols.pbft import PBFTSpec
+
+from conftest import print_table
+
+
+def _compute(p_fail: float):
+    return {
+        n: counting_reliability(PBFTSpec(n), byzantine_fleet(n, p_fail))
+        for n in (4, 5, 7)
+    }
+
+
+def test_safety_liveness_tradeoff(benchmark):
+    results = benchmark(_compute, 0.01)
+    rows = [
+        [
+            str(n),
+            format_probability(r.safe.value),
+            format_probability(r.live.value),
+            f"{1 - r.safe.value:.3e}",
+            f"{1 - r.live.value:.3e}",
+        ]
+        for n, r in results.items()
+    ]
+    print_table(
+        "E5: PBFT 4 vs 5 vs 7 nodes at p=1% (all-Byzantine)",
+        ["N", "Safe %", "Live %", "P(unsafe)", "P(not live)"],
+        rows,
+    )
+    safety_gain = (1 - results[4].safe.value) / (1 - results[5].safe.value)
+    liveness_loss = (1 - results[5].live.value) / (1 - results[4].live.value)
+    print(f"safety gain 5 vs 4: {safety_gain:.1f}x (paper: 42-60x)")
+    print(f"liveness loss 5 vs 4: {liveness_loss:.2f}x (paper: 1.67x)")
+    assert 42.0 <= safety_gain <= 70.0
+    assert liveness_loss == pytest.approx(1.67, abs=0.05)
+    # And the punchline: 5 nodes beat 7 on safety at 5/7 the cost.
+    assert results[5].safe.value > results[7].safe.value
+
+
+def test_tradeoff_shape_across_p(benchmark):
+    """The 5-over-4 safety gain persists across failure probabilities."""
+
+    def sweep():
+        gains = {}
+        for p in (0.005, 0.01, 0.02):
+            results = _compute(p)
+            gains[p] = (1 - results[4].safe.value) / (1 - results[5].safe.value)
+        return gains
+
+    gains = benchmark(sweep)
+    rows = [[f"{p:.1%}", f"{g:.1f}x"] for p, g in gains.items()]
+    print_table("E5b: safety gain of 5-node over 4-node PBFT vs p", ["p", "gain"], rows)
+    assert all(gain > 20.0 for gain in gains.values())
+    # Gain grows as nodes get more reliable (rarer double faults).
+    ordered = [gains[p] for p in sorted(gains, reverse=True)]
+    assert ordered == sorted(ordered)

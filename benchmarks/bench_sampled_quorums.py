@@ -1,0 +1,92 @@
+"""E8 — sampled persistence quorums, executed (paper §4).
+
+The paper's most radical suggestion: replace majority persistence quorums
+with small random samples, accepting a ``p^k`` per-slot durability risk in
+exchange for ``k``-copy replication cost.  This bench runs the
+:mod:`repro.sim.sampled` protocol and compares:
+
+* measured per-slot durability under window failures vs the ``1 - p^k``
+  closed form (the paper's 1e-10 example scaled to measurable rates);
+* replication cost (messages per committed slot) vs majority replication.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._rng import as_generator
+from repro.quorums.committee import prob_committee_all_faulty
+from repro.sim import Cluster
+from repro.sim.sampled import sampled_quorum_factory, slot_survivors
+
+from conftest import print_table
+
+N = 20
+K = 3
+P_FAIL = 0.3  # inflated so a few hundred runs measure the loss rate
+SLOTS_PER_RUN = 5
+RUNS = 120
+
+
+def _measure_durability():
+    rng = as_generator(123)
+    slots_total = 0
+    slots_lost = 0
+    for run in range(RUNS):
+        cluster = Cluster(N, sampled_quorum_factory(quorum_size=K), seed=1000 + run)
+        cluster.start()
+        for i in range(SLOTS_PER_RUN):
+            cluster.submit(f"r{run}-v{i}", at=0.2 + 0.05 * i)
+        cluster.run_until(2.0)
+        leader = cluster.nodes[0]
+        committed_slots = list(leader.committed)
+        # Window failures: each node dies independently with P_FAIL.
+        victims = [node for node in range(N) if rng.random() < P_FAIL]
+        for node in victims:
+            cluster.nodes[node].crash()
+        cluster.run_until(2.5)
+        for slot in committed_slots:
+            slots_total += 1
+            if not slot_survivors(cluster, slot):
+                slots_lost += 1
+    return slots_total, slots_lost
+
+
+def test_sampled_quorum_durability(benchmark):
+    slots_total, slots_lost = benchmark.pedantic(_measure_durability, rounds=1, iterations=1)
+    measured = slots_lost / slots_total
+    predicted = prob_committee_all_faulty(P_FAIL, K)
+    print_table(
+        f"E8: sampled-quorum durability, N={N}, k={K}, p={P_FAIL:.0%} "
+        f"({slots_total} committed slots)",
+        ["quantity", "value"],
+        [
+            ["predicted loss (p^k)", f"{predicted:.4f}"],
+            ["measured loss", f"{measured:.4f}"],
+            ["paper's §4 operating point (p=10%, k=10)", f"{0.1**10:.0e}"],
+        ],
+    )
+    # Binomial noise bound: ~600 slots at p≈2.7% -> stderr ≈ 0.7%.
+    assert measured == pytest.approx(predicted, abs=0.02)
+
+
+def test_replication_cost_vs_majority(benchmark):
+    def measure():
+        cluster = Cluster(N, sampled_quorum_factory(quorum_size=K), seed=77)
+        cluster.start()
+        commands = [f"c{i}" for i in range(20)]
+        for i, command in enumerate(commands):
+            cluster.submit(command, at=0.2 + 0.05 * i)
+        cluster.run_until(4.0)
+        committed = len(cluster.nodes[0].committed)
+        return cluster.network.messages_sent / max(committed, 1)
+
+    messages_per_slot = benchmark(measure)
+    majority_copies = N // 2 + 1
+    print(
+        f"\nE8b: {messages_per_slot:.1f} messages/slot with k={K} samples "
+        f"(majority replication needs >= {2 * majority_copies} for copies+acks alone)"
+    )
+    # Appends+acks 2k, commit notices N-1, retry slack — still far below
+    # the 2*(majority) + N a majority protocol pays at N=20.
+    assert messages_per_slot < 2 * majority_copies + N

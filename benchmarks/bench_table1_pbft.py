@@ -1,0 +1,64 @@
+"""T1 — reproduce Table 1: PBFT reliability at uniform p_u = 1%.
+
+Paper row format: N, |Qeq|, |Qper|, |Qvc|, |Qvc_t|, Safe %, Live %, S&L %.
+Every failure is treated as Byzantine (worst case), matching the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import counting_reliability, format_probability
+from repro.faults.mixture import byzantine_fleet
+from repro.protocols.pbft import PBFTSpec
+
+from conftest import print_table
+
+SIZES = (4, 5, 7, 8)
+P_FAIL = 0.01
+
+#: The paper's printed values, (safe%, live%) at its own precision.
+PAPER = {
+    4: (99.94, 99.94),
+    5: (99.9990, 99.90),
+    7: (99.997, 99.997),
+    8: (99.99993, 99.995),
+}
+
+
+def _compute_table():
+    rows = []
+    for n in SIZES:
+        spec = PBFTSpec(n)
+        result = counting_reliability(spec, byzantine_fleet(n, P_FAIL))
+        rows.append((n, spec, result))
+    return rows
+
+
+def test_table1_reproduction(benchmark):
+    rows = benchmark(_compute_table)
+    printable = []
+    for n, spec, result in rows:
+        printable.append(
+            [
+                str(n),
+                str(spec.q_eq),
+                str(spec.q_per),
+                str(spec.q_vc),
+                str(spec.q_vc_t),
+                format_probability(result.safe.value),
+                format_probability(result.live.value),
+                format_probability(result.safe_and_live.value),
+            ]
+        )
+    print_table(
+        "Table 1: PBFT reliability, uniform p_u = 1% (paper vs measured)",
+        ["N", "|Qeq|", "|Qper|", "|Qvc|", "|Qvc_t|", "Safe %", "Live %", "Safe and Live %"],
+        printable,
+    )
+    for n, _spec, result in rows:
+        paper_safe, paper_live = PAPER[n]
+        assert result.safe.value * 100 == pytest.approx(paper_safe, abs=0.005)
+        assert result.live.value * 100 == pytest.approx(paper_live, abs=0.005)
+        # S&L column equals Live everywhere in Table 1.
+        assert result.safe_and_live.value == pytest.approx(result.live.value, abs=1e-12)

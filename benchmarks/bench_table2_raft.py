@@ -1,0 +1,65 @@
+"""T2/E1 — reproduce Table 2: Raft Safe&Live across N and p_u.
+
+Also pins the §1 headline: Raft N=3 at p=1% is only 99.97% safe-and-live.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import counting_reliability, format_probability, nines
+from repro.faults.mixture import uniform_fleet
+from repro.protocols.raft import RaftSpec
+
+from conftest import print_table
+
+SIZES = (3, 5, 7, 9)
+P_FAILS = (0.01, 0.02, 0.04, 0.08)
+
+#: Paper cells (percent), in the paper's own printed precision.
+PAPER = {
+    (3, 0.01): 99.97, (3, 0.02): 99.88, (3, 0.04): 99.53, (3, 0.08): 98.18,
+    (5, 0.01): 99.9990, (5, 0.02): 99.992, (5, 0.04): 99.94, (5, 0.08): 99.55,
+    (7, 0.01): 99.99997, (7, 0.02): 99.9995, (7, 0.04): 99.992, (7, 0.08): 99.88,
+    (9, 0.01): 99.999998, (9, 0.02): 99.99996, (9, 0.04): 99.9988, (9, 0.08): 99.97,
+}
+
+
+def _compute_table():
+    table = {}
+    for n in SIZES:
+        spec = RaftSpec(n)
+        for p in P_FAILS:
+            table[(n, p)] = counting_reliability(spec, uniform_fleet(n, p))
+    return table
+
+
+def test_table2_reproduction(benchmark):
+    table = benchmark(_compute_table)
+    rows = []
+    for n in SIZES:
+        spec = RaftSpec(n)
+        cells = [str(n), str(spec.q_per), str(spec.q_vc)]
+        cells += [format_probability(table[(n, p)].safe_and_live.value) for p in P_FAILS]
+        rows.append(cells)
+    print_table(
+        "Table 2: Raft reliability for uniform node failure p_u",
+        ["N", "|Qper|", "|Qvc|"] + [f"S&L p={p:.0%}" for p in P_FAILS],
+        rows,
+    )
+    for (n, p), paper_pct in PAPER.items():
+        measured_pct = table[(n, p)].safe_and_live.value * 100
+        digits = len(str(paper_pct).split(".")[1])
+        # Within one unit of the paper's last printed digit (it truncates).
+        assert abs(measured_pct - paper_pct) <= 10.0**-digits + 1e-12, (n, p)
+
+
+def test_headline_claim_three_nines(benchmark):
+    result = benchmark(
+        lambda: counting_reliability(RaftSpec(3), uniform_fleet(3, 0.01))
+    )
+    print(
+        f"\nE1: Raft N=3, p=1% -> S&L = {format_probability(result.safe_and_live.value)} "
+        f"({nines(result.safe_and_live.value):.2f} nines)"
+    )
+    assert 3.0 <= nines(result.safe_and_live.value) < 4.0

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Each ``bench_*.py`` regenerates one table, figure or quantitative claim
+from the paper: the ``benchmark`` fixture times the computation, the
+printed output (run with ``-s`` to see it) mirrors the paper's rows, and
+assertions pin the *shape* of each result (who wins, by what factor).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]) -> None:
+    """Render a paper-style table to stdout."""
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+    print(f"\n{title}")
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))

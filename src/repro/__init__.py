@@ -1,0 +1,83 @@
+"""repro — probabilistic consensus reliability toolkit.
+
+Reproduction of *"Real Life Is Uncertain. Consensus Should Be Too!"*
+(HotOS 2025): fault curves, per-configuration safety/liveness predicates
+for Raft and PBFT, exact and sampled probability aggregation, storage-style
+Markov metrics, probability-native planning tools, and a discrete-event
+consensus simulator for empirical validation.
+
+Quickstart
+----------
+>>> from repro import RaftSpec, uniform_fleet, analyze
+>>> result = analyze(RaftSpec(3), uniform_fleet(3, 0.01))
+>>> round(result.safe_and_live.value, 6)
+0.999702
+"""
+
+from repro.analysis import (
+    Estimate,
+    FailureConfig,
+    FaultKind,
+    ReliabilityResult,
+    analyze,
+    counting_reliability,
+    exact_reliability,
+    format_probability,
+    from_nines,
+    monte_carlo_reliability,
+    nines,
+    predicate_probability,
+)
+from repro.faults import (
+    BathtubCurve,
+    ConstantHazard,
+    FaultCurve,
+    Fleet,
+    NodeModel,
+    WeibullCurve,
+    byzantine_fleet,
+    heterogeneous_fleet,
+    uniform_fleet,
+)
+from repro.protocols import (
+    BenOrSpec,
+    PBFTSpec,
+    ProtocolSpec,
+    RaftSpec,
+    ReliabilityAwareRaftSpec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # analysis
+    "analyze",
+    "counting_reliability",
+    "exact_reliability",
+    "monte_carlo_reliability",
+    "predicate_probability",
+    "Estimate",
+    "ReliabilityResult",
+    "FailureConfig",
+    "FaultKind",
+    "nines",
+    "from_nines",
+    "format_probability",
+    # faults
+    "FaultCurve",
+    "ConstantHazard",
+    "WeibullCurve",
+    "BathtubCurve",
+    "NodeModel",
+    "Fleet",
+    "uniform_fleet",
+    "heterogeneous_fleet",
+    "byzantine_fleet",
+    # protocols
+    "ProtocolSpec",
+    "RaftSpec",
+    "PBFTSpec",
+    "BenOrSpec",
+    "ReliabilityAwareRaftSpec",
+]

@@ -1,0 +1,152 @@
+"""Probability engine: Safe/Live aggregation over failure configurations (§3).
+
+Four estimators with one façade:
+
+* :func:`repro.analysis.counting.counting_reliability` — exact, polynomial,
+  for symmetric predicates (the paper's tables);
+* :func:`repro.analysis.exact.exact_reliability` — exact enumeration, any
+  predicate, exponential (small N);
+* :func:`repro.analysis.montecarlo.monte_carlo_reliability` — sampling with
+  Wilson CIs, any predicate, any N, plus correlated-failure variants;
+* :func:`repro.analysis.importance.importance_sample_violation` — tilted
+  sampling for many-nines rare events.
+
+:func:`analyze` picks the best applicable estimator automatically.
+"""
+
+from __future__ import annotations
+
+from repro._rng import SeedLike
+from repro.analysis.config import FailureConfig, FaultKind, config_probability
+from repro.analysis.counting import (
+    aggregate_counts,
+    counting_reliability,
+    joint_count_pmf,
+    poisson_binomial_pmf,
+)
+from repro.analysis.exact import (
+    configuration_count,
+    enumerate_configurations,
+    exact_reliability,
+    worst_configurations,
+)
+from repro.analysis.importance import (
+    ImportanceResult,
+    importance_sample_violation,
+    minimal_violating_failures,
+    quorum_wipeout_probability,
+)
+from repro.analysis.predicates import monte_carlo_predicate, predicate_probability
+from repro.analysis.horizon import (
+    WindowPoint,
+    annualized_downtime_minutes,
+    expected_bad_windows,
+    first_subtarget_window,
+    horizon_survival,
+    reliability_over_horizon,
+)
+from repro.analysis.sensitivity import (
+    UpgradeOption,
+    best_single_upgrade,
+    birnbaum_importance,
+    greedy_upgrade_plan,
+    importance_ranking,
+    reliability_gradient,
+)
+from repro.analysis.montecarlo import (
+    monte_carlo_correlated,
+    monte_carlo_reliability,
+    required_trials_for_ci_width,
+    sample_configuration,
+    wilson_interval,
+)
+from repro.analysis.result import (
+    Estimate,
+    ReliabilityResult,
+    format_probability,
+    from_nines,
+    nines,
+)
+from repro.errors import EstimationError
+from repro.faults.mixture import Fleet
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.protocols.base import ProtocolSpec
+
+#: Above this configuration count, `analyze` stops considering enumeration.
+_EXACT_BUDGET = 1 << 20
+
+
+def analyze(
+    spec: "ProtocolSpec",
+    fleet: Fleet,
+    *,
+    method: str = "auto",
+    trials: int = 100_000,
+    seed: SeedLike = None,
+) -> ReliabilityResult:
+    """Compute Safe/Live/Safe&Live reliability for a deployment.
+
+    ``method`` is one of ``"auto"`` (default), ``"counting"``, ``"exact"``
+    or ``"monte-carlo"``.  Auto selection prefers exact answers: counting DP
+    for symmetric specs, enumeration for small asymmetric ones, Monte-Carlo
+    otherwise.
+    """
+    if method == "auto":
+        if spec.symmetric:
+            return counting_reliability(spec, fleet)
+        if configuration_count(fleet) <= _EXACT_BUDGET:
+            return exact_reliability(spec, fleet)
+        return monte_carlo_reliability(spec, fleet, trials=trials, seed=seed)
+    if method == "counting":
+        return counting_reliability(spec, fleet)
+    if method == "exact":
+        return exact_reliability(spec, fleet)
+    if method == "monte-carlo":
+        return monte_carlo_reliability(spec, fleet, trials=trials, seed=seed)
+    raise EstimationError(f"unknown analysis method {method!r}")
+
+
+__all__ = [
+    "analyze",
+    "FailureConfig",
+    "FaultKind",
+    "config_probability",
+    "counting_reliability",
+    "joint_count_pmf",
+    "poisson_binomial_pmf",
+    "aggregate_counts",
+    "exact_reliability",
+    "enumerate_configurations",
+    "configuration_count",
+    "worst_configurations",
+    "monte_carlo_reliability",
+    "monte_carlo_correlated",
+    "sample_configuration",
+    "wilson_interval",
+    "required_trials_for_ci_width",
+    "predicate_probability",
+    "birnbaum_importance",
+    "reliability_over_horizon",
+    "horizon_survival",
+    "first_subtarget_window",
+    "expected_bad_windows",
+    "annualized_downtime_minutes",
+    "WindowPoint",
+    "importance_ranking",
+    "best_single_upgrade",
+    "greedy_upgrade_plan",
+    "reliability_gradient",
+    "UpgradeOption",
+    "monte_carlo_predicate",
+    "importance_sample_violation",
+    "quorum_wipeout_probability",
+    "minimal_violating_failures",
+    "ImportanceResult",
+    "Estimate",
+    "ReliabilityResult",
+    "nines",
+    "from_nines",
+    "format_probability",
+]

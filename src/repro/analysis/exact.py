@@ -1,0 +1,142 @@
+"""Exact enumeration over failure configurations (paper §3).
+
+The reference estimator: walk every reachable configuration (up to ``3^N``
+once crash/Byzantine are distinguished; outcomes with zero probability are
+pruned), evaluate the protocol predicates, and sum the probabilities of the
+safe / live configurations.  Exponential, so guarded by a state budget —
+it exists to (a) handle *asymmetric* predicates exactly at small N and
+(b) cross-validate the polynomial counting estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.config import FailureConfig, FaultKind
+from repro.analysis.result import Estimate, ReliabilityResult
+from repro.errors import EstimationError, InvalidConfigurationError
+from repro.faults.mixture import Fleet
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.protocols.base import ProtocolSpec
+
+#: Refuse enumerations beyond this many configurations (≈ 4 million).
+DEFAULT_MAX_CONFIGS = 1 << 22
+
+
+def _outcome_choices(fleet: Fleet) -> list[list[tuple[FaultKind, float]]]:
+    """Per-node outcome/probability lists with zero-probability pruning."""
+    choices: list[list[tuple[FaultKind, float]]] = []
+    for node in fleet:
+        node_choices = []
+        if node.p_correct > 0.0:
+            node_choices.append((FaultKind.CORRECT, node.p_correct))
+        if node.p_crash > 0.0:
+            node_choices.append((FaultKind.CRASH, node.p_crash))
+        if node.p_byzantine > 0.0:
+            node_choices.append((FaultKind.BYZANTINE, node.p_byzantine))
+        if not node_choices:
+            raise InvalidConfigurationError("node has no outcome with positive probability")
+        choices.append(node_choices)
+    return choices
+
+
+def configuration_count(fleet: Fleet) -> int:
+    """Number of positive-probability configurations the fleet induces."""
+    count = 1
+    for node_choices in _outcome_choices(fleet):
+        count *= len(node_choices)
+    return count
+
+
+def enumerate_configurations(
+    fleet: Fleet, *, max_configs: int = DEFAULT_MAX_CONFIGS
+) -> Iterator[tuple[FailureConfig, float]]:
+    """Yield every positive-probability ``(configuration, probability)`` pair.
+
+    Raises :class:`EstimationError` when the configuration count exceeds
+    ``max_configs`` — callers should fall back to Monte-Carlo.
+    """
+    total = configuration_count(fleet)
+    if total > max_configs:
+        raise EstimationError(
+            f"{total} configurations exceed the exact-enumeration budget of {max_configs}"
+        )
+    choices = _outcome_choices(fleet)
+
+    def recurse(index: int, kinds: list[FaultKind], probability: float) -> Iterator[tuple[FailureConfig, float]]:
+        if index == len(choices):
+            yield FailureConfig(tuple(kinds)), probability
+            return
+        for kind, p in choices[index]:
+            kinds.append(kind)
+            yield from recurse(index + 1, kinds, probability * p)
+            kinds.pop()
+
+    yield from recurse(0, [], 1.0)
+
+
+def exact_reliability(
+    spec: "ProtocolSpec", fleet: Fleet, *, max_configs: int = DEFAULT_MAX_CONFIGS
+) -> ReliabilityResult:
+    """Safe/Live/Safe&Live probabilities by full enumeration.
+
+    Works for any spec — symmetric or not — but is exponential in ``n``.
+    """
+    if fleet.n != spec.n:
+        raise InvalidConfigurationError(f"fleet has {fleet.n} nodes but spec expects {spec.n}")
+    p_safe = p_live = p_both = 0.0
+    states = 0
+    for config, probability in enumerate_configurations(fleet, max_configs=max_configs):
+        states += 1
+        if probability == 0.0:
+            continue
+        safe = spec.is_safe(config)
+        live = spec.is_live(config)
+        if safe:
+            p_safe += probability
+        if live:
+            p_live += probability
+        if safe and live:
+            p_both += probability
+    return ReliabilityResult(
+        protocol=spec.name,
+        n=fleet.n,
+        safe=Estimate.exact(min(p_safe, 1.0)),
+        live=Estimate.exact(min(p_live, 1.0)),
+        safe_and_live=Estimate.exact(min(p_both, 1.0)),
+        method="exact",
+        detail=f"enumerated {states} configurations",
+    )
+
+
+def worst_configurations(
+    spec: "ProtocolSpec",
+    fleet: Fleet,
+    *,
+    predicate: str = "safe",
+    limit: int = 10,
+    max_configs: int = DEFAULT_MAX_CONFIGS,
+) -> list[tuple[FailureConfig, float]]:
+    """The most probable configurations that *violate* a predicate.
+
+    Useful for explaining a reliability number: "your top risk is these two
+    specific nodes failing together".  ``predicate`` is ``"safe"``,
+    ``"live"`` or ``"safe_and_live"``.
+    """
+    checks = {
+        "safe": spec.is_safe,
+        "live": spec.is_live,
+        "safe_and_live": spec.is_safe_and_live,
+    }
+    if predicate not in checks:
+        raise InvalidConfigurationError(f"unknown predicate {predicate!r}")
+    check = checks[predicate]
+    violations = [
+        (config, probability)
+        for config, probability in enumerate_configurations(fleet, max_configs=max_configs)
+        if probability > 0.0 and not check(config)
+    ]
+    violations.sort(key=lambda pair: pair[1], reverse=True)
+    return violations[:limit]

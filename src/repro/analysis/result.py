@@ -1,0 +1,121 @@
+"""Result types: probability estimates with uncertainty, formatted as *nines*.
+
+The paper argues guarantees should be reported the way S3 reports
+durability — "nines" (§1, §2).  :class:`Estimate` carries a probability
+plus (for sampling estimators) a confidence interval; :class:`ReliabilityResult`
+bundles the three quantities the paper tabulates: Safe%, Live% and
+Safe&Live%.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+def nines(probability: float) -> float:
+    """Number of nines in ``probability``: ``-log10(1 - p)``.
+
+    ``0.999`` → 3.0; ``1.0`` → ``inf``.  Values below 0 are clamped.
+    """
+    if probability >= 1.0:
+        return math.inf
+    complement = 1.0 - probability
+    return -math.log10(complement) if complement < 1.0 else 0.0
+
+
+def from_nines(n: float) -> float:
+    """Inverse of :func:`nines`: probability with ``n`` nines."""
+    if math.isinf(n):
+        return 1.0
+    return 1.0 - 10.0 ** (-n)
+
+
+def format_probability(probability: float, *, max_digits: int = 10) -> str:
+    """Render a probability as a percentage with paper-style precision.
+
+    Shows enough digits after the leading 99... run to distinguish values
+    like ``99.9990%`` from ``99.90%`` (mirrors the tables in §3).
+    """
+    if probability >= 1.0 - 1e-12:
+        # Indistinguishable from certainty at double precision.
+        return "100%"
+    if probability <= 0.0:
+        return "0%"
+    leading_nines = max(0, int(nines(probability)))
+    digits = min(max(2, leading_nines), max_digits)
+    return f"{probability * 100:.{digits}f}%"
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A probability with optional sampling uncertainty.
+
+    Exact methods leave ``stderr``/CI as ``None``; Monte-Carlo style
+    estimators attach a standard error and a 95% confidence interval.
+    """
+
+    value: float
+    stderr: Optional[float] = None
+    ci_low: Optional[float] = None
+    ci_high: Optional[float] = None
+
+    @classmethod
+    def exact(cls, value: float) -> "Estimate":
+        return cls(value=value)
+
+    @property
+    def nines(self) -> float:
+        """Nines of reliability of the point estimate."""
+        return nines(self.value)
+
+    @property
+    def is_exact(self) -> bool:
+        return self.stderr is None
+
+    def contains(self, probability: float) -> bool:
+        """True when ``probability`` lies inside the CI (or equals an exact value)."""
+        if self.is_exact or self.ci_low is None or self.ci_high is None:
+            return math.isclose(self.value, probability, rel_tol=1e-12, abs_tol=1e-15)
+        return self.ci_low <= probability <= self.ci_high
+
+    def __str__(self) -> str:
+        if self.is_exact:
+            return format_probability(self.value)
+        return f"{format_probability(self.value)} ± {self.stderr:.2e}"
+
+
+@dataclass(frozen=True)
+class ReliabilityResult:
+    """Safe / Live / Safe&Live probabilities for one (protocol, fleet) pair.
+
+    ``method`` records which estimator produced the numbers ("counting",
+    "exact", "monte-carlo", "importance"), and ``detail`` carries
+    method-specific metadata such as trial counts.
+    """
+
+    protocol: str
+    n: int
+    safe: Estimate
+    live: Estimate
+    safe_and_live: Estimate
+    method: str
+    detail: str = ""
+
+    def row(self) -> dict[str, str]:
+        """Formatted table row matching the paper's column layout."""
+        return {
+            "protocol": self.protocol,
+            "N": str(self.n),
+            "Safe %": format_probability(self.safe.value),
+            "Live %": format_probability(self.live.value),
+            "Safe and Live %": format_probability(self.safe_and_live.value),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.protocol}(n={self.n}) safe={format_probability(self.safe.value)} "
+            f"live={format_probability(self.live.value)} "
+            f"safe&live={format_probability(self.safe_and_live.value)} [{self.method}]"
+        )

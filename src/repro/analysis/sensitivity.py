@@ -1,0 +1,182 @@
+"""Sensitivity analysis: which node's fault curve matters most?
+
+The paper's §3 observation that "Raft and PBFT underutilize reliable
+nodes" begs the operational question: *given this deployment, which node
+should I upgrade (or which spare should I deploy) to buy the most
+reliability per dollar?*  The classical answer is the **Birnbaum
+importance** of component ``u``:
+
+    B_u = ∂P(system works) / ∂p_u = P(works | u correct) − P(works | u failed)
+
+computed here exactly by conditioning the counting DP / enumeration on one
+node's outcome.  The upgrade advisor combines Birnbaum importance with the
+achievable Δp per node to rank concrete actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.analysis.config import FailureConfig, FaultKind
+from repro.analysis.counting import counting_reliability
+from repro.analysis.exact import exact_reliability
+from repro.errors import InvalidConfigurationError
+from repro.faults.mixture import Fleet, NodeModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.protocols.base import ProtocolSpec
+
+Metric = str  # "safe" | "live" | "safe_and_live"
+
+
+def _metric_value(spec: "ProtocolSpec", fleet: Fleet, metric: Metric) -> float:
+    result = (
+        counting_reliability(spec, fleet)
+        if spec.symmetric
+        else exact_reliability(spec, fleet)
+    )
+    if metric == "safe":
+        return result.safe.value
+    if metric == "live":
+        return result.live.value
+    if metric == "safe_and_live":
+        return result.safe_and_live.value
+    raise InvalidConfigurationError(f"unknown metric {metric!r}")
+
+
+def birnbaum_importance(
+    spec: "ProtocolSpec",
+    fleet: Fleet,
+    node: int,
+    *,
+    metric: Metric = "safe_and_live",
+    failure_kind: FaultKind = FaultKind.CRASH,
+) -> float:
+    """Exact Birnbaum importance of ``node`` for the chosen metric.
+
+    Conditions the deployment on the node being surely correct versus
+    surely failed (``failure_kind``) and differences the metric.  Larger
+    values mean the system's reliability is more sensitive to this node's
+    fault curve.
+    """
+    if not 0 <= node < fleet.n:
+        raise InvalidConfigurationError(f"node {node} outside fleet of {fleet.n}")
+    if failure_kind is FaultKind.CORRECT:
+        raise InvalidConfigurationError("failure_kind cannot be CORRECT")
+    surely_correct = fleet.replace(node, NodeModel(0.0, 0.0, label=fleet[node].label))
+    failed_model = (
+        NodeModel(1.0, 0.0, label=fleet[node].label)
+        if failure_kind is FaultKind.CRASH
+        else NodeModel(0.0, 1.0, label=fleet[node].label)
+    )
+    surely_failed = fleet.replace(node, failed_model)
+    return _metric_value(spec, surely_correct, metric) - _metric_value(
+        spec, surely_failed, metric
+    )
+
+
+def importance_ranking(
+    spec: "ProtocolSpec",
+    fleet: Fleet,
+    *,
+    metric: Metric = "safe_and_live",
+    failure_kind: FaultKind = FaultKind.CRASH,
+) -> list[tuple[int, float]]:
+    """All nodes ranked by Birnbaum importance, most critical first."""
+    scores = [
+        (node, birnbaum_importance(spec, fleet, node, metric=metric, failure_kind=failure_kind))
+        for node in range(fleet.n)
+    ]
+    scores.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scores
+
+
+@dataclass(frozen=True)
+class UpgradeOption:
+    """One considered upgrade and its exact reliability effect."""
+
+    node: int
+    old_p_fail: float
+    new_p_fail: float
+    reliability_before: float
+    reliability_after: float
+
+    @property
+    def gain(self) -> float:
+        return self.reliability_after - self.reliability_before
+
+
+def best_single_upgrade(
+    spec: "ProtocolSpec",
+    fleet: Fleet,
+    replacement: NodeModel,
+    *,
+    metric: Metric = "safe_and_live",
+) -> UpgradeOption | None:
+    """The single node swap that buys the most reliability.
+
+    Evaluates replacing each node with ``replacement`` exactly and returns
+    the best strictly-improving option (``None`` when no swap helps —
+    e.g. the replacement is no better than the worst node).
+    """
+    before = _metric_value(spec, fleet, metric)
+    best: UpgradeOption | None = None
+    for node in range(fleet.n):
+        if replacement.p_fail >= fleet[node].p_fail:
+            continue
+        after = _metric_value(spec, fleet.replace(node, replacement), metric)
+        option = UpgradeOption(
+            node=node,
+            old_p_fail=fleet[node].p_fail,
+            new_p_fail=replacement.p_fail,
+            reliability_before=before,
+            reliability_after=after,
+        )
+        if option.gain > 0 and (best is None or option.gain > best.gain):
+            best = option
+    return best
+
+
+def greedy_upgrade_plan(
+    spec: "ProtocolSpec",
+    fleet: Fleet,
+    replacement: NodeModel,
+    budget: int,
+    *,
+    metric: Metric = "safe_and_live",
+) -> list[UpgradeOption]:
+    """Greedily spend ``budget`` node swaps, most-valuable first.
+
+    Greedy is exact for symmetric specs on exchangeable metrics (upgrading
+    the flakiest node is always optimal); for asymmetric specs it is the
+    usual 1-step lookahead heuristic.
+    """
+    if budget < 0:
+        raise InvalidConfigurationError("budget must be non-negative")
+    plan: list[UpgradeOption] = []
+    current = fleet
+    for _ in range(budget):
+        option = best_single_upgrade(spec, current, replacement, metric=metric)
+        if option is None:
+            break
+        plan.append(option)
+        current = current.replace(option.node, replacement)
+    return plan
+
+
+def reliability_gradient(
+    spec: "ProtocolSpec",
+    fleet: Fleet,
+    *,
+    metric: Metric = "safe_and_live",
+) -> tuple[float, ...]:
+    """∂metric/∂p_fail per node (negative Birnbaum importances).
+
+    The exact linearisation of the deployment's reliability around the
+    current fault curves — the object a probability-native control loop
+    (preemptive reconfiguration, §4) steers along.
+    """
+    return tuple(
+        -birnbaum_importance(spec, fleet, node, metric=metric) for node in range(fleet.n)
+    )

@@ -1,0 +1,278 @@
+"""``repro-analyze`` — command-line front door to the analysis engine.
+
+Subcommands::
+
+    repro-analyze raft  --n 5 --p 0.01            # one Raft deployment
+    repro-analyze pbft  --n 4 --p 0.01            # one PBFT deployment
+    repro-analyze table1                          # reproduce paper Table 1
+    repro-analyze table2                          # reproduce paper Table 2
+    repro-analyze plan  --target-nines 3.5        # cheapest plan for a target
+    repro-analyze sensitivity --n 7 --p 0.08,0.08,0.08,0.08,0.01,0.01,0.01
+    repro-analyze committee --n 100 --p 0.01 --target-nines 4
+    repro-analyze mttf --n 5 --afr 0.08 --mttr-hours 24
+
+Prints paper-style tables to stdout; exits non-zero on invalid input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import analyze, format_probability
+from repro.faults.mixture import byzantine_fleet, uniform_fleet
+from repro.protocols.pbft import PBFTSpec
+from repro.protocols.raft import RaftSpec
+
+
+def _print_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> None:
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def _cmd_raft(args: argparse.Namespace) -> int:
+    spec = RaftSpec(args.n, q_per=args.q_per, q_vc=args.q_vc)
+    result = analyze(spec, uniform_fleet(args.n, args.p))
+    _print_table(
+        ["N", "|Qper|", "|Qvc|", "Safe %", "Live %", "Safe and Live %"],
+        [[
+            str(args.n),
+            str(spec.q_per),
+            str(spec.q_vc),
+            format_probability(result.safe.value),
+            format_probability(result.live.value),
+            format_probability(result.safe_and_live.value),
+        ]],
+    )
+    return 0
+
+
+def _cmd_pbft(args: argparse.Namespace) -> int:
+    spec = PBFTSpec(args.n)
+    result = analyze(spec, byzantine_fleet(args.n, args.p))
+    _print_table(
+        ["N", "|Qeq|", "|Qper|", "|Qvc|", "|Qvc_t|", "Safe %", "Live %", "Safe and Live %"],
+        [[
+            str(args.n),
+            str(spec.q_eq),
+            str(spec.q_per),
+            str(spec.q_vc),
+            str(spec.q_vc_t),
+            format_probability(result.safe.value),
+            format_probability(result.live.value),
+            format_probability(result.safe_and_live.value),
+        ]],
+    )
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    rows = []
+    for n in (4, 5, 7, 8):
+        spec = PBFTSpec(n)
+        result = analyze(spec, byzantine_fleet(n, 0.01))
+        rows.append(
+            [
+                str(n),
+                str(spec.q_eq),
+                str(spec.q_per),
+                str(spec.q_vc),
+                str(spec.q_vc_t),
+                format_probability(result.safe.value),
+                format_probability(result.live.value),
+                format_probability(result.safe_and_live.value),
+            ]
+        )
+    print("Table 1: PBFT reliability, uniform p_u = 1%")
+    _print_table(
+        ["N", "|Qeq|", "|Qper|", "|Qvc|", "|Qvc_t|", "Safe %", "Live %", "Safe and Live %"], rows
+    )
+    return 0
+
+
+def _cmd_table2(_args: argparse.Namespace) -> int:
+    probabilities = (0.01, 0.02, 0.04, 0.08)
+    rows = []
+    for n in (3, 5, 7, 9):
+        spec = RaftSpec(n)
+        cells = [str(n), str(spec.q_per), str(spec.q_vc)]
+        for p in probabilities:
+            result = analyze(spec, uniform_fleet(n, p))
+            cells.append(format_probability(result.safe_and_live.value))
+        rows.append(cells)
+    print("Table 2: Raft reliability for uniform node failure p_u")
+    _print_table(
+        ["N", "|Qper|", "|Qvc|"] + [f"S&L p={p:.0%}" for p in probabilities], rows
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.planner import DEFAULT_PRICE_BOOK, find_cheapest_plan
+
+    outcome = find_cheapest_plan(
+        DEFAULT_PRICE_BOOK,
+        args.target_nines,
+        sizes=range(3, args.max_size + 1, 2),
+    )
+    if outcome.best is None:
+        print(f"no plan up to {args.max_size} nodes reaches {args.target_nines} nines")
+        return 1
+    best = outcome.best
+    print(f"target: {args.target_nines} nines safe&live (Raft, majority quorums)")
+    print(f"best plan: {best.plan.describe()}")
+    print(f"achieved:  {format_probability(best.reliability)}")
+    return 0
+
+
+def _parse_probabilities(raw: str, n: int) -> list[float]:
+    parts = [float(piece) for piece in raw.split(",")]
+    if len(parts) == 1:
+        parts = parts * n
+    if len(parts) != n:
+        raise SystemExit(f"expected 1 or {n} probabilities, got {len(parts)}")
+    return parts
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.analysis.sensitivity import importance_ranking
+    from repro.faults.mixture import Fleet, NodeModel
+
+    probabilities = _parse_probabilities(args.p, args.n)
+    fleet = Fleet(tuple(NodeModel(p) for p in probabilities))
+    ranking = importance_ranking(RaftSpec(args.n), fleet, metric="live")
+    rows = [
+        [str(rank), str(node), f"{fleet[node].p_fail:.4f}", f"{score:.6f}"]
+        for rank, (node, score) in enumerate(ranking, start=1)
+    ]
+    print(f"Birnbaum importance (liveness), Raft n={args.n}")
+    _print_table(["rank", "node", "p_fail", "importance"], rows)
+    return 0
+
+
+def _cmd_committee(args: argparse.Namespace) -> int:
+    from repro.faults.mixture import uniform_fleet as make_fleet
+    from repro.planner.committee import smallest_committee_for_target
+
+    fleet = make_fleet(args.n, args.p)
+    assessment = smallest_committee_for_target(RaftSpec, fleet, args.target_nines)
+    if assessment is None:
+        print(
+            f"no committee of the {args.n}-node pool (p={args.p}) reaches "
+            f"{args.target_nines} nines"
+        )
+        return 1
+    print(
+        f"smallest committee: {assessment.committee_size} of {args.n} nodes -> "
+        f"S&L {format_probability(assessment.safe_and_live)} [{assessment.method}]"
+    )
+    return 0
+
+
+def _cmd_mttf(args: argparse.Namespace) -> int:
+    from repro.faults.afr import afr_to_hourly_rate
+    from repro.markov.builders import ClusterMarkovModel
+
+    model = ClusterMarkovModel(
+        args.n, afr_to_hourly_rate(args.afr), 1.0 / args.mttr_hours
+    )
+    quorum = args.n // 2 + 1
+    rows = [
+        [
+            str(args.n),
+            f"{model.mttf_liveness(quorum) / 8766.0:.3e}",
+            f"{model.mttdl(quorum) / 8766.0:.3e}",
+            f"{model.steady_state_availability(quorum):.10f}",
+        ]
+    ]
+    print(f"Markov metrics: AFR={args.afr:.1%}, MTTR={args.mttr_hours}h, majority quorums")
+    _print_table(["N", "MTTF-liveness (yr)", "MTTDL (yr)", "availability"], rows)
+    return 0
+
+
+def _cmd_report(_args: argparse.Namespace) -> int:
+    from repro.report import evaluate_claims, full_report
+
+    print(full_report())
+    return 0 if all(c.matches for c in evaluate_claims()) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Probabilistic consensus reliability analysis (HotOS '25 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="full paper-vs-measured reproduction report")
+    report.set_defaults(func=_cmd_report)
+
+    raft = sub.add_parser("raft", help="analyze one Raft deployment")
+    raft.add_argument("--n", type=int, required=True, help="cluster size")
+    raft.add_argument("--p", type=float, required=True, help="per-node failure probability")
+    raft.add_argument("--q-per", type=int, default=None, help="persistence quorum size")
+    raft.add_argument("--q-vc", type=int, default=None, help="view-change quorum size")
+    raft.set_defaults(func=_cmd_raft)
+
+    pbft = sub.add_parser("pbft", help="analyze one PBFT deployment (worst-case Byzantine)")
+    pbft.add_argument("--n", type=int, required=True, help="cluster size")
+    pbft.add_argument("--p", type=float, required=True, help="per-node failure probability")
+    pbft.set_defaults(func=_cmd_pbft)
+
+    table1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    table1.set_defaults(func=_cmd_table1)
+
+    table2 = sub.add_parser("table2", help="reproduce the paper's Table 2")
+    table2.set_defaults(func=_cmd_table2)
+
+    plan = sub.add_parser("plan", help="cheapest deployment meeting a nines target")
+    plan.add_argument("--target-nines", type=float, required=True)
+    plan.add_argument("--max-size", type=int, default=15)
+    plan.set_defaults(func=_cmd_plan)
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="rank nodes by Birnbaum importance (liveness)"
+    )
+    sensitivity.add_argument("--n", type=int, required=True)
+    sensitivity.add_argument(
+        "--p",
+        type=str,
+        required=True,
+        help="per-node failure probabilities, comma-separated (or one value for all)",
+    )
+    sensitivity.set_defaults(func=_cmd_sensitivity)
+
+    committee = sub.add_parser(
+        "committee", help="smallest sampled committee meeting a nines target"
+    )
+    committee.add_argument("--n", type=int, required=True, help="node pool size")
+    committee.add_argument("--p", type=float, required=True)
+    committee.add_argument("--target-nines", type=float, required=True)
+    committee.set_defaults(func=_cmd_committee)
+
+    mttf = sub.add_parser("mttf", help="storage-style Markov metrics for a cluster")
+    mttf.add_argument("--n", type=int, required=True)
+    mttf.add_argument("--afr", type=float, required=True, help="per-node annual failure rate")
+    mttf.add_argument("--mttr-hours", type=float, default=24.0)
+    mttf.set_defaults(func=_cmd_mttf)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class InvalidProbabilityError(ReproError, ValueError):
+    """A probability argument fell outside the closed interval [0, 1]."""
+
+
+class InvalidConfigurationError(ReproError, ValueError):
+    """A cluster / quorum / protocol configuration is internally inconsistent.
+
+    Examples: a quorum larger than the cluster, a negative node count, or a
+    fleet whose per-node crash+Byzantine probabilities exceed 1.
+    """
+
+
+class EstimationError(ReproError, RuntimeError):
+    """A probability estimator could not produce a usable estimate."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent internal state."""
+
+
+class FittingError(ReproError, RuntimeError):
+    """Fault-curve fitting failed (degenerate data, non-convergence, ...)."""

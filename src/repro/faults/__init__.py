@@ -1,0 +1,103 @@
+"""Fault models: per-node *fault curves* and correlation structure (paper §2).
+
+The paper's central modelling object is the fault curve ``p_u`` — a
+time-dependent description of how likely node ``u`` is to fail.  This
+subpackage provides:
+
+* :mod:`repro.faults.curves` — the :class:`FaultCurve` hierarchy (constant,
+  exponential, Weibull, bathtub, piecewise, empirical) with hazard-rate,
+  window-probability and failure-time-sampling interfaces.
+* :mod:`repro.faults.afr` — conversions between Annual Failure Rate, MTBF
+  and instantaneous hazard rates (the storage-community vocabulary).
+* :mod:`repro.faults.mixture` — per-node crash/Byzantine probability
+  mixtures and fleet construction helpers (paper §2 point 4).
+* :mod:`repro.faults.correlation` — correlated-failure models: independent,
+  common-shock groups (rollouts, rack-level events) and beta-binomial
+  contagion (paper §2 point 3).
+* :mod:`repro.faults.fitting` — maximum-likelihood fitting of fault curves
+  from failure logs, as produced by :mod:`repro.telemetry`.
+"""
+
+from repro.faults.afr import (
+    afr_to_hourly_rate,
+    afr_to_window_probability,
+    hourly_rate_to_afr,
+    mtbf_hours_to_afr,
+    rate_to_mtbf_hours,
+    window_probability_to_afr,
+)
+from repro.faults.correlation import (
+    BetaBinomialContagion,
+    CommonShockModel,
+    CorrelationModel,
+    IndependentFailures,
+    ShockGroup,
+)
+from repro.faults.curves import (
+    BathtubCurve,
+    ConstantHazard,
+    EmpiricalCurve,
+    ExponentialCurve,
+    FaultCurve,
+    PiecewiseConstantCurve,
+    ScaledCurve,
+    WeibullCurve,
+)
+from repro.faults.fitting import (
+    CurveFit,
+    fit_constant_hazard,
+    fit_piecewise_hazard,
+    fit_weibull,
+    select_best_fit,
+)
+from repro.faults.timeline import (
+    HazardTimeline,
+    RiskWindow,
+    peak_hours_calendar,
+    rollout_calendar,
+)
+from repro.faults.mixture import (
+    Fleet,
+    NodeModel,
+    byzantine_fleet,
+    fleet_from_curves,
+    heterogeneous_fleet,
+    uniform_fleet,
+)
+
+__all__ = [
+    "FaultCurve",
+    "ConstantHazard",
+    "ExponentialCurve",
+    "WeibullCurve",
+    "BathtubCurve",
+    "PiecewiseConstantCurve",
+    "EmpiricalCurve",
+    "ScaledCurve",
+    "afr_to_hourly_rate",
+    "hourly_rate_to_afr",
+    "afr_to_window_probability",
+    "window_probability_to_afr",
+    "mtbf_hours_to_afr",
+    "rate_to_mtbf_hours",
+    "NodeModel",
+    "Fleet",
+    "uniform_fleet",
+    "heterogeneous_fleet",
+    "byzantine_fleet",
+    "fleet_from_curves",
+    "CorrelationModel",
+    "IndependentFailures",
+    "CommonShockModel",
+    "ShockGroup",
+    "BetaBinomialContagion",
+    "CurveFit",
+    "HazardTimeline",
+    "RiskWindow",
+    "rollout_calendar",
+    "peak_hours_calendar",
+    "fit_constant_hazard",
+    "fit_weibull",
+    "fit_piecewise_hazard",
+    "select_best_fit",
+]

@@ -1,0 +1,65 @@
+"""Conversions between reliability vocabularies (paper §2).
+
+The storage community quotes Annual Failure Rate (AFR) and MTBF; consensus
+analysis wants per-window failure probabilities; hazard-based models want
+rates.  These helpers convert between all three under the memoryless
+(constant-hazard) assumption, which is the model the paper uses for every
+number in §3.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidConfigurationError, InvalidProbabilityError
+from repro.faults.curves import HOURS_PER_YEAR
+
+
+def _check_fraction(value: float, name: str, *, allow_one: bool = False) -> None:
+    upper_ok = value <= 1.0 if allow_one else value < 1.0
+    if not (0.0 <= value and upper_ok):
+        bound = "[0, 1]" if allow_one else "[0, 1)"
+        raise InvalidProbabilityError(f"{name} must be in {bound}, got {value}")
+
+
+def afr_to_hourly_rate(afr: float) -> float:
+    """Hazard rate (failures/hour) whose one-year failure probability is ``afr``."""
+    _check_fraction(afr, "AFR")
+    return -math.log1p(-afr) / HOURS_PER_YEAR
+
+
+def hourly_rate_to_afr(rate_per_hour: float) -> float:
+    """One-year failure probability of a constant hazard ``rate_per_hour``."""
+    if rate_per_hour < 0:
+        raise InvalidConfigurationError(f"rate must be non-negative, got {rate_per_hour}")
+    return -math.expm1(-rate_per_hour * HOURS_PER_YEAR)
+
+
+def afr_to_window_probability(afr: float, window_hours: float) -> float:
+    """Failure probability over ``window_hours`` for a node with the given AFR."""
+    if window_hours < 0:
+        raise InvalidConfigurationError(f"window must be non-negative, got {window_hours}")
+    return -math.expm1(-afr_to_hourly_rate(afr) * window_hours)
+
+
+def window_probability_to_afr(probability: float, window_hours: float) -> float:
+    """AFR of a constant-hazard node that fails with ``probability`` per window."""
+    _check_fraction(probability, "probability")
+    if window_hours <= 0:
+        raise InvalidConfigurationError(f"window must be positive, got {window_hours}")
+    rate = -math.log1p(-probability) / window_hours
+    return hourly_rate_to_afr(rate)
+
+
+def mtbf_hours_to_afr(mtbf_hours: float) -> float:
+    """AFR of a memoryless device with the given mean time between failures."""
+    if mtbf_hours <= 0:
+        raise InvalidConfigurationError(f"MTBF must be positive, got {mtbf_hours}")
+    return -math.expm1(-HOURS_PER_YEAR / mtbf_hours)
+
+
+def rate_to_mtbf_hours(rate_per_hour: float) -> float:
+    """Mean time between failures of a constant hazard (1/rate)."""
+    if rate_per_hour <= 0:
+        raise InvalidConfigurationError(f"rate must be positive, got {rate_per_hour}")
+    return 1.0 / rate_per_hour

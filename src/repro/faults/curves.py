@@ -1,0 +1,375 @@
+"""Fault-curve abstractions (paper §2).
+
+A *fault curve* describes the time-dependent failure behaviour of a single
+node as a hazard function ``h(t)`` (instantaneous failures per hour).  All
+derived quantities follow from the cumulative hazard
+
+    H(t0, t1) = ∫ h(t) dt  over [t0, t1]
+
+* survival over a window:   S = exp(-H)
+* failure probability:      p = 1 - exp(-H)
+* failure-time sampling:    inverse-transform on H
+
+Time is measured in **hours** throughout the library; helpers in
+:mod:`repro.faults.afr` convert to/from annualised metrics.
+
+The hierarchy covers the shapes the paper cites: constant hazard (the AFR
+model used for every number in §3), Weibull aging (disk wear-out), bathtub
+curves (infancy + useful life + wear-out, §2 point 2), piecewise-constant
+curves (rollout windows, workload shifts) and empirical curves interpolated
+from telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro.errors import InvalidConfigurationError, InvalidProbabilityError
+
+HOURS_PER_YEAR = 8766.0  # 365.25 days — matches common AFR definitions
+
+_EPS = 1e-15
+
+
+def _check_window(t0: float, t1: float) -> None:
+    if t1 < t0:
+        raise InvalidConfigurationError(f"window end {t1} precedes start {t0}")
+    if t0 < 0:
+        raise InvalidConfigurationError(f"window start {t0} is negative")
+
+
+class FaultCurve(ABC):
+    """Time-dependent failure model of a single node.
+
+    Subclasses implement :meth:`hazard` and :meth:`cumulative_hazard`; the
+    probability / sampling API is derived here so that every curve behaves
+    consistently.
+    """
+
+    @abstractmethod
+    def hazard(self, t: float) -> float:
+        """Instantaneous hazard rate (failures/hour) at time ``t`` hours."""
+
+    @abstractmethod
+    def cumulative_hazard(self, t0: float, t1: float) -> float:
+        """Integral of the hazard over ``[t0, t1]`` (dimensionless)."""
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def survival_probability(self, t0: float, t1: float) -> float:
+        """Probability the node survives the whole window ``[t0, t1]``."""
+        _check_window(t0, t1)
+        return math.exp(-self.cumulative_hazard(t0, t1))
+
+    def failure_probability(self, t0: float, t1: float) -> float:
+        """Probability the node fails at least once during ``[t0, t1]``."""
+        return -math.expm1(-self.cumulative_hazard(t0, t1)) if t1 > t0 else 0.0
+
+    def annualized_failure_rate(self, start: float = 0.0) -> float:
+        """AFR over the year starting at ``start`` hours (fraction in [0,1])."""
+        return self.failure_probability(start, start + HOURS_PER_YEAR)
+
+    def sample_failure_time(
+        self,
+        seed: SeedLike = None,
+        *,
+        start: float = 0.0,
+        horizon: float = math.inf,
+    ) -> float:
+        """Draw a failure time in ``[start, horizon]`` or ``math.inf``.
+
+        Uses inverse-transform sampling on the cumulative hazard: draw
+        ``E ~ Exp(1)`` and return the first ``t`` with ``H(start, t) >= E``.
+        Returns ``math.inf`` when the node survives past ``horizon``.
+        """
+        rng = as_generator(seed)
+        target = rng.exponential()
+        bounded_horizon = horizon if math.isfinite(horizon) else start + 200.0 * HOURS_PER_YEAR
+        if self.cumulative_hazard(start, bounded_horizon) < target:
+            return math.inf
+        return self._invert_cumulative_hazard(start, bounded_horizon, target)
+
+    def _invert_cumulative_hazard(self, start: float, horizon: float, target: float) -> float:
+        """Bisection solve of ``H(start, t) == target`` on ``[start, horizon]``."""
+        lo, hi = start, horizon
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.cumulative_hazard(start, mid) < target:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= 1e-9 * max(1.0, hi):
+                break
+        return 0.5 * (lo + hi)
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "ScaledCurve":
+        """Return this curve with the hazard multiplied by ``factor``."""
+        return ScaledCurve(self, factor)
+
+    def __add__(self, other: "FaultCurve") -> "FaultCurve":
+        return _SumCurve((self, other))
+
+
+@dataclass(frozen=True)
+class ConstantHazard(FaultCurve):
+    """Memoryless (exponential-lifetime) fault curve with fixed hazard rate.
+
+    This is the model behind every number in the paper's §3: a node fails
+    within the analysis window with constant probability ``p_u``.
+    """
+
+    rate_per_hour: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_hour < 0:
+            raise InvalidConfigurationError(f"negative hazard rate {self.rate_per_hour}")
+
+    @classmethod
+    def from_afr(cls, afr: float) -> "ConstantHazard":
+        """Build from an Annual Failure Rate (fraction of a fleet per year)."""
+        if not 0.0 <= afr < 1.0:
+            raise InvalidProbabilityError(f"AFR must be in [0, 1), got {afr}")
+        return cls(rate_per_hour=-math.log1p(-afr) / HOURS_PER_YEAR)
+
+    @classmethod
+    def from_window_probability(cls, probability: float, window_hours: float) -> "ConstantHazard":
+        """Build the constant curve whose ``window_hours`` failure prob is given."""
+        if not 0.0 <= probability < 1.0:
+            raise InvalidProbabilityError(f"probability must be in [0, 1), got {probability}")
+        if window_hours <= 0:
+            raise InvalidConfigurationError(f"window must be positive, got {window_hours}")
+        return cls(rate_per_hour=-math.log1p(-probability) / window_hours)
+
+    def hazard(self, t: float) -> float:
+        return self.rate_per_hour
+
+    def cumulative_hazard(self, t0: float, t1: float) -> float:
+        _check_window(t0, t1)
+        return self.rate_per_hour * (t1 - t0)
+
+
+# An exponential lifetime *is* a constant hazard; the alias exists because
+# both names appear in the reliability literature.
+ExponentialCurve = ConstantHazard
+
+
+@dataclass(frozen=True)
+class WeibullCurve(FaultCurve):
+    """Weibull fault curve: ``h(t) = (k/λ) · (t/λ)^(k-1)``.
+
+    ``shape`` < 1 models infant mortality (decreasing hazard), ``shape`` > 1
+    models wear-out (increasing hazard, e.g. aging cores — paper §2), and
+    ``shape`` == 1 degenerates to :class:`ConstantHazard`.
+    """
+
+    shape: float
+    scale_hours: float
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0 or self.scale_hours <= 0:
+            raise InvalidConfigurationError(
+                f"Weibull shape/scale must be positive, got {self.shape}/{self.scale_hours}"
+            )
+
+    def hazard(self, t: float) -> float:
+        if t <= 0:
+            # The k<1 hazard diverges at 0; clamp for numerical sanity.
+            t = _EPS
+        return (self.shape / self.scale_hours) * (t / self.scale_hours) ** (self.shape - 1.0)
+
+    def cumulative_hazard(self, t0: float, t1: float) -> float:
+        _check_window(t0, t1)
+        return (t1 / self.scale_hours) ** self.shape - (t0 / self.scale_hours) ** self.shape
+
+
+@dataclass(frozen=True)
+class PiecewiseConstantCurve(FaultCurve):
+    """Step-function hazard: rate ``rates[i]`` on ``[breakpoints[i], breakpoints[i+1])``.
+
+    ``breakpoints`` must start at 0 and be strictly increasing; the final
+    rate extends to infinity.  This is the natural encoding of operational
+    risk windows — e.g. an elevated hazard during a software-rollout hour
+    (the paper's CrowdStrike example).
+    """
+
+    breakpoints: tuple[float, ...]
+    rates: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.breakpoints) != len(self.rates):
+            raise InvalidConfigurationError("breakpoints and rates must have equal length")
+        if not self.breakpoints or self.breakpoints[0] != 0.0:
+            raise InvalidConfigurationError("breakpoints must start at 0.0")
+        if any(b1 <= b0 for b0, b1 in zip(self.breakpoints, self.breakpoints[1:])):
+            raise InvalidConfigurationError("breakpoints must be strictly increasing")
+        if any(r < 0 for r in self.rates):
+            raise InvalidConfigurationError("hazard rates must be non-negative")
+
+    def hazard(self, t: float) -> float:
+        idx = int(np.searchsorted(self.breakpoints, t, side="right")) - 1
+        return self.rates[max(idx, 0)]
+
+    def cumulative_hazard(self, t0: float, t1: float) -> float:
+        _check_window(t0, t1)
+        total = 0.0
+        edges = list(self.breakpoints) + [math.inf]
+        for i, rate in enumerate(self.rates):
+            seg_start, seg_end = edges[i], edges[i + 1]
+            overlap = min(t1, seg_end) - max(t0, seg_start)
+            if overlap > 0:
+                total += rate * overlap
+        return total
+
+
+@dataclass(frozen=True)
+class DecayingHazard(FaultCurve):
+    """Exponentially decaying hazard: ``h(t) = (weight/τ) · exp(-t/τ)``.
+
+    The cumulative hazard saturates at ``weight``, so it models a bounded
+    pool of defects flushed out over timescale ``tau_hours`` — the natural
+    infant-mortality (burn-in) component.
+    """
+
+    weight: float
+    tau_hours: float
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise InvalidConfigurationError("weight must be non-negative")
+        if self.tau_hours <= 0:
+            raise InvalidConfigurationError("tau must be positive")
+
+    def hazard(self, t: float) -> float:
+        return (self.weight / self.tau_hours) * math.exp(-max(t, 0.0) / self.tau_hours)
+
+    def cumulative_hazard(self, t0: float, t1: float) -> float:
+        _check_window(t0, t1)
+        return self.weight * (math.exp(-t0 / self.tau_hours) - math.exp(-t1 / self.tau_hours))
+
+
+@dataclass(frozen=True)
+class BathtubCurve(FaultCurve):
+    """Classic bathtub hazard: infancy + useful life + wear-out (paper §2).
+
+    Modelled as the superposition of a decaying burn-in hazard with total
+    mass ``infant_weight`` (≈ fraction of machines lost to infancy — the
+    default 2% matches published disk studies), a constant baseline
+    (useful life) and an increasing Weibull (wear-out).  The defaults
+    produce a disk-like curve with a ~4% AFR useful-life floor.
+    """
+
+    infant_scale_hours: float = 2_000.0
+    infant_weight: float = 0.02
+    baseline_rate_per_hour: float = 4.7e-6  # ≈ 4% AFR useful-life floor
+    wearout_shape: float = 4.0
+    wearout_scale_hours: float = 45_000.0  # ≈ 5 years
+
+    def __post_init__(self) -> None:
+        for name in ("infant_scale_hours", "wearout_shape", "wearout_scale_hours"):
+            if getattr(self, name) <= 0:
+                raise InvalidConfigurationError(f"{name} must be positive")
+        if self.baseline_rate_per_hour < 0:
+            raise InvalidConfigurationError("baseline rate must be non-negative")
+        if self.infant_weight < 0:
+            raise InvalidConfigurationError("infant_weight must be non-negative")
+
+    def _components(self) -> tuple[FaultCurve, ...]:
+        return (
+            DecayingHazard(self.infant_weight, self.infant_scale_hours),
+            ConstantHazard(self.baseline_rate_per_hour),
+            WeibullCurve(self.wearout_shape, self.wearout_scale_hours),
+        )
+
+    def hazard(self, t: float) -> float:
+        return sum(c.hazard(t) for c in self._components())
+
+    def cumulative_hazard(self, t0: float, t1: float) -> float:
+        return sum(c.cumulative_hazard(t0, t1) for c in self._components())
+
+
+@dataclass(frozen=True)
+class EmpiricalCurve(FaultCurve):
+    """Hazard interpolated from telemetry observations.
+
+    ``times_hours`` / ``hazards_per_hour`` are sample points; the hazard is
+    linearly interpolated between them and held constant beyond the ends.
+    This is the output shape of :func:`repro.telemetry.ingest.empirical_hazard`.
+    """
+
+    times_hours: tuple[float, ...]
+    hazards_per_hour: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times_hours) != len(self.hazards_per_hour):
+            raise InvalidConfigurationError("times and hazards must have equal length")
+        if len(self.times_hours) < 2:
+            raise InvalidConfigurationError("empirical curve needs at least two points")
+        if any(t1 <= t0 for t0, t1 in zip(self.times_hours, self.times_hours[1:])):
+            raise InvalidConfigurationError("times must be strictly increasing")
+        if any(h < 0 for h in self.hazards_per_hour):
+            raise InvalidConfigurationError("hazards must be non-negative")
+
+    def hazard(self, t: float) -> float:
+        return float(np.interp(t, self.times_hours, self.hazards_per_hour))
+
+    def cumulative_hazard(self, t0: float, t1: float) -> float:
+        _check_window(t0, t1)
+        if t1 == t0:
+            return 0.0
+        # Integrate the piecewise-linear interpolant exactly via trapezoid
+        # rule over the knots that fall inside the window.
+        knots = [t for t in self.times_hours if t0 < t < t1]
+        grid = np.array([t0, *knots, t1])
+        values = np.array([self.hazard(t) for t in grid])
+        return float(np.trapezoid(values, grid))
+
+
+@dataclass(frozen=True)
+class ScaledCurve(FaultCurve):
+    """A curve whose hazard is a constant multiple of another curve's.
+
+    Useful for "this SKU is 3× flakier than that one" style modelling, and
+    for deriving the rare-Byzantine component of a mixture from a crash
+    curve (paper §2: Byzantine faults ≈ 0.01% vs 4% AFR crashes).
+    """
+
+    base: FaultCurve
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 0:
+            raise InvalidConfigurationError(f"scale factor must be non-negative, got {self.factor}")
+
+    def hazard(self, t: float) -> float:
+        return self.factor * self.base.hazard(t)
+
+    def cumulative_hazard(self, t0: float, t1: float) -> float:
+        return self.factor * self.base.cumulative_hazard(t0, t1)
+
+
+@dataclass(frozen=True)
+class _SumCurve(FaultCurve):
+    """Superposition of independent failure processes (internal)."""
+
+    parts: tuple[FaultCurve, ...]
+
+    def hazard(self, t: float) -> float:
+        return sum(p.hazard(t) for p in self.parts)
+
+    def cumulative_hazard(self, t0: float, t1: float) -> float:
+        return sum(p.cumulative_hazard(t0, t1) for p in self.parts)
+
+
+def curve_from_samples(times_hours: Sequence[float], hazards: Sequence[float]) -> EmpiricalCurve:
+    """Convenience constructor for :class:`EmpiricalCurve` from sequences."""
+    return EmpiricalCurve(tuple(float(t) for t in times_hours), tuple(float(h) for h in hazards))

@@ -1,0 +1,155 @@
+"""Operational hazard timelines (paper §2 point 2).
+
+"Faults tend to cluster around major software updates ... or with peak
+operation hours and sudden workload changes."  This module turns an
+operational calendar — rollout windows, peak-load hours, incident
+freezes — into the piecewise hazard amplification a fault curve needs.
+
+A :class:`HazardTimeline` wraps a base curve with multiplicative windows:
+during a rollout the hazard is, say, 50× the baseline (the CrowdStrike
+shape); during a change freeze it might be 0.5×.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import InvalidConfigurationError
+from repro.faults.curves import FaultCurve, _check_window
+
+
+@dataclass(frozen=True)
+class RiskWindow:
+    """One calendar window with a hazard multiplier."""
+
+    start_hours: float
+    end_hours: float
+    multiplier: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end_hours <= self.start_hours:
+            raise InvalidConfigurationError(
+                f"window end {self.end_hours} must exceed start {self.start_hours}"
+            )
+        if self.start_hours < 0:
+            raise InvalidConfigurationError("window start must be non-negative")
+        if self.multiplier < 0:
+            raise InvalidConfigurationError("multiplier must be non-negative")
+
+
+@dataclass(frozen=True)
+class HazardTimeline(FaultCurve):
+    """A base fault curve modulated by calendar risk windows.
+
+    Windows must be non-overlapping; outside every window the base hazard
+    applies unchanged.  The cumulative hazard integrates the modulation
+    exactly (window boundaries split the integral).
+    """
+
+    base: FaultCurve
+    windows: tuple[RiskWindow, ...]
+
+    def __post_init__(self) -> None:
+        ordered = sorted(self.windows, key=lambda w: w.start_hours)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.start_hours < a.end_hours:
+                raise InvalidConfigurationError(
+                    f"risk windows overlap: {a.label or a.start_hours} and "
+                    f"{b.label or b.start_hours}"
+                )
+        object.__setattr__(self, "windows", tuple(ordered))
+
+    def _multiplier_at(self, t: float) -> float:
+        starts = [w.start_hours for w in self.windows]
+        index = bisect.bisect_right(starts, t) - 1
+        if index >= 0 and t < self.windows[index].end_hours:
+            return self.windows[index].multiplier
+        return 1.0
+
+    def hazard(self, t: float) -> float:
+        return self._multiplier_at(t) * self.base.hazard(t)
+
+    def cumulative_hazard(self, t0: float, t1: float) -> float:
+        _check_window(t0, t1)
+        # Split [t0, t1] at window boundaries and integrate each segment
+        # with its constant multiplier.
+        boundaries = {t0, t1}
+        for window in self.windows:
+            for edge in (window.start_hours, window.end_hours):
+                if t0 < edge < t1:
+                    boundaries.add(edge)
+        total = 0.0
+        edges = sorted(boundaries)
+        for seg_start, seg_end in zip(edges, edges[1:]):
+            midpoint = 0.5 * (seg_start + seg_end)
+            total += self._multiplier_at(midpoint) * self.base.cumulative_hazard(
+                seg_start, seg_end
+            )
+        return total
+
+    def active_window(self, t: float) -> RiskWindow | None:
+        """The risk window covering time ``t``, if any."""
+        starts = [w.start_hours for w in self.windows]
+        index = bisect.bisect_right(starts, t) - 1
+        if index >= 0 and t < self.windows[index].end_hours:
+            return self.windows[index]
+        return None
+
+
+def rollout_calendar(
+    *,
+    first_rollout_hours: float,
+    cadence_hours: float,
+    rollout_duration_hours: float,
+    multiplier: float,
+    horizon_hours: float,
+) -> tuple[RiskWindow, ...]:
+    """Periodic rollout windows (weekly deploy trains, monthly patches)."""
+    if cadence_hours <= 0 or rollout_duration_hours <= 0 or horizon_hours <= 0:
+        raise InvalidConfigurationError("calendar parameters must be positive")
+    if rollout_duration_hours >= cadence_hours:
+        raise InvalidConfigurationError("rollouts must be shorter than their cadence")
+    windows = []
+    start = first_rollout_hours
+    index = 0
+    while start < horizon_hours:
+        windows.append(
+            RiskWindow(
+                start_hours=start,
+                end_hours=start + rollout_duration_hours,
+                multiplier=multiplier,
+                label=f"rollout-{index}",
+            )
+        )
+        start += cadence_hours
+        index += 1
+    return tuple(windows)
+
+
+def peak_hours_calendar(
+    *,
+    peak_start_hour_of_day: float,
+    peak_length_hours: float,
+    multiplier: float,
+    days: int,
+) -> tuple[RiskWindow, ...]:
+    """Daily peak-load windows over ``days`` days."""
+    if not 0 <= peak_start_hour_of_day < 24 or not 0 < peak_length_hours <= 24:
+        raise InvalidConfigurationError("invalid peak window shape")
+    if days <= 0:
+        raise InvalidConfigurationError("days must be positive")
+    windows = []
+    for day in range(days):
+        start = day * 24.0 + peak_start_hour_of_day
+        windows.append(
+            RiskWindow(
+                start_hours=start,
+                end_hours=start + peak_length_hours,
+                multiplier=multiplier,
+                label=f"peak-day-{day}",
+            )
+        )
+    return tuple(windows)

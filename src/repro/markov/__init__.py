@@ -1,0 +1,26 @@
+"""Markov reliability models — the storage community's toolkit (paper §2).
+
+Exact CTMC machinery (:mod:`repro.markov.chain`) plus replicated-cluster
+builders (:mod:`repro.markov.builders`) producing MTTF, MTTDL and
+steady-state availability for consensus deployments.
+"""
+
+from repro.markov.builders import ClusterMarkovModel, mttf_comparison
+from repro.markov.chain import ContinuousTimeMarkovChain, TransitionRates
+from repro.markov.simulate import (
+    Trajectory,
+    empirical_availability,
+    sample_absorption_times,
+    simulate_trajectory,
+)
+
+__all__ = [
+    "ContinuousTimeMarkovChain",
+    "TransitionRates",
+    "ClusterMarkovModel",
+    "Trajectory",
+    "simulate_trajectory",
+    "sample_absorption_times",
+    "empirical_availability",
+    "mttf_comparison",
+]

@@ -1,0 +1,134 @@
+"""Markov-model builders for replicated clusters (paper §2, §5 Zorfu).
+
+States count failed replicas; failure transitions run at ``(n - k)·λ`` and
+repairs at ``min(k, repair_slots)·μ``.  From these chains we derive the
+metrics the storage community uses — and the paper says consensus should
+adopt — MTTF (time to losing liveness), MTTDL (time to losing data), and
+steady-state availability under repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidConfigurationError
+from repro.markov.chain import ContinuousTimeMarkovChain, TransitionRates
+
+
+@dataclass(frozen=True)
+class ClusterMarkovModel:
+    """Birth–death model of an ``n``-replica cluster with repair.
+
+    Parameters
+    ----------
+    n:
+        Replica count.
+    failure_rate_per_hour:
+        Per-replica constant hazard λ.
+    repair_rate_per_hour:
+        Per-repair-slot rate μ (1 / mean-time-to-repair).
+    repair_slots:
+        Concurrent repairs allowed (1 = single repair crew, n = fully
+        parallel re-provisioning).
+    """
+
+    n: int
+    failure_rate_per_hour: float
+    repair_rate_per_hour: float
+    repair_slots: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise InvalidConfigurationError(f"n must be positive, got {self.n}")
+        if self.failure_rate_per_hour < 0 or self.repair_rate_per_hour < 0:
+            raise InvalidConfigurationError("rates must be non-negative")
+        if self.repair_slots < 0:
+            raise InvalidConfigurationError("repair_slots must be non-negative")
+
+    def chain(self, *, absorbing_at: int | None = None) -> ContinuousTimeMarkovChain:
+        """Build the CTMC on states ``0..n`` failed.
+
+        ``absorbing_at`` truncates repairs at that failure count, making it
+        absorbing — the construction used for mean-time-to-X questions.
+        """
+        if absorbing_at is not None and not 0 < absorbing_at <= self.n:
+            raise InvalidConfigurationError(
+                f"absorbing_at={absorbing_at} outside (0, {self.n}]"
+            )
+        # States beyond the absorbing boundary are unreachable; excluding
+        # them keeps the transient block non-singular.
+        top = self.n if absorbing_at is None else absorbing_at
+        rates: dict[tuple[int, int], float] = {}
+        for failed in range(top):
+            rates[(failed, failed + 1)] = (self.n - failed) * self.failure_rate_per_hour
+        for failed in range(1, top + 1):
+            if absorbing_at is not None and failed >= absorbing_at:
+                continue
+            slots = min(failed, self.repair_slots)
+            if slots > 0 and self.repair_rate_per_hour > 0:
+                rates[(failed, failed - 1)] = slots * self.repair_rate_per_hour
+        states = list(range(top + 1))
+        return ContinuousTimeMarkovChain(states, TransitionRates(rates))
+
+    # ------------------------------------------------------------------
+    # Storage-style metrics
+    # ------------------------------------------------------------------
+    def mean_time_to_failure_count(self, threshold: int) -> float:
+        """Mean hours from all-healthy until ``threshold`` replicas are down."""
+        chain = self.chain(absorbing_at=threshold)
+        return chain.expected_time_to_absorption(0, [threshold])
+
+    def mttf_liveness(self, quorum_size: int) -> float:
+        """MTTF for liveness: time until fewer than ``quorum_size`` replicas remain."""
+        threshold = self.n - quorum_size + 1
+        if threshold <= 0:
+            return 0.0
+        return self.mean_time_to_failure_count(threshold)
+
+    def mttdl(self, persistence_quorum: int) -> float:
+        """Mean time to data loss: all ``persistence_quorum`` copies down at once.
+
+        Matches the adversarial durability model of
+        :class:`repro.protocols.reliability_aware.ObliviousDurabilityRaftSpec`:
+        data is lost when ``persistence_quorum`` simultaneous failures can
+        cover the quorum that persisted the data.
+        """
+        if not 0 < persistence_quorum <= self.n:
+            raise InvalidConfigurationError(
+                f"persistence_quorum={persistence_quorum} outside (0, {self.n}]"
+            )
+        return self.mean_time_to_failure_count(persistence_quorum)
+
+    def steady_state_availability(self, quorum_size: int) -> float:
+        """Long-run fraction of time a ``quorum_size`` quorum is formable."""
+        if self.repair_rate_per_hour <= 0:
+            raise InvalidConfigurationError("availability under repair needs μ > 0")
+        chain = self.chain()
+        pi = chain.steady_state()
+        max_failed = self.n - quorum_size
+        return sum(p for failed, p in pi.items() if failed <= max_failed)
+
+    def window_unavailability(self, quorum_size: int, window_hours: float) -> float:
+        """P(cluster has lost quorum at the end of a window, no repairs mid-window).
+
+        Diagnostic linking the Markov view to the paper's per-window
+        failure-probability view.
+        """
+        from scipy import stats
+        import math
+
+        p_window = -math.expm1(-self.failure_rate_per_hour * window_hours)
+        max_failed = self.n - quorum_size
+        return float(stats.binom.sf(max_failed, self.n, p_window))
+
+
+def mttf_comparison(
+    models: dict[str, ClusterMarkovModel], quorum_size_of: dict[str, int]
+) -> dict[str, float]:
+    """MTTF (liveness) for a family of named cluster designs."""
+    missing = set(models) - set(quorum_size_of)
+    if missing:
+        raise InvalidConfigurationError(f"missing quorum sizes for {sorted(missing)}")
+    return {
+        name: model.mttf_liveness(quorum_size_of[name]) for name, model in models.items()
+    }

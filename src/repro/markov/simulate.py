@@ -1,0 +1,131 @@
+"""Stochastic CTMC trajectory simulation (Gillespie / SSA).
+
+Monte-Carlo counterpart to the exact solvers in :mod:`repro.markov.chain`:
+draws explicit state trajectories, used to (a) validate the linear-algebra
+answers and (b) extract distributions the closed forms do not expose, such
+as the *spread* of time-to-data-loss rather than just its mean (the
+Greenan et al. "mean time to meaningless" critique the paper cites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro.errors import InvalidConfigurationError
+from repro.markov.chain import ContinuousTimeMarkovChain, State
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One simulated path: states visited and the times they were entered."""
+
+    states: tuple[State, ...]
+    entry_times: tuple[float, ...]
+
+    @property
+    def final_state(self) -> State:
+        return self.states[-1]
+
+    @property
+    def end_time(self) -> float:
+        return self.entry_times[-1]
+
+    def time_in_state(self, state: State, horizon: float) -> float:
+        """Total dwell time in ``state`` up to ``horizon``."""
+        total = 0.0
+        for i, s in enumerate(self.states):
+            start = self.entry_times[i]
+            end = self.entry_times[i + 1] if i + 1 < len(self.states) else horizon
+            if s == state and start < horizon:
+                total += min(end, horizon) - start
+        return total
+
+
+def simulate_trajectory(
+    chain: ContinuousTimeMarkovChain,
+    start: State,
+    *,
+    horizon: float,
+    absorbing: Sequence[State] = (),
+    seed: SeedLike = None,
+) -> Trajectory:
+    """Gillespie simulation until ``horizon`` or absorption."""
+    if horizon <= 0:
+        raise InvalidConfigurationError("horizon must be positive")
+    rng = as_generator(seed)
+    absorbing_idx = {chain.index_of(s) for s in absorbing}
+    current = chain.index_of(start)
+    now = 0.0
+    states: list[State] = [chain.states[current]]
+    times: list[float] = [0.0]
+    while now < horizon and current not in absorbing_idx:
+        exit_rate = -chain.generator[current, current]
+        if exit_rate <= 0:
+            break  # absorbing by construction
+        dwell = float(rng.exponential(1.0 / exit_rate))
+        now += dwell
+        if now >= horizon:
+            break
+        rates = chain.generator[current].copy()
+        rates[current] = 0.0
+        probabilities = rates / rates.sum()
+        current = int(rng.choice(chain.n_states, p=probabilities))
+        states.append(chain.states[current])
+        times.append(now)
+    return Trajectory(tuple(states), tuple(times))
+
+
+def sample_absorption_times(
+    chain: ContinuousTimeMarkovChain,
+    start: State,
+    absorbing: Sequence[State],
+    *,
+    trials: int = 1_000,
+    horizon: float = float("inf"),
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Sampled hitting times of the absorbing set (``inf`` when censored).
+
+    Against :meth:`ContinuousTimeMarkovChain.expected_time_to_absorption`
+    this exposes the full distribution — MTTDL's long tail included.
+    """
+    if trials <= 0:
+        raise InvalidConfigurationError("trials must be positive")
+    rng = as_generator(seed)
+    absorbing_set = set(absorbing)
+    bounded_horizon = horizon if np.isfinite(horizon) else 1e12
+    times = np.empty(trials)
+    for t in range(trials):
+        trajectory = simulate_trajectory(
+            chain, start, horizon=bounded_horizon, absorbing=absorbing, seed=rng
+        )
+        if trajectory.final_state in absorbing_set:
+            times[t] = trajectory.end_time
+        else:
+            times[t] = np.inf
+    return times
+
+
+def empirical_availability(
+    chain: ContinuousTimeMarkovChain,
+    start: State,
+    up_states: Sequence[State],
+    *,
+    horizon: float,
+    trials: int = 200,
+    seed: SeedLike = None,
+) -> float:
+    """Fraction of simulated time spent in ``up_states`` (validates π)."""
+    if horizon <= 0 or trials <= 0:
+        raise InvalidConfigurationError("horizon and trials must be positive")
+    rng = as_generator(seed)
+    up = set(up_states)
+    total_up = 0.0
+    for _ in range(trials):
+        trajectory = simulate_trajectory(chain, start, horizon=horizon, seed=rng)
+        total_up += sum(trajectory.time_in_state(s, horizon) for s in up)
+    return total_up / (trials * horizon)

@@ -1,0 +1,102 @@
+"""Probability-native planning toolbox (paper §4).
+
+* :mod:`repro.planner.cost` — SKUs, price books, deployment plans;
+* :mod:`repro.planner.optimizer` — cheapest plan meeting a nines target;
+* :mod:`repro.planner.quorum_sizing` — dynamic quorum/committee sizing;
+* :mod:`repro.planner.leader` — reliability-aware leader selection;
+* :mod:`repro.planner.reconfig` — preemptive reconfiguration policy;
+* :mod:`repro.planner.detector` — φ-accrual probabilistic failure detector.
+"""
+
+from repro.planner.committee import (
+    CommitteeAssessment,
+    committee_reliability,
+    smallest_committee_for_target,
+)
+from repro.planner.cost import (
+    DEFAULT_PRICE_BOOK,
+    MIDGRADE_SKU,
+    REFURB_SKU,
+    RELIABLE_SKU,
+    SPOT_SKU,
+    DeploymentPlan,
+    NodeSKU,
+    cost_ratio,
+)
+from repro.planner.detector import PhiAccrualDetector, SuspicionLevel
+from repro.planner.leader import (
+    LeaderPolicyComparison,
+    LeaderRanking,
+    compare_leader_policies,
+    expected_leader_tenure_hours,
+    expected_view_changes_per_year,
+    rank_leaders,
+    rank_leaders_by_curves,
+)
+from repro.planner.optimizer import (
+    OptimizationOutcome,
+    PlanEvaluation,
+    equivalent_reliability_size,
+    evaluate_plan,
+    find_cheapest_plan,
+)
+from repro.planner.quorum_sizing import (
+    FlexiblePairChoice,
+    QuorumSizing,
+    best_flexible_pair,
+    size_quorums,
+)
+from repro.planner.slo import (
+    AvailabilityEstimate,
+    DurabilityEstimate,
+    SLOReport,
+    estimate_availability,
+    estimate_durability,
+    slo_report,
+)
+from repro.planner.reconfig import (
+    PreemptiveReconfigPolicy,
+    ReconfigDecision,
+    Replacement,
+)
+
+__all__ = [
+    "NodeSKU",
+    "CommitteeAssessment",
+    "committee_reliability",
+    "smallest_committee_for_target",
+    "DeploymentPlan",
+    "cost_ratio",
+    "DEFAULT_PRICE_BOOK",
+    "RELIABLE_SKU",
+    "SPOT_SKU",
+    "MIDGRADE_SKU",
+    "REFURB_SKU",
+    "evaluate_plan",
+    "find_cheapest_plan",
+    "equivalent_reliability_size",
+    "PlanEvaluation",
+    "OptimizationOutcome",
+    "size_quorums",
+    "best_flexible_pair",
+    "QuorumSizing",
+    "FlexiblePairChoice",
+    "rank_leaders",
+    "rank_leaders_by_curves",
+    "expected_leader_tenure_hours",
+    "expected_view_changes_per_year",
+    "compare_leader_policies",
+    "LeaderRanking",
+    "LeaderPolicyComparison",
+    "PreemptiveReconfigPolicy",
+    "ReconfigDecision",
+    "Replacement",
+    "PhiAccrualDetector",
+    "AvailabilityEstimate",
+    "DurabilityEstimate",
+    "SLOReport",
+    "estimate_availability",
+    "estimate_durability",
+    "slo_report",
+    "SuspicionLevel",
+]

@@ -1,0 +1,109 @@
+"""Dynamic quorum sizing (paper §4: "choose quorum sizes dynamically").
+
+Given fault curves and a nines target, pick the smallest quorums that hit
+the target — for sampled (probabilistic) quorums, for view-change trigger
+quorums ("Q_vc_t of size f+1 is overkill", §3), and for flexible
+(persistence, view-change) threshold pairs trading safety against
+liveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.counting import counting_reliability
+from repro.analysis.result import from_nines
+from repro.errors import InvalidConfigurationError
+from repro.faults.mixture import Fleet
+from repro.protocols.raft import FlexibleRaftSpec
+from repro.quorums.committee import required_committee_size
+from repro.quorums.probabilistic import (
+    minimum_quorum_size_for_correct_intersection,
+    minimum_quorum_size_for_intersection,
+)
+
+
+@dataclass(frozen=True)
+class QuorumSizing:
+    """Recommended quorum sizes for one deployment and target."""
+
+    n: int
+    target_nines: float
+    sampled_quorum: int
+    sampled_quorum_correct_overlap: int
+    view_change_trigger: int
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n}, target={self.target_nines} nines: sampled quorum {self.sampled_quorum} "
+            f"(correct-overlap {self.sampled_quorum_correct_overlap}), "
+            f"vc-trigger {self.view_change_trigger}"
+        )
+
+
+def size_quorums(n: int, p_fail: float, target_nines: float) -> QuorumSizing:
+    """Smallest quorum sizes meeting ``target_nines`` for a uniform fleet.
+
+    * ``sampled_quorum`` — two uniformly sampled quorums overlap w.p. ≥ target;
+    * ``sampled_quorum_correct_overlap`` — they overlap in a *correct* node;
+    * ``view_change_trigger`` — a sampled trigger set contains ≥1 correct
+      node (the paper's N=100 example: 5 nodes already give ten nines,
+      versus the f+1 = 34 worst-case rule).
+    """
+    if n <= 0:
+        raise InvalidConfigurationError(f"n must be positive, got {n}")
+    if not 0.0 < p_fail < 1.0:
+        raise InvalidConfigurationError("p_fail must lie in (0, 1)")
+    if target_nines <= 0:
+        raise InvalidConfigurationError("target_nines must be positive")
+    return QuorumSizing(
+        n=n,
+        target_nines=target_nines,
+        sampled_quorum=minimum_quorum_size_for_intersection(n, target_nines),
+        sampled_quorum_correct_overlap=minimum_quorum_size_for_correct_intersection(
+            n, p_fail, target_nines
+        ),
+        view_change_trigger=min(n, required_committee_size(p_fail, target_nines)),
+    )
+
+
+@dataclass(frozen=True)
+class FlexiblePairChoice:
+    """A (q_per, q_vc) pair with its exact safe&live probability."""
+
+    q_per: int
+    q_vc: int
+    safe_and_live: float
+
+
+def best_flexible_pair(
+    fleet: Fleet, *, target_nines: float | None = None
+) -> FlexiblePairChoice:
+    """Exhaustively pick the structurally safe (q_per, q_vc) maximising S&L.
+
+    Scans every Thm 3.2-safe pair, computes exact reliability with the
+    counting estimator, and returns the best.  With ``target_nines`` set,
+    the *smallest-quorum* pair meeting the target wins instead (smaller
+    quorums = lower latency), falling back to the max-reliability pair.
+    """
+    n = fleet.n
+    best: FlexiblePairChoice | None = None
+    smallest_meeting: FlexiblePairChoice | None = None
+    target = None if target_nines is None else from_nines(target_nines)
+    for q_vc in range(n // 2 + 1, n + 1):
+        for q_per in range(n - q_vc + 1, n + 1):
+            spec = FlexibleRaftSpec(n, q_per, q_vc)
+            if not spec.structurally_safe:
+                continue
+            result = counting_reliability(spec, fleet)
+            choice = FlexiblePairChoice(q_per, q_vc, result.safe_and_live.value)
+            if best is None or choice.safe_and_live > best.safe_and_live:
+                best = choice
+            if target is not None and choice.safe_and_live >= target:
+                if smallest_meeting is None or (q_per + q_vc) < (
+                    smallest_meeting.q_per + smallest_meeting.q_vc
+                ):
+                    smallest_meeting = choice
+    if best is None:
+        raise InvalidConfigurationError(f"no structurally safe quorum pair for n={n}")
+    return smallest_meeting if smallest_meeting is not None else best

@@ -1,0 +1,162 @@
+"""Preemptive reconfiguration policy (paper §4).
+
+"Predictive models for node reliability enable preemptive reconfiguration,
+mitigating potential failures from jeopardizing safety or liveness."  The
+policy here watches per-node fault curves over a rolling window: when the
+deployment's projected Safe&Live probability dips below target, it greedily
+replaces the highest-risk nodes with spares until the target is restored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.analysis.counting import counting_reliability
+from repro.analysis.result import from_nines
+from repro.errors import InvalidConfigurationError
+from repro.faults.curves import FaultCurve
+from repro.faults.mixture import Fleet, NodeModel
+from repro.protocols.base import ProtocolSpec
+
+
+@dataclass(frozen=True)
+class Replacement:
+    """One node swap the policy decided on."""
+
+    node_index: int
+    old_p_fail: float
+    new_p_fail: float
+
+
+@dataclass(frozen=True)
+class ReconfigDecision:
+    """Outcome of one policy evaluation."""
+
+    window_start_hours: float
+    reliability_before: float
+    reliability_after: float
+    replacements: tuple[Replacement, ...] = field(default_factory=tuple)
+
+    @property
+    def acted(self) -> bool:
+        return bool(self.replacements)
+
+
+class PreemptiveReconfigPolicy:
+    """Greedy fault-curve-driven replacement policy.
+
+    Parameters
+    ----------
+    spec_factory:
+        Protocol spec constructor (size → spec); sizes stay constant, only
+        node quality changes.
+    target_nines:
+        Safe&Live target the deployment must keep over each window.
+    spare:
+        Node model of the replacement stock (assumed plentiful).
+    max_replacements_per_window:
+        Operational budget per evaluation (reconfiguration is costly, §2).
+    """
+
+    def __init__(
+        self,
+        spec_factory: Callable[[int], ProtocolSpec],
+        target_nines: float,
+        spare: NodeModel,
+        *,
+        max_replacements_per_window: int = 2,
+    ):
+        if target_nines <= 0:
+            raise InvalidConfigurationError("target_nines must be positive")
+        if max_replacements_per_window < 0:
+            raise InvalidConfigurationError("replacement budget must be non-negative")
+        self._spec_factory = spec_factory
+        self._target = from_nines(target_nines)
+        self._spare = spare
+        self._budget = max_replacements_per_window
+
+    def project_fleet(
+        self,
+        curves: Sequence[FaultCurve],
+        window_start_hours: float,
+        window_hours: float,
+    ) -> Fleet:
+        """Fleet as it will look over the upcoming window."""
+        nodes = tuple(
+            NodeModel(
+                p_crash=curve.failure_probability(
+                    window_start_hours, window_start_hours + window_hours
+                )
+            )
+            for curve in curves
+        )
+        return Fleet(nodes)
+
+    def evaluate(
+        self,
+        curves: Sequence[FaultCurve],
+        window_start_hours: float,
+        window_hours: float,
+    ) -> ReconfigDecision:
+        """Decide replacements for the window starting at ``window_start_hours``."""
+        if window_hours <= 0:
+            raise InvalidConfigurationError("window must be positive")
+        fleet = self.project_fleet(curves, window_start_hours, window_hours)
+        spec = self._spec_factory(fleet.n)
+        before = counting_reliability(spec, fleet).safe_and_live.value
+
+        replacements: list[Replacement] = []
+        current = fleet
+        reliability = before
+        while reliability < self._target and len(replacements) < self._budget:
+            candidate_index = max(
+                range(current.n), key=lambda i: current[i].p_fail
+            )
+            worst = current[candidate_index]
+            if worst.p_fail <= self._spare.p_fail:
+                break  # spares are no better than what we have
+            current = current.replace(candidate_index, self._spare)
+            reliability = counting_reliability(spec, current).safe_and_live.value
+            replacements.append(
+                Replacement(
+                    node_index=candidate_index,
+                    old_p_fail=worst.p_fail,
+                    new_p_fail=self._spare.p_fail,
+                )
+            )
+        return ReconfigDecision(
+            window_start_hours=window_start_hours,
+            reliability_before=before,
+            reliability_after=reliability,
+            replacements=tuple(replacements),
+        )
+
+    def simulate_schedule(
+        self,
+        curves: Sequence[FaultCurve],
+        *,
+        total_hours: float,
+        window_hours: float,
+    ) -> list[ReconfigDecision]:
+        """Run the policy over consecutive windows (curves stay attached to slots).
+
+        Replaced slots get a constant-hazard curve matching the spare's
+        window probability from the moment of replacement.
+        """
+        from repro.faults.curves import ConstantHazard
+
+        if total_hours <= 0 or window_hours <= 0:
+            raise InvalidConfigurationError("durations must be positive")
+        working = list(curves)
+        decisions = []
+        start = 0.0
+        while start < total_hours:
+            decision = self.evaluate(working, start, window_hours)
+            for replacement in decision.replacements:
+                working[replacement.node_index] = ConstantHazard.from_window_probability(
+                    self._spare.p_fail, window_hours
+                )
+            decisions.append(decision)
+            start += window_hours
+        return decisions

@@ -1,0 +1,178 @@
+"""End-to-end guarantee translation (paper §4, challenge 2).
+
+"Applications care about end-to-end reliability guarantees, where
+consensus is a small part of the system.  Traditional reliability
+guarantees, expressed in terms of nines of availability or durability, do
+not align well with even the probabilistic type of safety and liveness
+offered by consensus."
+
+This module performs the translation the paper asks for:
+
+* **availability** — a live consensus core is not automatically available:
+  every leader failure costs a detection + election outage, and losing
+  quorum costs the full repair time.  We combine the Markov repair model
+  (long outages) with the leader-churn model (short outages) into annual
+  downtime and availability nines.
+* **durability** — an unsafe or quorum-wiped window may still preserve
+  data (both forks retained), and a live system may still lose data.
+  We translate per-window data-loss probability into S3-style annual
+  durability nines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.result import nines
+from repro.errors import InvalidConfigurationError
+from repro.faults.afr import afr_to_hourly_rate
+from repro.faults.curves import HOURS_PER_YEAR
+from repro.markov.builders import ClusterMarkovModel
+
+
+@dataclass(frozen=True)
+class AvailabilityEstimate:
+    """Annualised availability broken down by outage class."""
+
+    quorum_loss_downtime_hours: float
+    election_downtime_hours: float
+
+    @property
+    def total_downtime_hours(self) -> float:
+        return self.quorum_loss_downtime_hours + self.election_downtime_hours
+
+    @property
+    def availability(self) -> float:
+        return max(0.0, 1.0 - self.total_downtime_hours / HOURS_PER_YEAR)
+
+    @property
+    def availability_nines(self) -> float:
+        return nines(self.availability)
+
+    @property
+    def downtime_minutes_per_year(self) -> float:
+        return self.total_downtime_hours * 60.0
+
+
+def estimate_availability(
+    *,
+    n: int,
+    node_afr: float,
+    mean_time_to_repair_hours: float,
+    election_seconds: float,
+    quorum_size: int | None = None,
+) -> AvailabilityEstimate:
+    """End-to-end availability of a consensus-backed service.
+
+    Two outage classes:
+
+    * **quorum loss** — steady-state unavailability of the repairable
+      cluster (Markov model) times the year;
+    * **leader elections** — every node failure may depose a leader; we
+      charge ``election_seconds`` per node failure scaled by the chance
+      the failed node was leading (1/n under rotation).
+
+    The decomposition matches the paper's point that a ">0% available"
+    live protocol can still miss availability SLOs when recovery is slow.
+    """
+    if n <= 0:
+        raise InvalidConfigurationError("n must be positive")
+    if not 0.0 <= node_afr < 1.0:
+        raise InvalidConfigurationError("node_afr must be in [0, 1)")
+    if mean_time_to_repair_hours <= 0 or election_seconds < 0:
+        raise InvalidConfigurationError("repair time must be positive, election non-negative")
+    quorum = quorum_size if quorum_size is not None else n // 2 + 1
+    if not 0 < quorum <= n:
+        raise InvalidConfigurationError(f"quorum {quorum} outside (0, {n}]")
+
+    rate = afr_to_hourly_rate(node_afr)
+    model = ClusterMarkovModel(n, rate, 1.0 / mean_time_to_repair_hours)
+    unavailability = 1.0 - model.steady_state_availability(quorum)
+    quorum_loss_hours = unavailability * HOURS_PER_YEAR
+
+    failures_per_year = n * rate * HOURS_PER_YEAR
+    leader_failures = failures_per_year / n  # rotation: 1/n of failures hit the leader
+    election_hours = leader_failures * election_seconds / 3600.0
+    return AvailabilityEstimate(
+        quorum_loss_downtime_hours=quorum_loss_hours,
+        election_downtime_hours=election_hours,
+    )
+
+
+@dataclass(frozen=True)
+class DurabilityEstimate:
+    """Annualised durability from per-window loss probability."""
+
+    loss_probability_per_window: float
+    windows_per_year: float
+
+    @property
+    def annual_durability(self) -> float:
+        survive = (1.0 - self.loss_probability_per_window) ** self.windows_per_year
+        return survive
+
+    @property
+    def durability_nines(self) -> float:
+        return nines(self.annual_durability)
+
+
+def estimate_durability(
+    loss_probability_per_window: float, *, window_hours: float
+) -> DurabilityEstimate:
+    """Translate a per-window data-loss probability into annual nines.
+
+    This is how an S3-style "eleven nines of durability" statement is
+    assembled from the per-window analysis of
+    :mod:`repro.protocols.reliability_aware` or the Markov MTTDL view.
+    """
+    if not 0.0 <= loss_probability_per_window <= 1.0:
+        raise InvalidConfigurationError("loss probability must be in [0, 1]")
+    if window_hours <= 0:
+        raise InvalidConfigurationError("window must be positive")
+    return DurabilityEstimate(
+        loss_probability_per_window=loss_probability_per_window,
+        windows_per_year=HOURS_PER_YEAR / window_hours,
+    )
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """One deployment's end-to-end guarantee sheet."""
+
+    availability: AvailabilityEstimate
+    durability: DurabilityEstimate
+
+    def summary(self) -> str:
+        return (
+            f"availability: {self.availability.availability:.6f} "
+            f"({self.availability.availability_nines:.2f} nines, "
+            f"{self.availability.downtime_minutes_per_year:.1f} min/yr down — "
+            f"{self.availability.quorum_loss_downtime_hours * 60:.1f} min quorum loss, "
+            f"{self.availability.election_downtime_hours * 60:.1f} min elections); "
+            f"durability: {self.durability.durability_nines:.1f} nines/yr"
+        )
+
+
+def slo_report(
+    *,
+    n: int,
+    node_afr: float,
+    mean_time_to_repair_hours: float,
+    election_seconds: float,
+    loss_probability_per_window: float,
+    window_hours: float,
+    quorum_size: int | None = None,
+) -> SLOReport:
+    """Assemble the full end-to-end guarantee sheet for a deployment."""
+    return SLOReport(
+        availability=estimate_availability(
+            n=n,
+            node_afr=node_afr,
+            mean_time_to_repair_hours=mean_time_to_repair_hours,
+            election_seconds=election_seconds,
+            quorum_size=quorum_size,
+        ),
+        durability=estimate_durability(
+            loss_probability_per_window, window_hours=window_hours
+        ),
+    )

@@ -1,0 +1,43 @@
+"""Protocol specifications: per-configuration safety/liveness predicates (§3).
+
+Available specs:
+
+* :class:`RaftSpec` / :class:`FlexibleRaftSpec` — Theorem 3.2 (CFT);
+* :class:`PBFTSpec` — Theorem 3.1 (BFT), with the documented erratum fix;
+* :class:`ReliabilityAwareRaftSpec` / :class:`ObliviousDurabilityRaftSpec` —
+  pinned-quorum durability (§3 "Raft underutilizes reliable nodes");
+* :class:`BenOrSpec` / :class:`ByzantineBenOrSpec` — randomized consensus
+  beyond quorums (§4);
+* :class:`QuorumSystemSpec` — any :mod:`repro.quorums` construction.
+"""
+
+from repro.protocols.base import AsymmetricSpec, ProtocolSpec, SymmetricSpec
+from repro.protocols.benor import BenOrSpec, ByzantineBenOrSpec
+from repro.protocols.pbft import PBFTSpec, pbft_fault_threshold, pbft_quorum, table1_spec
+from repro.protocols.hybrid import StakeWeightedSpec, UprightSpec
+from repro.protocols.quorum_based import QuorumSystemSpec
+from repro.protocols.raft import FlexibleRaftSpec, RaftSpec, majority
+from repro.protocols.reliability_aware import (
+    ObliviousDurabilityRaftSpec,
+    ReliabilityAwareRaftSpec,
+)
+
+__all__ = [
+    "ProtocolSpec",
+    "SymmetricSpec",
+    "AsymmetricSpec",
+    "RaftSpec",
+    "FlexibleRaftSpec",
+    "majority",
+    "PBFTSpec",
+    "pbft_quorum",
+    "pbft_fault_threshold",
+    "table1_spec",
+    "ReliabilityAwareRaftSpec",
+    "ObliviousDurabilityRaftSpec",
+    "BenOrSpec",
+    "ByzantineBenOrSpec",
+    "QuorumSystemSpec",
+    "UprightSpec",
+    "StakeWeightedSpec",
+]

@@ -1,0 +1,67 @@
+"""Ben-Or-style randomized consensus predicates (paper §4 "beyond quorums").
+
+The paper points to Ben-Or (PODC '83) and Rabia as evidence that consensus
+can be re-imagined without deterministic quorum intersection.  At the
+failure-configuration level the crash-model Ben-Or protocol has a clean
+characterisation:
+
+* **Safety** — agreement holds in every run provided the correctness
+  threshold ``n > 2f`` is respected; value adoption requires > n/2 matching
+  reports, so two nodes can never decide differently.  Safety therefore
+  fails only if a Byzantine node forges reports (outside the crash model).
+* **Liveness** — termination is probabilistic (with probability 1) rather
+  than deterministic; it requires a correct majority to keep making rounds.
+
+We model "live" as "terminates with probability 1", which matches the
+paper's per-configuration treatment (a configuration is live when all runs
+eventually commit — Ben-Or's coin flips ensure this almost surely once a
+correct majority exists).
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import SymmetricSpec
+
+
+class BenOrSpec(SymmetricSpec):
+    """Crash-model Ben-Or randomized binary consensus over ``n`` nodes."""
+
+    name = "Ben-Or"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+
+    def is_safe_counts(self, num_crashed: int, num_byzantine: int) -> bool:
+        # Crash faults never produce conflicting >n/2 report sets; Byzantine
+        # nodes can, and sit outside the model.
+        return num_byzantine == 0
+
+    def is_live_counts(self, num_crashed: int, num_byzantine: int) -> bool:
+        correct = self.n - num_crashed - num_byzantine
+        return correct > self.n // 2
+
+
+class ByzantineBenOrSpec(SymmetricSpec):
+    """Byzantine Ben-Or (n > 5f variant) at the configuration level.
+
+    The classic Byzantine extension tolerates ``f < n/5``: safety needs the
+    forged-report margin ``n > 5·|Byz|`` and liveness additionally needs
+    enough correct nodes to clear the ``(n+f)/2`` report thresholds.
+    """
+
+    name = "Byz-Ben-Or"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+
+    @property
+    def fault_threshold(self) -> int:
+        return (self.n - 1) // 5
+
+    def is_safe_counts(self, num_crashed: int, num_byzantine: int) -> bool:
+        return 5 * num_byzantine < self.n
+
+    def is_live_counts(self, num_crashed: int, num_byzantine: int) -> bool:
+        correct = self.n - num_crashed - num_byzantine
+        threshold = (self.n + self.fault_threshold) // 2 + 1
+        return 5 * num_byzantine < self.n and correct >= threshold

@@ -1,0 +1,145 @@
+"""Hybrid fault-threshold specs: Upright and stake-weighted models (paper §5).
+
+The paper's related work singles out two refinements of the f-threshold
+model that move *toward* probability-native consensus:
+
+* **Upright** (Clement et al., SOSP '09) separates the crash budget ``u``
+  from the Byzantine budget ``r``: the system stays safe with up to ``r``
+  commission failures and live with up to ``u`` total failures, at
+  ``n = 2u + r + 1`` replicas.  At the configuration level this gives a
+  *two-dimensional* predicate — exactly what the paper's crash/Byzantine
+  mixture analysis (§2 point 4) needs.
+* **Stake-weighted quorums** (proof-of-stake, §5): nodes carry weight and
+  quorums are weight thresholds, so a node's influence — and the damage
+  its failure does — is proportional to stake.
+
+Both are symmetric-enough to analyse: Upright by counts, stake by
+configuration (weights break exchangeability).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.config import FailureConfig
+from repro.errors import InvalidConfigurationError
+from repro.protocols.base import AsymmetricSpec, SymmetricSpec
+
+
+class UprightSpec(SymmetricSpec):
+    """Upright-style consensus with separate crash and Byzantine budgets.
+
+    Parameters
+    ----------
+    u:
+        Total failures (crash + Byzantine) tolerated while staying live.
+    r:
+        Byzantine failures tolerated while staying safe (``r <= u``).
+
+    The deployment size is the classical ``n = 2u + r + 1``.
+    """
+
+    name = "Upright"
+
+    def __init__(self, u: int, r: int):
+        if u < 0 or r < 0:
+            raise InvalidConfigurationError("budgets must be non-negative")
+        if r > u:
+            raise InvalidConfigurationError(f"r={r} must not exceed u={u}")
+        super().__init__(2 * u + r + 1)
+        self.u = u
+        self.r = r
+
+    @classmethod
+    def for_cluster(cls, n: int, r: int) -> "UprightSpec":
+        """Largest-u Upright configuration for a fixed cluster size."""
+        u = (n - r - 1) // 2
+        if u < r:
+            raise InvalidConfigurationError(
+                f"cluster of {n} cannot support Byzantine budget r={r}"
+            )
+        spec = cls(u, r)
+        if spec.n != n:
+            raise InvalidConfigurationError(
+                f"no Upright configuration with n={n}, r={r} (closest uses n={spec.n})"
+            )
+        return spec
+
+    def is_safe_counts(self, num_crashed: int, num_byzantine: int) -> bool:
+        # Safety tolerates any number of crashes but at most r commission
+        # (Byzantine) failures.
+        return num_byzantine <= self.r
+
+    def is_live_counts(self, num_crashed: int, num_byzantine: int) -> bool:
+        return num_crashed + num_byzantine <= self.u
+
+    def __repr__(self) -> str:
+        return f"UprightSpec(n={self.n}, u={self.u}, r={self.r})"
+
+
+class StakeWeightedSpec(AsymmetricSpec):
+    """CFT consensus with stake-weighted quorums.
+
+    A quorum is any node set holding more than ``threshold_fraction`` of
+    total stake.  Safety is structural for ``threshold_fraction >= 0.5``
+    (two quorums must share a node) provided no Byzantine nodes exist;
+    liveness requires the correct nodes to jointly hold a quorum's worth
+    of stake — so one whale outage can stall a nominally large cluster,
+    which is exactly the heterogeneity the paper wants surfaced.
+    """
+
+    name = "StakeRaft"
+
+    def __init__(self, stakes: Sequence[float], *, threshold_fraction: float = 0.5):
+        if not stakes:
+            raise InvalidConfigurationError("stakes must be non-empty")
+        if any(s < 0 for s in stakes):
+            raise InvalidConfigurationError("stakes must be non-negative")
+        total = float(sum(stakes))
+        if total <= 0:
+            raise InvalidConfigurationError("total stake must be positive")
+        if not 0.0 < threshold_fraction < 1.0:
+            raise InvalidConfigurationError("threshold_fraction must be in (0, 1)")
+        super().__init__(len(stakes))
+        self.stakes = tuple(float(s) for s in stakes)
+        self.total_stake = total
+        self.threshold_fraction = threshold_fraction
+
+    def stake_of(self, nodes: frozenset[int]) -> float:
+        return sum(self.stakes[i] for i in nodes)
+
+    def is_quorum(self, nodes: frozenset[int]) -> bool:
+        """Strict-majority-of-stake rule (strictly more than the threshold)."""
+        return self.stake_of(nodes) > self.threshold_fraction * self.total_stake
+
+    def is_safe(self, config: FailureConfig) -> bool:
+        self._check_config(config)
+        if config.num_byzantine > 0:
+            return False
+        # Two strict >threshold quorums overlap whenever threshold >= 0.5.
+        return self.threshold_fraction >= 0.5
+
+    def is_live(self, config: FailureConfig) -> bool:
+        self._check_config(config)
+        return self.is_quorum(frozenset(config.correct_indices))
+
+    def nakamoto_coefficient(self) -> int:
+        """Fewest nodes whose combined failure can stall the system.
+
+        The blockchain community's concentration metric: the smallest set
+        of nodes holding enough stake that, once failed, the survivors no
+        longer form a quorum.
+        """
+        needed = (1.0 - self.threshold_fraction) * self.total_stake
+        taken = 0.0
+        for count, stake in enumerate(sorted(self.stakes, reverse=True), start=1):
+            taken += stake
+            if taken >= needed:
+                return count
+        return self.n
+
+    def __repr__(self) -> str:
+        return (
+            f"StakeWeightedSpec(n={self.n}, threshold={self.threshold_fraction}, "
+            f"nakamoto={self.nakamoto_coefficient()})"
+        )

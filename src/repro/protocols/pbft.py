@@ -1,0 +1,109 @@
+"""PBFT safety/liveness predicates — Theorem 3.1 of the paper.
+
+    PBFT is safe iff:
+        (1) |Byz| < 2|Q_eq|  - N
+        (2) |Byz| < |Q_per| + |Q_vc| - N
+    PBFT is live iff:
+        (1) |Byz| <= |Q_vc| - |Q_vc_t|      (see erratum note below)
+        (2) |Correct| >= |Q_eq|, |Q_per|, |Q_vc|
+        (3) |Byz| < |Q_vc_t|
+
+**Erratum.** The paper prints liveness condition (1) as
+``|Byz| <= |Q_vc_t| - |Q_vc|``, which is negative for every row of Table 1
+and would make PBFT never live.  Reproducing Table 1 requires the reading
+``|Byz| <= |Q_vc| - |Q_vc_t|``: Byzantine nodes must not be able to both
+fabricate a spurious view change (bounded by condition 3) and withhold
+votes needed to complete a legitimate one (bounded by condition 1).  With
+this reading every printed cell of Table 1 reproduces exactly; see
+``tests/test_protocols_pbft.py`` and ``benchmarks/bench_table1_pbft.py``.
+
+Crashes degrade liveness (fewer nodes to form quorums) but only Byzantine
+nodes can violate safety, so the worst-case analysis in Table 1 treats
+every failure as Byzantine (:meth:`repro.faults.Fleet.as_byzantine`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidConfigurationError
+from repro.protocols.base import SymmetricSpec
+
+
+def pbft_fault_threshold(n: int) -> int:
+    """Classical PBFT threshold ``f = floor((n - 1) / 3)``."""
+    if n < 1:
+        raise InvalidConfigurationError(f"n must be positive, got {n}")
+    return (n - 1) // 3
+
+
+def pbft_quorum(n: int) -> int:
+    """Classical PBFT quorum ``ceil((n + f + 1) / 2)``.
+
+    Reduces to the familiar ``2f + 1`` at ``n = 3f + 1`` and reproduces the
+    quorum column of Table 1 for n ∈ {4, 5, 7, 8}.
+    """
+    f = pbft_fault_threshold(n)
+    return (n + f + 2) // 2
+
+
+class PBFTSpec(SymmetricSpec):
+    """Predicate-level model of PBFT with configurable quorum sizes.
+
+    Defaults follow deployed PBFT: ``q_eq = q_per = q_vc = ceil((n+f+1)/2)``
+    and ``q_vc_t = f + 1`` with ``f = floor((n-1)/3)`` — exactly the sizes
+    printed in Table 1.
+    """
+
+    name = "PBFT"
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        q_eq: int | None = None,
+        q_per: int | None = None,
+        q_vc: int | None = None,
+        q_vc_t: int | None = None,
+    ):
+        super().__init__(n)
+        default_quorum = pbft_quorum(n)
+        self.q_eq = default_quorum if q_eq is None else q_eq
+        self.q_per = default_quorum if q_per is None else q_per
+        self.q_vc = default_quorum if q_vc is None else q_vc
+        self.q_vc_t = pbft_fault_threshold(n) + 1 if q_vc_t is None else q_vc_t
+        for label, q in (
+            ("q_eq", self.q_eq),
+            ("q_per", self.q_per),
+            ("q_vc", self.q_vc),
+            ("q_vc_t", self.q_vc_t),
+        ):
+            if not 1 <= q <= n:
+                raise InvalidConfigurationError(f"{label}={q} outside [1, {n}]")
+
+    # -- Theorem 3.1: safety ------------------------------------------------
+    def is_safe_counts(self, num_crashed: int, num_byzantine: int) -> bool:
+        byz = num_byzantine
+        non_equivocation = byz < 2 * self.q_eq - self.n
+        persistence = byz < self.q_per + self.q_vc - self.n
+        return non_equivocation and persistence
+
+    # -- Theorem 3.1: liveness (with the erratum-corrected condition 1) -----
+    def is_live_counts(self, num_crashed: int, num_byzantine: int) -> bool:
+        byz = num_byzantine
+        correct = self.n - num_crashed - num_byzantine
+        view_change_completion = byz <= self.q_vc - self.q_vc_t
+        quorums_formable = correct >= max(self.q_eq, self.q_per, self.q_vc)
+        no_spurious_view_change = byz < self.q_vc_t
+        return view_change_completion and quorums_formable and no_spurious_view_change
+
+    def __repr__(self) -> str:
+        return (
+            f"PBFTSpec(n={self.n}, q_eq={self.q_eq}, q_per={self.q_per}, "
+            f"q_vc={self.q_vc}, q_vc_t={self.q_vc_t})"
+        )
+
+
+def table1_spec(n: int) -> PBFTSpec:
+    """The exact PBFT configuration used for row ``n`` of the paper's Table 1."""
+    if n not in (4, 5, 7, 8):
+        raise InvalidConfigurationError(f"Table 1 only has rows for n in {{4,5,7,8}}, got {n}")
+    return PBFTSpec(n)

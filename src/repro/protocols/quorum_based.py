@@ -1,0 +1,59 @@
+"""Generic protocol spec driven by explicit quorum systems.
+
+Bridges :mod:`repro.quorums` and the analysis engine: given a persistence
+quorum system and a view-change quorum system, the §3.1 invariants become
+
+* **safe** — every (persistence, view-change) quorum pair intersects in a
+  *non-Byzantine* node, and every view-change pair intersects in a
+  non-Byzantine node (unique leader).  Crashed nodes still count: fail-stop
+  nodes never lie, and their durable state survives, which is why Raft's
+  Theorem 3.2 safety is purely structural;
+* **live** — a fully-correct quorum exists in both systems.
+
+This lets grid, weighted and other non-threshold constructions be analysed
+with exactly the same estimator pipeline as Raft/PBFT.  Predicates may
+enumerate minimal quorums, so keep universes small (n ≲ 16) or use
+Monte-Carlo estimation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import FailureConfig
+from repro.errors import InvalidConfigurationError
+from repro.protocols.base import AsymmetricSpec
+from repro.quorums.system import QuorumSystem
+
+
+class QuorumSystemSpec(AsymmetricSpec):
+    """CFT consensus predicates over arbitrary quorum systems."""
+
+    name = "QuorumSystem"
+
+    def __init__(
+        self,
+        persistence: QuorumSystem,
+        view_change: QuorumSystem,
+        *,
+        name: str | None = None,
+    ):
+        if persistence.n != view_change.n:
+            raise InvalidConfigurationError("quorum systems must share a universe")
+        super().__init__(persistence.n)
+        self.persistence = persistence
+        self.view_change = view_change
+        if name is not None:
+            self.name = name
+
+    def is_safe(self, config: FailureConfig) -> bool:
+        self._check_config(config)
+        # Fail-stop nodes keep their durable state and never equivocate, so
+        # intersection in any non-Byzantine node preserves agreement.
+        trusted = frozenset(range(self.n)) - config.byzantine_indices
+        persists = self.persistence.pairwise_intersection_holds(self.view_change, trusted)
+        unique_leader = self.view_change.self_intersection_holds(trusted)
+        return persists and unique_leader
+
+    def is_live(self, config: FailureConfig) -> bool:
+        self._check_config(config)
+        correct = frozenset(config.correct_indices)
+        return self.persistence.is_available(correct) and self.view_change.is_available(correct)

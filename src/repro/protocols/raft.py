@@ -1,0 +1,95 @@
+"""Raft safety/liveness predicates — Theorem 3.2 of the paper.
+
+    Raft is safe iff  N < |Q_per| + |Q_vc|  and  N < 2|Q_vc|
+    Raft is live iff  |Correct| >= |Q_per|, |Q_vc|
+
+The safety conditions are *structural*: with intersecting quorum sizes no
+pattern of crashes can violate agreement, which is why Table 2's Safe&Live
+column is governed entirely by liveness.  The spec is parameterised on the
+two quorum sizes so that flexible (Paxos-style) configurations — larger
+persistence quorums traded against smaller view-change quorums — can be
+analysed with the same predicate.
+
+Raft is a CFT protocol: a Byzantine node sits outside its fault model and
+can equivocate votes or truncate logs, so any configuration containing a
+Byzantine node is classified unsafe (and that node never counts as correct
+for liveness).
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidConfigurationError
+from repro.protocols.base import SymmetricSpec
+
+
+def majority(n: int) -> int:
+    """Size of a strict-majority quorum for ``n`` nodes."""
+    return n // 2 + 1
+
+
+class RaftSpec(SymmetricSpec):
+    """Predicate-level model of Raft with configurable quorum sizes.
+
+    Parameters
+    ----------
+    n:
+        Deployment size.
+    q_per:
+        Persistence (log-replication/commit) quorum size; defaults to a
+        strict majority.
+    q_vc:
+        View-change (election) quorum size; defaults to a strict majority.
+    """
+
+    name = "Raft"
+
+    def __init__(self, n: int, *, q_per: int | None = None, q_vc: int | None = None):
+        super().__init__(n)
+        self.q_per = majority(n) if q_per is None else q_per
+        self.q_vc = majority(n) if q_vc is None else q_vc
+        for label, q in (("q_per", self.q_per), ("q_vc", self.q_vc)):
+            if not 1 <= q <= n:
+                raise InvalidConfigurationError(f"{label}={q} outside [1, {n}]")
+
+    # -- Theorem 3.2 -----------------------------------------------------
+    @property
+    def structurally_safe(self) -> bool:
+        """Thm 3.2 safety: persistence×view-change and election intersection."""
+        return self.n < self.q_per + self.q_vc and self.n < 2 * self.q_vc
+
+    def is_safe_counts(self, num_crashed: int, num_byzantine: int) -> bool:
+        # Crashes never break Raft agreement when quorums intersect;
+        # Byzantine behaviour is outside the CFT fault model entirely.
+        return self.structurally_safe and num_byzantine == 0
+
+    def is_live_counts(self, num_crashed: int, num_byzantine: int) -> bool:
+        correct = self.n - num_crashed - num_byzantine
+        return correct >= max(self.q_per, self.q_vc)
+
+    # -- durability (paper §3 "Raft underutilizes reliable nodes") -------
+    def is_durable_counts(self, num_failed: int) -> bool:
+        """Worst-case durability: committed data survives the window.
+
+        Raft is oblivious to node reliability, so the persistence quorum
+        may have landed on *any* ``q_per`` nodes; data is lost exactly when
+        the failures can cover one such quorum, i.e. when at least
+        ``q_per`` nodes failed.
+        """
+        return num_failed < self.q_per
+
+    def __repr__(self) -> str:
+        return f"RaftSpec(n={self.n}, q_per={self.q_per}, q_vc={self.q_vc})"
+
+
+class FlexibleRaftSpec(RaftSpec):
+    """Raft with explicitly asymmetric quorums (Flexible Paxos, paper §4).
+
+    Identical predicates to :class:`RaftSpec`; the subclass exists so
+    results and tables are labelled distinctly when exploring the
+    |Q_per| + |Q_vc| > N trade-off space.
+    """
+
+    name = "FlexRaft"
+
+    def __init__(self, n: int, q_per: int, q_vc: int):
+        super().__init__(n, q_per=q_per, q_vc=q_vc)

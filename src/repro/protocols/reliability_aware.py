@@ -1,0 +1,172 @@
+"""Reliability-aware (pinned-quorum) Raft — the paper's §3 proposal.
+
+"If we required quorums to include at least one reliable node (by
+leveraging knowledge of fault curves), data durability would increase to
+99.994%."  This module models that rule: a set of node indices is *pinned*
+as reliable, and every persistence quorum must contain at least
+``require_pinned`` of them.
+
+Durability model (documented per DESIGN.md erratum notes): committed data
+is lost when the window's failures can cover *some* valid persistence
+quorum — the adversarial placement, since vanilla Raft gives no control
+over where a quorum formed.  Pinning shrinks the set of valid quorums, so
+covering one now requires killing pinned nodes too, which is exactly the
+durability gain the paper quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.config import FailureConfig
+from repro.errors import InvalidConfigurationError
+from repro.protocols.base import AsymmetricSpec
+from repro.protocols.raft import majority
+
+
+class ReliabilityAwareRaftSpec(AsymmetricSpec):
+    """Raft whose persistence quorums must include pinned reliable nodes.
+
+    Parameters
+    ----------
+    n:
+        Deployment size.
+    pinned:
+        Indices of the nodes designated reliable.
+    require_pinned:
+        Minimum number of pinned nodes every persistence quorum must
+        contain (the paper's example uses 1).
+    q_per / q_vc:
+        Quorum sizes; default strict majority.
+    placement:
+        Which persistence quorums the durability audit considers:
+
+        * ``"policy"`` (default) — the system forms quorums as exactly
+          ``require_pinned`` pinned nodes plus unpinned fillers, so data is
+          lost only when both pools lose enough members.  This is the model
+          matching the paper's 99.994% figure.
+        * ``"adversarial"`` — any quorum satisfying the pinning rule may
+          have been used (e.g. extra pinned members); strictly more
+          pessimistic.
+    """
+
+    name = "RA-Raft"
+
+    def __init__(
+        self,
+        n: int,
+        pinned: Iterable[int],
+        *,
+        require_pinned: int = 1,
+        q_per: int | None = None,
+        q_vc: int | None = None,
+        placement: str = "policy",
+    ):
+        super().__init__(n)
+        self.pinned = frozenset(pinned)
+        if any(not 0 <= i < n for i in self.pinned):
+            raise InvalidConfigurationError(f"pinned indices must lie in [0, {n})")
+        self.require_pinned = require_pinned
+        if not 0 <= require_pinned <= len(self.pinned):
+            raise InvalidConfigurationError(
+                f"require_pinned={require_pinned} exceeds pinned set of {len(self.pinned)}"
+            )
+        self.q_per = majority(n) if q_per is None else q_per
+        self.q_vc = majority(n) if q_vc is None else q_vc
+        for label, q in (("q_per", self.q_per), ("q_vc", self.q_vc)):
+            if not 1 <= q <= n:
+                raise InvalidConfigurationError(f"{label}={q} outside [1, {n}]")
+        if self.require_pinned > self.q_per:
+            raise InvalidConfigurationError(
+                f"require_pinned={require_pinned} exceeds quorum size {self.q_per}"
+            )
+        if placement not in ("policy", "adversarial"):
+            raise InvalidConfigurationError(
+                f"placement must be 'policy' or 'adversarial', got {placement!r}"
+            )
+        self.placement = placement
+
+    # ------------------------------------------------------------------
+    # Safety: pinning only *restricts* the quorum set, so the structural
+    # intersection argument of Thm 3.2 carries over unchanged.
+    # ------------------------------------------------------------------
+    def is_safe(self, config: FailureConfig) -> bool:
+        self._check_config(config)
+        structurally_safe = self.n < self.q_per + self.q_vc and self.n < 2 * self.q_vc
+        return structurally_safe and config.num_byzantine == 0
+
+    # ------------------------------------------------------------------
+    # Liveness: a valid persistence quorum needs q_per correct nodes of
+    # which at least require_pinned are pinned; view change needs q_vc
+    # correct nodes (unrestricted).
+    # ------------------------------------------------------------------
+    def is_live(self, config: FailureConfig) -> bool:
+        self._check_config(config)
+        correct = config.correct_indices
+        correct_pinned = len(correct & self.pinned)
+        if correct_pinned < self.require_pinned:
+            return False
+        return len(correct) >= max(self.q_per, self.q_vc)
+
+    # ------------------------------------------------------------------
+    # Durability: can the failures cover some valid persistence quorum?
+    # A valid quorum takes x >= require_pinned pinned nodes and
+    # q_per - x unpinned ones; it is fully failed iff enough of each pool
+    # failed.  Feasibility check over x.
+    # ------------------------------------------------------------------
+    def is_durable(self, config: FailureConfig) -> bool:
+        self._check_config(config)
+        failed = config.failed_indices
+        failed_pinned = len(failed & self.pinned)
+        failed_unpinned = len(failed) - failed_pinned
+        unpinned_total = self.n - len(self.pinned)
+        if self.placement == "policy":
+            # Quorums hold exactly require_pinned pinned nodes plus
+            # q_per - require_pinned unpinned fillers (when the unpinned
+            # pool is big enough; overflow spills into pinned nodes).
+            filler = min(self.q_per - self.require_pinned, unpinned_total)
+            pinned_in_quorum = self.q_per - filler
+            coverable = failed_pinned >= pinned_in_quorum and failed_unpinned >= filler
+            return not coverable
+        # Adversarial: any quorum with >= require_pinned pinned members may
+        # have been used.  Pick x pinned members (x >= require_pinned, and
+        # at least q_per - unpinned_total by pool size) and q_per - x
+        # unpinned; coverable iff some feasible x is fully failed.
+        x_low = max(self.require_pinned, self.q_per - failed_unpinned, self.q_per - unpinned_total)
+        x_high = min(failed_pinned, self.q_per)
+        return not x_low <= x_high
+
+    def __repr__(self) -> str:
+        return (
+            f"ReliabilityAwareRaftSpec(n={self.n}, pinned={sorted(self.pinned)}, "
+            f"require_pinned={self.require_pinned}, q_per={self.q_per}, q_vc={self.q_vc})"
+        )
+
+
+class ObliviousDurabilityRaftSpec(AsymmetricSpec):
+    """Vanilla Raft viewed through the durability lens (baseline for E4).
+
+    Identical to :class:`repro.protocols.raft.RaftSpec` for safety and
+    liveness, but exposes :meth:`is_durable` with the adversarial-placement
+    model so oblivious and pinned variants can be compared head-to-head.
+    """
+
+    name = "Raft-durability"
+
+    def __init__(self, n: int, *, q_per: int | None = None, q_vc: int | None = None):
+        super().__init__(n)
+        self.q_per = majority(n) if q_per is None else q_per
+        self.q_vc = majority(n) if q_vc is None else q_vc
+
+    def is_safe(self, config: FailureConfig) -> bool:
+        self._check_config(config)
+        structurally_safe = self.n < self.q_per + self.q_vc and self.n < 2 * self.q_vc
+        return structurally_safe and config.num_byzantine == 0
+
+    def is_live(self, config: FailureConfig) -> bool:
+        self._check_config(config)
+        return config.num_correct >= max(self.q_per, self.q_vc)
+
+    def is_durable(self, config: FailureConfig) -> bool:
+        self._check_config(config)
+        return config.num_failed < self.q_per

@@ -1,0 +1,63 @@
+"""Quorum systems and their probabilistic measures (paper §3.1, §4, §5).
+
+Construction families: threshold/majority, weighted (stake/trust), grid,
+flexible pairs, probabilistic O(√N) quorums and sampled committees —
+together with exact intersection/availability probability computations.
+"""
+
+from repro.quorums.committee import (
+    CommitteeReliability,
+    committee_faulty_count_pmf,
+    prob_committee_all_faulty,
+    prob_committee_contains_correct,
+    prob_committee_fraction_safe,
+    required_committee_size,
+    sample_committee,
+    smallest_bft_committee,
+)
+from repro.quorums.flexible import FlexibleQuorumPair, GridQuorums
+from repro.quorums.intersection import (
+    enumerate_threshold_pair_property,
+    prob_failure_count_reaches,
+    prob_fixed_quorum_wiped_out,
+    prob_random_quorums_overlap,
+    prob_random_quorums_overlap_in_correct,
+    prob_threshold_pair_intersects_in_correct,
+)
+from repro.quorums.majority import MajorityQuorums, ThresholdQuorums
+from repro.quorums.probabilistic import (
+    ProbabilisticQuorums,
+    minimum_quorum_size_for_correct_intersection,
+    minimum_quorum_size_for_intersection,
+)
+from repro.quorums.system import QuorumSystem
+from repro.quorums.tree import TreeQuorums
+from repro.quorums.weighted import WeightedQuorums, reliability_weights
+
+__all__ = [
+    "QuorumSystem",
+    "MajorityQuorums",
+    "ThresholdQuorums",
+    "WeightedQuorums",
+    "reliability_weights",
+    "GridQuorums",
+    "TreeQuorums",
+    "FlexibleQuorumPair",
+    "ProbabilisticQuorums",
+    "minimum_quorum_size_for_intersection",
+    "minimum_quorum_size_for_correct_intersection",
+    "CommitteeReliability",
+    "prob_committee_all_faulty",
+    "prob_committee_contains_correct",
+    "prob_committee_fraction_safe",
+    "committee_faulty_count_pmf",
+    "required_committee_size",
+    "smallest_bft_committee",
+    "sample_committee",
+    "prob_random_quorums_overlap",
+    "prob_random_quorums_overlap_in_correct",
+    "prob_fixed_quorum_wiped_out",
+    "prob_failure_count_reaches",
+    "prob_threshold_pair_intersects_in_correct",
+    "enumerate_threshold_pair_property",
+]

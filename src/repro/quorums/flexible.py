@@ -1,0 +1,108 @@
+"""Grid and flexible quorum constructions (Flexible Paxos, paper §4).
+
+Two non-threshold families used to explore the quorum design space:
+
+* :class:`GridQuorums` — arrange ``rows × cols`` nodes in a grid; a quorum
+  is a full row plus a full column (O(√N) quorum size with guaranteed
+  intersection), the classic sub-linear construction.
+* :class:`FlexibleQuorumPair` — a (Q_per, Q_vc) threshold pair satisfying
+  only the cross-intersection ``q_per + q_vc > n`` required by Flexible
+  Paxos, enabling the small-commit-quorum/large-election-quorum trade-off
+  the paper's §4 contemplates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator
+
+from repro.errors import InvalidConfigurationError
+from repro.quorums.majority import ThresholdQuorums
+from repro.quorums.system import QuorumSystem
+
+
+class GridQuorums(QuorumSystem):
+    """Row-plus-column quorums over a ``rows × cols`` grid.
+
+    Node ``i`` sits at ``(i // cols, i % cols)``.  Any two quorums
+    intersect: quorum A's row crosses quorum B's column.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows <= 0 or cols <= 0:
+            raise InvalidConfigurationError(f"grid dimensions must be positive, got {rows}x{cols}")
+        super().__init__(rows * cols)
+        self.rows = rows
+        self.cols = cols
+
+    def row_members(self, row: int) -> frozenset[int]:
+        return frozenset(row * self.cols + c for c in range(self.cols))
+
+    def col_members(self, col: int) -> frozenset[int]:
+        return frozenset(r * self.cols + col for r in range(self.rows))
+
+    def is_quorum(self, nodes: FrozenSet[int]) -> bool:
+        node_set = self.validate_universe(nodes)
+        has_row = any(self.row_members(r) <= node_set for r in range(self.rows))
+        has_col = any(self.col_members(c) <= node_set for c in range(self.cols))
+        return has_row and has_col
+
+    def minimal_quorums(self) -> Iterator[FrozenSet[int]]:
+        seen: set[frozenset[int]] = set()
+        for r, c in itertools.product(range(self.rows), range(self.cols)):
+            quorum = self.row_members(r) | self.col_members(c)
+            if quorum not in seen:
+                seen.add(quorum)
+                yield quorum
+
+    def __repr__(self) -> str:
+        return f"GridQuorums({self.rows}x{self.cols})"
+
+
+@dataclass(frozen=True)
+class FlexibleQuorumPair:
+    """A Flexible-Paxos style (persistence, view-change) threshold pair.
+
+    Validity requires only the *cross* intersection ``q_per + q_vc > n``;
+    persistence quorums need not intersect each other.  This is the design
+    space the paper's "quorum sizes chosen dynamically" idea explores.
+    """
+
+    n: int
+    q_per: int
+    q_vc: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.q_per <= self.n or not 1 <= self.q_vc <= self.n:
+            raise InvalidConfigurationError(
+                f"quorum sizes ({self.q_per}, {self.q_vc}) outside [1, {self.n}]"
+            )
+
+    @property
+    def is_safe_configuration(self) -> bool:
+        """Thm 3.2 structural safety for this pair."""
+        return self.n < self.q_per + self.q_vc and self.n < 2 * self.q_vc
+
+    @property
+    def persistence(self) -> ThresholdQuorums:
+        return ThresholdQuorums(self.n, self.q_per)
+
+    @property
+    def view_change(self) -> ThresholdQuorums:
+        return ThresholdQuorums(self.n, self.q_vc)
+
+    def liveness_probability(self, failure_probabilities: tuple[float, ...]) -> float:
+        """P(both quorums formable from correct nodes) = availability of the larger."""
+        larger = self.persistence if self.q_per >= self.q_vc else self.view_change
+        return larger.availability(list(failure_probabilities))
+
+    def all_valid_pairs(n: int) -> Iterator["FlexibleQuorumPair"]:  # noqa: N805 - factory
+        """Enumerate every structurally safe (q_per, q_vc) pair for size ``n``."""
+        for q_vc in range(n // 2 + 1, n + 1):
+            for q_per in range(n - q_vc + 1, n + 1):
+                pair = FlexibleQuorumPair(n, q_per, q_vc)
+                if pair.is_safe_configuration:
+                    yield pair
+
+    all_valid_pairs = staticmethod(all_valid_pairs)

@@ -1,0 +1,62 @@
+"""Threshold (cardinality) quorum systems — majorities and generalisations.
+
+The workhorse of deployed consensus: a set is a quorum iff it contains at
+least ``k`` nodes.  Strict majorities (``k = ⌊n/2⌋ + 1``) give the
+classical guaranteed pairwise intersection; other thresholds realise the
+flexible trade-offs of §3.2/§4.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterator, Sequence
+
+from repro.analysis.counting import poisson_binomial_pmf
+from repro.errors import InvalidConfigurationError
+from repro.quorums.system import QuorumSystem
+
+
+class ThresholdQuorums(QuorumSystem):
+    """All subsets of cardinality at least ``k``."""
+
+    def __init__(self, n: int, k: int):
+        super().__init__(n)
+        if not 1 <= k <= n:
+            raise InvalidConfigurationError(f"threshold k={k} outside [1, {n}]")
+        self.k = k
+
+    def is_quorum(self, nodes: FrozenSet[int]) -> bool:
+        return len(self.validate_universe(nodes)) >= self.k
+
+    def minimal_quorums(self) -> Iterator[FrozenSet[int]]:
+        for combo in itertools.combinations(range(self.n), self.k):
+            yield frozenset(combo)
+
+    def min_quorum_cardinality(self) -> int:
+        return self.k
+
+    def availability(self, failure_probabilities: Sequence[float]) -> float:
+        """Closed form: P(#correct >= k) via the Poisson-binomial PMF."""
+        self._check_probabilities(failure_probabilities)
+        correct_probs = [1.0 - p for p in failure_probabilities]
+        pmf = poisson_binomial_pmf(correct_probs)
+        return float(pmf[self.k :].sum())
+
+    def intersects_with(self, other: "ThresholdQuorums") -> bool:
+        """Guaranteed intersection: every quorum pair overlaps iff k1+k2 > n."""
+        if other.n != self.n:
+            raise InvalidConfigurationError("quorum systems must share a universe")
+        return self.k + other.k > self.n
+
+    def __repr__(self) -> str:
+        return f"ThresholdQuorums(n={self.n}, k={self.k})"
+
+
+class MajorityQuorums(ThresholdQuorums):
+    """Strict-majority quorums, the Raft/Paxos default."""
+
+    def __init__(self, n: int):
+        super().__init__(n, n // 2 + 1)
+
+    def __repr__(self) -> str:
+        return f"MajorityQuorums(n={self.n})"

@@ -1,0 +1,154 @@
+"""Quorum-system abstraction (paper §3.1, §5 "Quorum Systems").
+
+A quorum system over nodes ``0..n-1`` is a monotone family of subsets.
+Implementations provide membership testing (:meth:`is_quorum`) and, where
+tractable, enumeration of *minimal* quorums.  On top of those primitives
+this module derives the classic measures from Naor–Wool and the
+probabilistic quantities the paper's analysis needs:
+
+* **availability** — probability a fully-correct quorum exists, given
+  per-node failure probabilities;
+* **intersection with correctness** — probability every pair of quorums
+  (possibly across two systems) shares at least one correct node, which is
+  precisely the safety currency of consensus (§3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable, Iterator, Sequence
+
+from repro.errors import InvalidConfigurationError
+
+#: Enumeration guard: refuse to materialise more minimal quorums than this.
+MAX_ENUMERATED_QUORUMS = 200_000
+
+
+class QuorumSystem(ABC):
+    """Monotone family of node subsets over a fixed universe ``0..n-1``."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise InvalidConfigurationError(f"universe size must be positive, got {n}")
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        """Universe size."""
+        return self._n
+
+    @abstractmethod
+    def is_quorum(self, nodes: FrozenSet[int]) -> bool:
+        """True when ``nodes`` contains a quorum (monotone membership)."""
+
+    @abstractmethod
+    def minimal_quorums(self) -> Iterator[FrozenSet[int]]:
+        """Yield every inclusion-minimal quorum (guarded by enumeration caps)."""
+
+    # ------------------------------------------------------------------
+    # Derived predicates
+    # ------------------------------------------------------------------
+    def is_available(self, correct: FrozenSet[int]) -> bool:
+        """True when some quorum consists entirely of ``correct`` nodes.
+
+        By monotonicity this is just membership of the correct set itself.
+        """
+        return self.is_quorum(frozenset(correct))
+
+    def min_quorum_cardinality(self) -> int:
+        """Size of the smallest quorum."""
+        return min(len(q) for q in self.minimal_quorums())
+
+    def validate_universe(self, nodes: Iterable[int]) -> frozenset[int]:
+        """Check node indices and return them as a frozenset."""
+        node_set = frozenset(nodes)
+        if any(not 0 <= i < self._n for i in node_set):
+            raise InvalidConfigurationError(f"node indices must lie in [0, {self._n})")
+        return node_set
+
+    # ------------------------------------------------------------------
+    # Probabilistic measures
+    # ------------------------------------------------------------------
+    def availability(self, failure_probabilities: Sequence[float]) -> float:
+        """P(a fully-correct quorum exists) under independent failures.
+
+        Generic implementation enumerates all ``2^n`` correctness patterns;
+        threshold-style subclasses override with closed forms.
+        """
+        self._check_probabilities(failure_probabilities)
+        if self._n > 22:
+            raise InvalidConfigurationError(
+                f"generic availability enumeration infeasible for n={self._n}; "
+                "use a threshold system or Monte-Carlo"
+            )
+        total = 0.0
+        for pattern in itertools.product((False, True), repeat=self._n):
+            probability = 1.0
+            for failed, p in zip(pattern, failure_probabilities):
+                probability *= p if failed else 1.0 - p
+            if probability == 0.0:
+                continue
+            correct = frozenset(i for i, failed in enumerate(pattern) if not failed)
+            if self.is_available(correct):
+                total += probability
+        return min(total, 1.0)
+
+    def pairwise_intersection_holds(
+        self, other: "QuorumSystem", correct: FrozenSet[int]
+    ) -> bool:
+        """True when every quorum pair across systems meets in a correct node.
+
+        This is the §3.1 safety invariant specialised to a failure
+        configuration: e.g. persistence × view-change intersection for Raft.
+        """
+        if other.n != self._n:
+            raise InvalidConfigurationError("quorum systems must share a universe")
+        mine = list(_capped(self.minimal_quorums()))
+        theirs = list(_capped(other.minimal_quorums()))
+        return all(
+            (q1 & q2 & correct) for q1 in mine for q2 in theirs
+        )
+
+    def self_intersection_holds(self, correct: FrozenSet[int]) -> bool:
+        """Every pair of this system's quorums meets in a correct node."""
+        return self.pairwise_intersection_holds(self, correct)
+
+    # ------------------------------------------------------------------
+    # Naor–Wool style load measure
+    # ------------------------------------------------------------------
+    def best_case_load(self) -> float:
+        """Lower-bound load: pick one minimal quorum per access uniformly.
+
+        Returns the max per-node access frequency of the uniform strategy
+        over minimal quorums — the simple upper bound on system load used
+        for comparing quorum families (not the LP-optimal value).
+        """
+        quorums = list(_capped(self.minimal_quorums()))
+        if not quorums:
+            raise InvalidConfigurationError("quorum system has no quorums")
+        counts = [0] * self._n
+        for quorum in quorums:
+            for node in quorum:
+                counts[node] += 1
+        return max(counts) / len(quorums)
+
+    def _check_probabilities(self, probabilities: Sequence[float]) -> None:
+        if len(probabilities) != self._n:
+            raise InvalidConfigurationError(
+                f"expected {self._n} probabilities, got {len(probabilities)}"
+            )
+        if any(not 0.0 <= p <= 1.0 for p in probabilities):
+            raise InvalidConfigurationError("failure probabilities must lie in [0, 1]")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self._n})"
+
+
+def _capped(quorums: Iterator[FrozenSet[int]], cap: int = MAX_ENUMERATED_QUORUMS) -> Iterator[FrozenSet[int]]:
+    for count, quorum in enumerate(quorums):
+        if count >= cap:
+            raise InvalidConfigurationError(
+                f"quorum enumeration exceeded cap of {cap}; system too large"
+            )
+        yield quorum

@@ -1,0 +1,87 @@
+"""Tree quorum systems (Agrawal–El Abbadi) — another sub-linear family.
+
+Completes the quorum-construction catalogue alongside grids and
+probabilistic quorums: nodes form a complete binary tree and a quorum is a
+root-to-leaf *path with majority substitution* — here we implement the
+classic recursive rule:
+
+    quorum(T) = {root} ∪ quorum(one child subtree)        (root alive)
+              | quorum(left) ∪ quorum(right)              (root failed)
+
+Any two tree quorums intersect, quorum sizes range from O(log n) (all
+roots alive) to O(n) in the worst case — a useful contrast for the
+paper's §4 discussion of pessimistic-vs-probabilistic quorum sizing.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator
+
+from repro.errors import InvalidConfigurationError
+from repro.quorums.system import QuorumSystem
+
+
+class TreeQuorums(QuorumSystem):
+    """Quorums over a complete binary tree of ``2^depth - 1`` nodes.
+
+    Node ``i``'s children are ``2i + 1`` and ``2i + 2`` (heap layout).
+    """
+
+    def __init__(self, depth: int):
+        if depth <= 0:
+            raise InvalidConfigurationError(f"depth must be positive, got {depth}")
+        self.depth = depth
+        super().__init__((1 << depth) - 1)
+
+    # -- tree helpers ------------------------------------------------------
+    def _children(self, node: int) -> tuple[int, int] | None:
+        left, right = 2 * node + 1, 2 * node + 2
+        if right < self.n:
+            return left, right
+        return None
+
+    def _minimal_quorums_of(self, node: int) -> Iterator[frozenset[int]]:
+        children = self._children(node)
+        if children is None:
+            yield frozenset({node})
+            return
+        left, right = children
+        # Root alive: root plus a quorum of either subtree.
+        for sub in self._minimal_quorums_of(left):
+            yield frozenset({node}) | sub
+        for sub in self._minimal_quorums_of(right):
+            yield frozenset({node}) | sub
+        # Root failed: quorums of both subtrees.
+        for sub_left in self._minimal_quorums_of(left):
+            for sub_right in self._minimal_quorums_of(right):
+                yield sub_left | sub_right
+
+    def minimal_quorums(self) -> Iterator[FrozenSet[int]]:
+        seen: set[frozenset[int]] = set()
+        for quorum in self._minimal_quorums_of(0):
+            if quorum in seen:
+                continue
+            if any(known <= quorum for known in seen):
+                continue
+            seen.add(quorum)
+            yield quorum
+
+    def is_quorum(self, nodes: FrozenSet[int]) -> bool:
+        node_set = self.validate_universe(nodes)
+        return self._covers(0, node_set)
+
+    def _covers(self, node: int, available: frozenset[int]) -> bool:
+        children = self._children(node)
+        if children is None:
+            return node in available
+        left, right = children
+        if node in available:
+            return self._covers(left, available) or self._covers(right, available)
+        return self._covers(left, available) and self._covers(right, available)
+
+    def min_quorum_cardinality(self) -> int:
+        """Best case: one root-to-leaf path, i.e. the tree depth."""
+        return self.depth
+
+    def __repr__(self) -> str:
+        return f"TreeQuorums(depth={self.depth}, n={self.n})"

@@ -1,0 +1,103 @@
+"""Weighted-vote quorum systems (paper §2: stake, trust, heterogeneity).
+
+Nodes carry non-negative weights (stake, trust scores, reliability-derived
+votes); a set is a quorum when its weight clears a threshold.  Two weighted
+systems with thresholds ``t1 + t2 > total_weight`` are guaranteed to
+intersect — the weighted generalisation of majority intersection, and the
+mechanism stake-based protocols (§5) use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterator, Sequence
+
+from repro.errors import InvalidConfigurationError
+from repro.quorums.system import QuorumSystem
+
+
+class WeightedQuorums(QuorumSystem):
+    """Sets whose total weight is at least ``threshold``."""
+
+    def __init__(self, weights: Sequence[float], threshold: float):
+        super().__init__(len(weights))
+        if any(w < 0 for w in weights):
+            raise InvalidConfigurationError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise InvalidConfigurationError("total weight must be positive")
+        if not 0 < threshold <= total:
+            raise InvalidConfigurationError(
+                f"threshold {threshold} outside (0, {total}]"
+            )
+        self.weights = tuple(float(w) for w in weights)
+        self.threshold = float(threshold)
+
+    @classmethod
+    def majority_of_weight(cls, weights: Sequence[float]) -> "WeightedQuorums":
+        """Strict weighted majority: threshold just over half the total."""
+        total = float(sum(weights))
+        # Any weight strictly greater than total/2 guarantees intersection;
+        # use the midpoint plus the smallest representable step.
+        import math
+
+        threshold = math.nextafter(total / 2.0, total)
+        return cls(weights, threshold)
+
+    def weight_of(self, nodes: FrozenSet[int]) -> float:
+        return sum(self.weights[i] for i in nodes)
+
+    def is_quorum(self, nodes: FrozenSet[int]) -> bool:
+        return self.weight_of(self.validate_universe(nodes)) >= self.threshold
+
+    def minimal_quorums(self) -> Iterator[FrozenSet[int]]:
+        """Enumerate inclusion-minimal sets clearing the threshold.
+
+        Exponential in ``n``; intended for the small universes where
+        weighted analysis is exact (tests cap at n ≈ 16).
+        """
+        if self.n > 20:
+            raise InvalidConfigurationError(
+                f"minimal-quorum enumeration infeasible for n={self.n}"
+            )
+        seen_minimal: list[frozenset[int]] = []
+        for size in range(1, self.n + 1):
+            for combo in itertools.combinations(range(self.n), size):
+                candidate = frozenset(combo)
+                if self.weight_of(candidate) < self.threshold:
+                    continue
+                if any(known <= candidate for known in seen_minimal):
+                    continue
+                seen_minimal.append(candidate)
+                yield candidate
+
+    def guaranteed_intersection_with(self, other: "WeightedQuorums") -> bool:
+        """True when every quorum pair across the systems must overlap."""
+        if other.n != self.n or other.weights != self.weights:
+            raise InvalidConfigurationError(
+                "weighted intersection requires identical weight vectors"
+            )
+        total = sum(self.weights)
+        return self.threshold + other.threshold > total
+
+    def __repr__(self) -> str:
+        return f"WeightedQuorums(n={self.n}, threshold={self.threshold})"
+
+
+def reliability_weights(failure_probabilities: Sequence[float]) -> tuple[float, ...]:
+    """Weights proportional to log-reliability, the natural fault-curve vote.
+
+    A node with failure probability ``p`` gets weight ``-log(p)`` (clamped),
+    so that a quorum's weight tracks the log of the probability that *all*
+    its members fail simultaneously — aligning weighted thresholds with
+    durability targets.
+    """
+    import math
+
+    weights = []
+    for p in failure_probabilities:
+        if not 0.0 <= p <= 1.0:
+            raise InvalidConfigurationError("failure probabilities must lie in [0, 1]")
+        clamped = min(max(p, 1e-12), 1.0 - 1e-12)
+        weights.append(-math.log(clamped))
+    return tuple(weights)

@@ -1,0 +1,129 @@
+"""Trace auditing: did a run uphold agreement and progress?
+
+The analysis layer (§3) classifies failure *configurations* as safe/live;
+the checker classifies concrete *executions*.  Safety here is slot-wise
+agreement among correct nodes (no two correct nodes decide different values
+for the same slot).  Liveness is completion: every submitted command is
+decided by every node that was correct for the whole run.
+
+Running many seeded executions per configuration and comparing checker
+verdicts against predicate verdicts is the validation loop of
+``benchmarks/bench_sim_validation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class AgreementViolation:
+    """Two correct nodes decided different values for one slot."""
+
+    slot: int
+    node_a: int
+    value_a: object
+    node_b: int
+    value_b: object
+
+
+@dataclass(frozen=True)
+class SafetyVerdict:
+    """Result of the agreement audit."""
+
+    holds: bool
+    violations: tuple[AgreementViolation, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class LivenessVerdict:
+    """Result of the completion audit."""
+
+    holds: bool
+    missing: tuple[tuple[int, object], ...] = field(default_factory=tuple)  # (node, value)
+
+
+def check_agreement(
+    trace: TraceRecorder, *, correct_nodes: Iterable[int] | None = None
+) -> SafetyVerdict:
+    """Slot-wise agreement across (correct) nodes.
+
+    With ``correct_nodes`` given, only their commits are audited — Byzantine
+    nodes may claim anything; consensus only promises agreement among the
+    correct.
+    """
+    committed = trace.committed_by_node()
+    audited = (
+        {node: slots for node, slots in committed.items() if node in set(correct_nodes)}
+        if correct_nodes is not None
+        else committed
+    )
+    canonical: dict[int, tuple[int, object]] = {}  # slot -> (first node, value)
+    violations: list[AgreementViolation] = []
+    for node_id in sorted(audited):
+        for slot, value in sorted(audited[node_id].items()):
+            if slot not in canonical:
+                canonical[slot] = (node_id, value)
+            else:
+                first_node, first_value = canonical[slot]
+                if first_value != value:
+                    violations.append(
+                        AgreementViolation(
+                            slot=slot,
+                            node_a=first_node,
+                            value_a=first_value,
+                            node_b=node_id,
+                            value_b=value,
+                        )
+                    )
+    return SafetyVerdict(holds=not violations, violations=tuple(violations))
+
+
+def check_completion(
+    trace: TraceRecorder,
+    submitted: Sequence[object],
+    *,
+    correct_nodes: Iterable[int],
+) -> LivenessVerdict:
+    """Every submitted value decided by every always-correct node."""
+    committed = trace.committed_by_node()
+    missing: list[tuple[int, object]] = []
+    for node_id in sorted(set(correct_nodes)):
+        decided = set(committed.get(node_id, {}).values())
+        for value in submitted:
+            if value not in decided:
+                missing.append((node_id, value))
+    return LivenessVerdict(holds=not missing, missing=tuple(missing))
+
+
+@dataclass(frozen=True)
+class RunVerdict:
+    """Combined audit of one simulated execution."""
+
+    safety: SafetyVerdict
+    liveness: LivenessVerdict
+
+    @property
+    def safe(self) -> bool:
+        return self.safety.holds
+
+    @property
+    def live(self) -> bool:
+        return self.liveness.holds
+
+
+def audit_run(
+    trace: TraceRecorder,
+    submitted: Sequence[object],
+    *,
+    correct_nodes: Iterable[int],
+) -> RunVerdict:
+    """Safety + liveness audit for one run."""
+    correct = list(correct_nodes)
+    return RunVerdict(
+        safety=check_agreement(trace, correct_nodes=correct),
+        liveness=check_completion(trace, submitted, correct_nodes=correct),
+    )

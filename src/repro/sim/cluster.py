@@ -1,0 +1,153 @@
+"""Simulation harness: nodes + network + scheduler + trace in one object.
+
+``Cluster`` owns the deterministic event loop and exposes the operations
+experiments need: start the protocol, submit client commands, crash or
+recover nodes at chosen times, run to a virtual deadline, and hand the
+trace to the checker.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator, spawn
+from repro.errors import InvalidConfigurationError, SimulationError
+from repro.sim.events import EventScheduler
+from repro.sim.network import LatencyModel, Network
+from repro.sim.node import Process
+from repro.sim.trace import TraceRecorder
+
+#: Builds protocol node ``i`` of ``n``; receives its own RNG stream.
+NodeFactory = Callable[[int, int, EventScheduler, Network, np.random.Generator, TraceRecorder], Process]
+
+
+class Cluster:
+    """A deterministic simulated deployment of ``n`` protocol nodes."""
+
+    def __init__(
+        self,
+        n: int,
+        node_factory: NodeFactory,
+        *,
+        latency: LatencyModel | None = None,
+        drop_probability: float = 0.0,
+        seed: SeedLike = None,
+    ):
+        if n <= 0:
+            raise InvalidConfigurationError(f"cluster size must be positive, got {n}")
+        root = as_generator(seed)
+        network_rng, *node_rngs = spawn(root, n + 1)
+        self.scheduler = EventScheduler()
+        self.trace = TraceRecorder()
+        self.network = Network(
+            self.scheduler,
+            latency=latency,
+            drop_probability=drop_probability,
+            seed=network_rng,
+        )
+        self.nodes: list[Process] = []
+        for node_id in range(n):
+            process = node_factory(
+                node_id, n, self.scheduler, self.network, node_rngs[node_id], self.trace
+            )
+            self.network.attach(process)
+            self.nodes.append(process)
+
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    # ------------------------------------------------------------------
+    # Execution control
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot every node at t=0."""
+        for process in self.nodes:
+            process.start()
+
+    def run_until(self, t_end: float, *, max_events: int = 2_000_000) -> None:
+        self.scheduler.run_until(t_end, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Failure control
+    # ------------------------------------------------------------------
+    def crash_at(self, node_id: int, time: float) -> None:
+        """Schedule a fail-stop crash of ``node_id`` at virtual ``time``."""
+        process = self._node(node_id)
+
+        def do_crash() -> None:
+            if not process.is_crashed:
+                process.crash()
+                self.trace.record_event(self.scheduler.now, node_id, "crash")
+
+        self.scheduler.schedule_at(time, do_crash)
+
+    def recover_at(self, node_id: int, time: float) -> None:
+        """Schedule recovery of ``node_id`` at virtual ``time``."""
+        process = self._node(node_id)
+
+        def do_recover() -> None:
+            if process.is_crashed:
+                process.recover()
+                self.trace.record_event(self.scheduler.now, node_id, "recover")
+
+        self.scheduler.schedule_at(time, do_recover)
+
+    def crashed_node_ids(self) -> frozenset[int]:
+        return frozenset(p.node_id for p in self.nodes if p.is_crashed)
+
+    def correct_node_ids(self) -> frozenset[int]:
+        return frozenset(p.node_id for p in self.nodes if not p.is_crashed)
+
+    # ------------------------------------------------------------------
+    # Client interaction
+    # ------------------------------------------------------------------
+    def submit(self, value: object, *, at: float | None = None) -> None:
+        """Inject a client command into the cluster.
+
+        Delivery model: the command is handed to every running node via its
+        ``on_client_request`` hook (nodes that are not leader ignore or
+        forward it, mirroring clients that broadcast/retry until they find
+        the leader).
+        """
+        def do_submit() -> None:
+            for process in self.nodes:
+                handler = getattr(process, "on_client_request", None)
+                if handler is not None and process.is_running:
+                    handler(value)
+
+        if at is None:
+            do_submit()
+        else:
+            self.scheduler.schedule_at(at, do_submit)
+
+    def _node(self, node_id: int) -> Process:
+        if not 0 <= node_id < len(self.nodes):
+            raise SimulationError(f"unknown node id {node_id}")
+        return self.nodes[node_id]
+
+
+def run_scenario(
+    cluster: Cluster,
+    *,
+    commands: Sequence[object],
+    duration: float,
+    command_interval: float = 0.05,
+    commands_start: float = 0.5,
+) -> TraceRecorder:
+    """Convenience driver: start, feed commands on a cadence, run, return trace."""
+    if duration <= 0:
+        raise InvalidConfigurationError("duration must be positive")
+    cluster.start()
+    at = commands_start
+    for command in commands:
+        cluster.submit(command, at=at)
+        at += command_interval
+    cluster.run_until(duration)
+    return cluster.trace

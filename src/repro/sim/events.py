@@ -1,0 +1,129 @@
+"""Deterministic discrete-event scheduler.
+
+Foundation of :mod:`repro.sim`: a priority queue of timestamped callbacks
+with a monotonically increasing sequence number as tiebreak, so identical
+seeds always replay identical executions — the property every simulator
+test and every failure-injection experiment relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    action: Action = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Cancellation token for a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventScheduler:
+    """Single-threaded event loop with virtual time (seconds)."""
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule_at(self, time: float, action: Action) -> EventHandle:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} before now={self._now}")
+        event = _ScheduledEvent(time=time, seq=next(self._sequence), action=action)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_after(self, delay: float, action: Action) -> EventHandle:
+        """Schedule ``action`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, action)
+
+    def step(self) -> bool:
+        """Execute the next event; return False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.action()
+            return True
+        return False
+
+    def run_until(self, t_end: float, *, max_events: Optional[int] = None) -> None:
+        """Run events up to virtual time ``t_end`` (inclusive).
+
+        ``max_events`` guards against livelock in buggy protocols; exceeding
+        it raises :class:`SimulationError` rather than spinning forever.
+        """
+        if t_end < self._now:
+            raise SimulationError(f"t_end={t_end} precedes now={self._now}")
+        executed = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > t_end:
+                break
+            self.step()
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events before t={t_end}; likely livelock"
+                )
+        self._now = t_end
+
+    def run_to_completion(self, *, max_events: int = 1_000_000) -> None:
+        """Drain the queue entirely (bounded by ``max_events``)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"exceeded {max_events} events; likely livelock")

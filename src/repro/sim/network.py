@@ -1,0 +1,185 @@
+"""Simulated message-passing network.
+
+Point-to-point delivery with pluggable latency distributions, independent
+message loss, and named partitions.  Delivery to crashed nodes is dropped;
+partitioned pairs cannot communicate until the partition heals.  All
+randomness flows from a single seeded generator for reproducibility.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro.errors import InvalidConfigurationError, SimulationError
+from repro.sim.events import EventScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.node import Process
+
+
+class LatencyModel(ABC):
+    """Distribution of one-way message delays (seconds)."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one delay."""
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """Constant delay — useful for deterministic protocol tests."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise InvalidConfigurationError("delay must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Uniform delay on [low, high]."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise InvalidConfigurationError(f"invalid latency range [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+@dataclass(frozen=True)
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed delay — the realistic datacenter shape.
+
+    ``median`` sets the scale; ``sigma`` the tail weight.
+    """
+
+    median: float
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.median <= 0 or self.sigma <= 0:
+            raise InvalidConfigurationError("median and sigma must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        import math
+
+        return float(rng.lognormal(mean=math.log(self.median), sigma=self.sigma))
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight."""
+
+    src: int
+    dst: int
+    payload: object
+    send_time: float
+
+
+class Network:
+    """Message fabric connecting :class:`repro.sim.node.Process` instances."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        *,
+        latency: LatencyModel | None = None,
+        drop_probability: float = 0.0,
+        seed: SeedLike = None,
+    ):
+        if not 0.0 <= drop_probability < 1.0:
+            raise InvalidConfigurationError("drop_probability must be in [0, 1)")
+        self._scheduler = scheduler
+        self._latency = latency if latency is not None else FixedLatency(0.001)
+        self._drop_probability = drop_probability
+        self._rng = as_generator(seed)
+        self._processes: dict[int, "Process"] = {}
+        self._partition: Optional[tuple[frozenset[int], ...]] = None
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        #: Optional hook called for every delivered message (tracing).
+        self.delivery_hook: Optional[Callable[[Envelope], None]] = None
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def attach(self, process: "Process") -> None:
+        if process.node_id in self._processes:
+            raise SimulationError(f"node id {process.node_id} already attached")
+        self._processes[process.node_id] = process
+
+    def set_partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Split the network; only same-group pairs can communicate."""
+        normalized = tuple(frozenset(group) for group in groups)
+        seen: set[int] = set()
+        for group in normalized:
+            if group & seen:
+                raise InvalidConfigurationError("partition groups must be disjoint")
+            seen |= group
+        self._partition = normalized
+
+    def heal_partition(self) -> None:
+        self._partition = None
+
+    def _partitioned(self, src: int, dst: int) -> bool:
+        if self._partition is None:
+            return False
+        for group in self._partition:
+            if src in group:
+                return dst not in group
+        # Nodes outside any named group are isolated from grouped nodes.
+        return any(dst in group for group in self._partition)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: object) -> None:
+        """Queue a message for delivery (may be dropped or partitioned away)."""
+        if dst not in self._processes:
+            raise SimulationError(f"unknown destination node {dst}")
+        self.messages_sent += 1
+        if self._partitioned(src, dst):
+            self.messages_dropped += 1
+            return
+        if self._drop_probability > 0.0 and self._rng.random() < self._drop_probability:
+            self.messages_dropped += 1
+            return
+        envelope = Envelope(src=src, dst=dst, payload=payload, send_time=self._scheduler.now)
+        delay = self._latency.sample(self._rng)
+        self._scheduler.schedule_after(delay, lambda: self._deliver(envelope))
+
+    def broadcast(self, src: int, payload: object, *, include_self: bool = False) -> None:
+        """Send ``payload`` to every attached node (optionally including src)."""
+        for node_id in sorted(self._processes):
+            if node_id == src and not include_self:
+                continue
+            self.send(src, node_id, payload)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        process = self._processes.get(envelope.dst)
+        if process is None or not process.is_running:
+            self.messages_dropped += 1
+            return
+        # Re-check the partition at delivery time: a partition that formed
+        # mid-flight cuts the message off, matching real fabric behaviour.
+        if self._partitioned(envelope.src, envelope.dst):
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        if self.delivery_hook is not None:
+            self.delivery_hook(envelope)
+        process.on_message(envelope.src, envelope.payload)

@@ -1,0 +1,151 @@
+"""Process abstraction for simulated protocol nodes.
+
+A :class:`Process` is a state machine driven by three callbacks —
+``on_start``, ``on_message`` and named timers — with crash/recover
+lifecycle management.  Protocol implementations (Raft, PBFT) subclass it;
+the harness in :mod:`repro.sim.cluster` wires processes to the network and
+scheduler.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.events import EventHandle, EventScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+
+
+class Process(ABC):
+    """One simulated node: identity, messaging helpers, timers, lifecycle."""
+
+    def __init__(
+        self,
+        node_id: int,
+        scheduler: EventScheduler,
+        network: "Network",
+        rng: np.random.Generator,
+    ):
+        self.node_id = node_id
+        self._scheduler = scheduler
+        self._network = network
+        self._rng = rng
+        self._running = False
+        self._crashed = False
+        self._timers: dict[str, EventHandle] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        return self._running and not self._crashed
+
+    @property
+    def is_crashed(self) -> bool:
+        return self._crashed
+
+    @property
+    def now(self) -> float:
+        return self._scheduler.now
+
+    def start(self) -> None:
+        if self._running:
+            raise SimulationError(f"node {self.node_id} already started")
+        self._running = True
+        self.on_start()
+
+    def crash(self) -> None:
+        """Fail-stop: cancel timers, drop future deliveries."""
+        if self._crashed:
+            return
+        self._crashed = True
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Restart after a crash, keeping only durable state.
+
+        Subclasses override :meth:`on_recover` to reset volatile state (the
+        Raft paper's volatile/persistent split).
+        """
+        if not self._crashed:
+            raise SimulationError(f"node {self.node_id} is not crashed")
+        self._crashed = False
+        self.on_recover()
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: int, payload: object) -> None:
+        if not self.is_running:
+            return
+        self._network.send(self.node_id, dst, payload)
+
+    def broadcast(self, payload: object, *, include_self: bool = False) -> None:
+        if not self.is_running:
+            return
+        self._network.broadcast(self.node_id, payload, include_self=include_self)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def set_timer(self, name: str, delay: float) -> None:
+        """(Re)arm a named timer; fires ``on_timer(name)`` after ``delay``."""
+        self.cancel_timer(name)
+        handle = self._scheduler.schedule_after(delay, lambda: self._fire_timer(name))
+        self._timers[name] = handle
+
+    def cancel_timer(self, name: str) -> None:
+        handle = self._timers.pop(name, None)
+        if handle is not None:
+            handle.cancel()
+
+    def has_timer(self, name: str) -> bool:
+        return name in self._timers
+
+    def _fire_timer(self, name: str) -> None:
+        self._timers.pop(name, None)
+        if self.is_running:
+            self.on_timer(name)
+
+    # ------------------------------------------------------------------
+    # Protocol callbacks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def on_start(self) -> None:
+        """Called once when the node boots."""
+
+    @abstractmethod
+    def on_message(self, src: int, payload: object) -> None:
+        """Called for every delivered message while running."""
+
+    def on_timer(self, name: str) -> None:  # pragma: no cover - optional hook
+        """Called when a named timer fires (default: ignore)."""
+
+    def on_crash(self) -> None:  # pragma: no cover - optional hook
+        """Called when the node crashes (default: nothing)."""
+
+    def on_recover(self) -> None:  # pragma: no cover - optional hook
+        """Called when the node recovers (default: nothing)."""
+
+    def __repr__(self) -> str:
+        state = "crashed" if self._crashed else ("up" if self._running else "new")
+        return f"{type(self).__name__}(id={self.node_id}, {state})"
+
+
+class IdleProcess(Process):
+    """A process that does nothing — useful filler in harness tests."""
+
+    def on_start(self) -> None:
+        pass
+
+    def on_message(self, src: int, payload: object) -> None:
+        pass

@@ -1,0 +1,17 @@
+"""Simulated Raft (leader election, log replication, flexible quorums)."""
+
+from repro.sim.raft.log import LogEntry, RaftLog
+from repro.sim.raft.messages import AppendEntries, AppendResponse, RequestVote, VoteResponse
+from repro.sim.raft.node import RaftNode, Role, raft_node_factory
+
+__all__ = [
+    "RaftNode",
+    "Role",
+    "raft_node_factory",
+    "RaftLog",
+    "LogEntry",
+    "RequestVote",
+    "VoteResponse",
+    "AppendEntries",
+    "AppendResponse",
+]

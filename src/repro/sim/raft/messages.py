@@ -1,0 +1,55 @@
+"""Raft wire messages (Ongaro & Ousterhout, simulator dialect).
+
+Immutable dataclasses; ``entries`` travel as tuples so a message can never
+alias a node's live log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.raft.log import LogEntry
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    """Candidate solicits a vote for ``term``."""
+
+    term: int
+    candidate_id: int
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass(frozen=True)
+class VoteResponse:
+    """Reply to :class:`RequestVote`."""
+
+    term: int
+    voter_id: int
+    granted: bool
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    """Leader replicates ``entries`` after (``prev_log_index``, ``prev_log_term``).
+
+    Also the heartbeat when ``entries`` is empty.
+    """
+
+    term: int
+    leader_id: int
+    prev_log_index: int
+    prev_log_term: int
+    entries: tuple[LogEntry, ...]
+    leader_commit: int
+
+
+@dataclass(frozen=True)
+class AppendResponse:
+    """Reply to :class:`AppendEntries`."""
+
+    term: int
+    follower_id: int
+    success: bool
+    match_index: int

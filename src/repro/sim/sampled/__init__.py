@@ -1,0 +1,21 @@
+"""Probability-native sampled-quorum replication (paper §4)."""
+
+from repro.sim.sampled.node import (
+    slot_survivors,
+    Ack,
+    Append,
+    CommitNotice,
+    SampledQuorumLeader,
+    SampledQuorumReplica,
+    sampled_quorum_factory,
+)
+
+__all__ = [
+    "SampledQuorumLeader",
+    "SampledQuorumReplica",
+    "sampled_quorum_factory",
+    "Append",
+    "Ack",
+    "CommitNotice",
+    "slot_survivors",
+]

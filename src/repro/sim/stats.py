@@ -1,0 +1,129 @@
+"""Performance statistics over simulation traces.
+
+The paper's §4 claims reliability-aware choices "can improve tail latency
+[and] reduce reconfiguration delays".  These helpers extract the relevant
+observables from a :class:`repro.sim.trace.TraceRecorder`: per-command
+commit latency (first and last replica), leadership churn, and unavailable
+windows (periods with no progress).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidConfigurationError
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of commit latencies (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            raise InvalidConfigurationError("no latency samples")
+        arr = np.asarray(samples, dtype=float)
+        return cls(
+            count=arr.size,
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p99=float(np.percentile(arr, 99)),
+            maximum=float(arr.max()),
+        )
+
+
+def commit_latencies(
+    trace: TraceRecorder,
+    submit_times: Mapping[object, float],
+    *,
+    scope: str = "first",
+) -> dict[object, float]:
+    """Latency from submission to commit for each command.
+
+    ``scope="first"`` measures until the first replica decides (client-
+    visible commit); ``scope="all"`` until the last replica has applied it
+    (replication completeness).  Commands never committed are omitted.
+    """
+    if scope not in ("first", "all"):
+        raise InvalidConfigurationError(f"scope must be 'first' or 'all', got {scope!r}")
+    decided: dict[object, float] = {}
+    for record in trace.commits:
+        if record.value not in submit_times:
+            continue
+        current = decided.get(record.value)
+        if current is None:
+            decided[record.value] = record.time
+        elif scope == "first":
+            decided[record.value] = min(current, record.time)
+        else:
+            decided[record.value] = max(current, record.time)
+    return {
+        value: decided_time - submit_times[value]
+        for value, decided_time in decided.items()
+        if decided_time >= submit_times[value]
+    }
+
+
+def latency_summary(
+    trace: TraceRecorder,
+    submit_times: Mapping[object, float],
+    *,
+    scope: str = "first",
+) -> LatencySummary:
+    """Summary statistics of commit latency over a run."""
+    return LatencySummary.from_samples(list(commit_latencies(trace, submit_times, scope=scope).values()))
+
+
+@dataclass(frozen=True)
+class LeadershipStats:
+    """Leadership churn over a run."""
+
+    elections: int
+    leaders_elected: int
+    distinct_leaders: int
+    final_leader: int | None
+
+
+def leadership_stats(trace: TraceRecorder) -> LeadershipStats:
+    """Election and leadership-change counts from trace events."""
+    elections = trace.events_of_kind("election")
+    leaders = trace.events_of_kind("leader")
+    return LeadershipStats(
+        elections=len(elections),
+        leaders_elected=len(leaders),
+        distinct_leaders=len({e.node_id for e in leaders}),
+        final_leader=leaders[-1].node_id if leaders else None,
+    )
+
+
+def unavailable_windows(
+    trace: TraceRecorder,
+    *,
+    horizon: float,
+    gap_threshold: float,
+) -> list[tuple[float, float]]:
+    """Periods longer than ``gap_threshold`` with no commit anywhere.
+
+    The trace-level counterpart of a liveness outage: returns the
+    [start, end) gaps between consecutive commits (and run edges) that
+    exceed the threshold.
+    """
+    if horizon <= 0 or gap_threshold <= 0:
+        raise InvalidConfigurationError("horizon and gap_threshold must be positive")
+    commit_times = sorted({record.time for record in trace.commits})
+    edges = [0.0, *commit_times, horizon]
+    gaps = []
+    for start, end in zip(edges, edges[1:]):
+        if end - start > gap_threshold:
+            gaps.append((start, end))
+    return gaps

@@ -1,0 +1,96 @@
+"""Execution tracing and telemetry for simulated runs.
+
+Records the observable history of a run — commits per node, leadership
+changes, crashes, message counts — in a form the
+:mod:`repro.sim.checker` can audit for agreement and progress, and the
+:mod:`repro.telemetry` pipeline can ingest as synthetic ops telemetry.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One slot decided by one node."""
+
+    time: float
+    node_id: int
+    slot: int
+    value: object
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Generic annotated event (crash, recovery, view change, ...)."""
+
+    time: float
+    node_id: int
+    kind: str
+    detail: str = ""
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates the observable history of one simulation run."""
+
+    commits: list[CommitRecord] = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record_commit(self, time: float, node_id: int, slot: int, value: object) -> None:
+        self.commits.append(CommitRecord(time=time, node_id=node_id, slot=slot, value=value))
+
+    def record_event(self, time: float, node_id: int, kind: str, detail: str = "") -> None:
+        self.events.append(TraceEvent(time=time, node_id=node_id, kind=kind, detail=detail))
+
+    # ------------------------------------------------------------------
+    # Views used by the checker
+    # ------------------------------------------------------------------
+    def committed_by_node(self) -> dict[int, dict[int, object]]:
+        """``node_id -> slot -> value`` map of everything each node decided."""
+        table: dict[int, dict[int, object]] = defaultdict(dict)
+        for record in self.commits:
+            table[record.node_id][record.slot] = record.value
+        return dict(table)
+
+    def committed_values(self, node_id: int) -> list[object]:
+        """Values node ``node_id`` committed, in slot order."""
+        slots = self.committed_by_node().get(node_id, {})
+        return [slots[slot] for slot in sorted(slots)]
+
+    def events_of_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def crash_intervals(self, horizon: float) -> dict[int, list[tuple[float, float]]]:
+        """Per-node [crash, recover) intervals, closed at ``horizon``."""
+        intervals: dict[int, list[tuple[float, float]]] = defaultdict(list)
+        open_crash: dict[int, float] = {}
+        for event in sorted(self.events, key=lambda e: e.time):
+            if event.kind == "crash":
+                open_crash.setdefault(event.node_id, event.time)
+            elif event.kind == "recover" and event.node_id in open_crash:
+                start = open_crash.pop(event.node_id)
+                intervals[event.node_id].append((start, event.time))
+        for node_id, start in open_crash.items():
+            intervals[node_id].append((start, horizon))
+        return dict(intervals)
+
+    def summary(self) -> dict[str, int]:
+        kinds: dict[str, int] = defaultdict(int)
+        for event in self.events:
+            kinds[event.kind] += 1
+        return {"commits": len(self.commits), **kinds}
+
+
+def merge_traces(traces: Iterable[TraceRecorder]) -> TraceRecorder:
+    """Combine traces from multiple runs/recorders into one (for batch stats)."""
+    merged = TraceRecorder()
+    for trace in traces:
+        merged.commits.extend(trace.commits)
+        merged.events.extend(trace.events)
+    merged.commits.sort(key=lambda r: r.time)
+    merged.events.sort(key=lambda e: e.time)
+    return merged

@@ -1,0 +1,118 @@
+"""Client workload generators for simulator experiments.
+
+Shapes the command arrival process a simulated cluster faces — steady
+(closed cadence), Poisson (open loop) and bursty (on/off) — and records
+submission times so :mod:`repro.sim.stats` can compute latency
+distributions.  Workload shifts are one of the §2 fault-correlation
+drivers, so the bursty generator doubles as the load-spike stimulus in
+correlated-failure experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro._rng import SeedLike, as_generator
+from repro.errors import InvalidConfigurationError
+from repro.sim.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One command submission."""
+
+    at: float
+    value: object
+
+
+def steady_workload(
+    count: int, *, start: float = 0.5, interval: float = 0.05, prefix: str = "cmd"
+) -> list[WorkloadEvent]:
+    """Fixed-cadence submissions: ``count`` commands every ``interval`` s."""
+    if count < 0 or interval <= 0 or start < 0:
+        raise InvalidConfigurationError("invalid steady workload parameters")
+    return [
+        WorkloadEvent(at=start + i * interval, value=f"{prefix}-{i}") for i in range(count)
+    ]
+
+
+def poisson_workload(
+    *,
+    rate_per_second: float,
+    duration: float,
+    start: float = 0.5,
+    prefix: str = "cmd",
+    seed: SeedLike = None,
+) -> list[WorkloadEvent]:
+    """Open-loop Poisson arrivals at ``rate_per_second`` over ``duration``."""
+    if rate_per_second <= 0 or duration <= 0 or start < 0:
+        raise InvalidConfigurationError("invalid poisson workload parameters")
+    rng = as_generator(seed)
+    events = []
+    t = start
+    index = 0
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_second))
+        if t >= start + duration:
+            break
+        events.append(WorkloadEvent(at=t, value=f"{prefix}-{index}"))
+        index += 1
+    return events
+
+
+def bursty_workload(
+    *,
+    bursts: int,
+    burst_size: int,
+    burst_interval: float,
+    within_burst_interval: float = 0.005,
+    start: float = 0.5,
+    prefix: str = "cmd",
+) -> list[WorkloadEvent]:
+    """On/off load: ``bursts`` trains of ``burst_size`` back-to-back commands.
+
+    The §2 "sudden workload shifts" stimulus: bursts stress the commit path
+    far harder than the same command count spread evenly.
+    """
+    if bursts <= 0 or burst_size <= 0 or burst_interval <= 0 or within_burst_interval <= 0:
+        raise InvalidConfigurationError("invalid bursty workload parameters")
+    events = []
+    index = 0
+    for burst in range(bursts):
+        burst_start = start + burst * burst_interval
+        for i in range(burst_size):
+            events.append(
+                WorkloadEvent(
+                    at=burst_start + i * within_burst_interval, value=f"{prefix}-{index}"
+                )
+            )
+            index += 1
+    return events
+
+
+def apply_workload(cluster: Cluster, events: list[WorkloadEvent]) -> dict[object, float]:
+    """Schedule every event on the cluster; returns the submit-time map.
+
+    The returned mapping feeds :func:`repro.sim.stats.latency_summary`.
+    """
+    submit_times: dict[object, float] = {}
+    for event in events:
+        if event.value in submit_times:
+            raise InvalidConfigurationError(f"duplicate command value {event.value!r}")
+        submit_times[event.value] = event.at
+        cluster.submit(event.value, at=event.at)
+    return submit_times
+
+
+def workload_values(events: list[WorkloadEvent]) -> list[object]:
+    """The command list in submission order (for completion audits)."""
+    return [event.value for event in sorted(events, key=lambda e: e.at)]
+
+
+def interleave(*workloads: list[WorkloadEvent]) -> list[WorkloadEvent]:
+    """Merge several workloads into one time-ordered stream."""
+    merged: Iterator[WorkloadEvent] = iter(
+        sorted((event for workload in workloads for event in workload), key=lambda e: e.at)
+    )
+    return list(merged)

@@ -1,0 +1,42 @@
+"""Synthetic fleet telemetry substrate (stands in for proprietary data).
+
+Generation (:mod:`repro.telemetry.fleet`), built-in hardware catalogue
+(:mod:`repro.telemetry.datasets`) and the ingest pipeline back to fault
+curves (:mod:`repro.telemetry.ingest`).
+"""
+
+from repro.telemetry.datasets import (
+    HARDWARE_CATALOG,
+    HardwareModel,
+    model_by_name,
+    rollout_risk_curve,
+    spot_eviction_curve,
+)
+from repro.telemetry.fleet import (
+    FleetTelemetry,
+    MachineRecord,
+    ShockEvent,
+    generate_fleet_telemetry,
+)
+from repro.telemetry.ingest import (
+    ModelCurves,
+    empirical_hazard,
+    fit_model_curves,
+    fleet_from_telemetry,
+)
+
+__all__ = [
+    "HARDWARE_CATALOG",
+    "HardwareModel",
+    "model_by_name",
+    "spot_eviction_curve",
+    "rollout_risk_curve",
+    "FleetTelemetry",
+    "MachineRecord",
+    "ShockEvent",
+    "generate_fleet_telemetry",
+    "empirical_hazard",
+    "fit_model_curves",
+    "fleet_from_telemetry",
+    "ModelCurves",
+]

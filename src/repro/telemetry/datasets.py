@@ -1,0 +1,102 @@
+"""Built-in synthetic hardware-reliability datasets.
+
+Substitute for the proprietary fleet telemetry the paper cites (Backblaze
+drive stats, Google/Meta silent-corruption studies, Azure spot-eviction
+traces).  Shapes and magnitudes follow the published literature:
+
+* per-model AFR spread roughly 0.5%–8% (Backblaze Q1-2024 spread);
+* bathtub aging: infant-mortality spike, flat useful life, wear-out after
+  ~4–5 years (Pinheiro et al., FAST '07);
+* server-class AFR ≈ 4% with silent/Byzantine corruption ≈ 0.01%
+  (Hochschild et al. / Dixit et al., the paper's §2 numbers);
+* spot instances: high "failure" (eviction) rates, 5–15%/window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.curves import (
+    BathtubCurve,
+    ConstantHazard,
+    FaultCurve,
+    ScaledCurve,
+)
+
+
+@dataclass(frozen=True)
+class HardwareModel:
+    """One synthetic hardware model's reliability profile."""
+
+    model: str
+    vendor: str
+    afr: float  # useful-life annual failure rate
+    infant_mortality_factor: float  # hazard multiplier during burn-in
+    wearout_years: float  # onset of the wear-out stage
+    byzantine_afr: float = 0.0  # silent-corruption (Byzantine) AFR
+
+    def crash_curve(self) -> FaultCurve:
+        """Bathtub curve matching this model's profile."""
+        from repro.faults.afr import afr_to_hourly_rate
+
+        baseline = afr_to_hourly_rate(self.afr)
+        return BathtubCurve(
+            infant_scale_hours=2_000.0,
+            infant_weight=0.01 * self.infant_mortality_factor,
+            baseline_rate_per_hour=baseline,
+            wearout_shape=4.0,
+            wearout_scale_hours=self.wearout_years * 8766.0,
+        )
+
+    def byzantine_curve(self) -> FaultCurve:
+        """Constant silent-corruption hazard (0 when the model has none)."""
+        from repro.faults.afr import afr_to_hourly_rate
+
+        if self.byzantine_afr <= 0.0:
+            return ConstantHazard(0.0)
+        return ConstantHazard(afr_to_hourly_rate(self.byzantine_afr))
+
+
+#: Synthetic fleet catalogue, shaped after the public drive-stats spread.
+HARDWARE_CATALOG: tuple[HardwareModel, ...] = (
+    HardwareModel("HMS-D14", "Heliodyne", afr=0.005, infant_mortality_factor=2.0, wearout_years=6.0),
+    HardwareModel("HMS-D12", "Heliodyne", afr=0.011, infant_mortality_factor=2.5, wearout_years=5.0),
+    HardwareModel("VX-900", "Vortexa", afr=0.022, infant_mortality_factor=4.0, wearout_years=4.5),
+    HardwareModel(
+        "SRV-STD",
+        "Generic",
+        afr=0.04,
+        infant_mortality_factor=3.0,
+        wearout_years=5.0,
+        byzantine_afr=0.0001,  # the paper's mercurial-core rate
+    ),
+    HardwareModel("VX-750", "Vortexa", afr=0.055, infant_mortality_factor=5.0, wearout_years=3.5),
+    HardwareModel("ECO-R2", "Refurbco", afr=0.08, infant_mortality_factor=6.0, wearout_years=3.0),
+)
+
+
+def model_by_name(model: str) -> HardwareModel:
+    """Look up a catalogue entry; raises ``KeyError`` with the known names."""
+    for entry in HARDWARE_CATALOG:
+        if entry.model == model:
+            return entry
+    raise KeyError(f"unknown model {model!r}; known: {[m.model for m in HARDWARE_CATALOG]}")
+
+
+def spot_eviction_curve(hourly_eviction_rate: float = 1e-4) -> FaultCurve:
+    """Constant-hazard eviction model for spot instances.
+
+    The default gives ≈8.4% eviction probability per 1000-hour window —
+    the paper's 8% spot-class failure probability.
+    """
+    return ConstantHazard(hourly_eviction_rate)
+
+
+def rollout_risk_curve(base: FaultCurve, *, spike_factor: float = 50.0) -> FaultCurve:
+    """A fault curve with rollout-window hazard amplification (§2 point 2).
+
+    Returns the base hazard scaled by ``spike_factor`` — apply it to the
+    rollout window via :class:`repro.faults.curves.PiecewiseConstantCurve`
+    composition or use directly as the "during rollout" model.
+    """
+    return ScaledCurve(base, spike_factor)

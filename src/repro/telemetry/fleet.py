@@ -1,0 +1,154 @@
+"""Synthetic fleet telemetry generator.
+
+Produces per-machine failure logs of the shape large operators keep
+(paper §2: "fault curves ... can be computed using the large amount of
+telemetry that modern deployments track").  Machines are drawn from the
+hardware catalogue, live through bathtub aging, and can be hit by
+correlated shock events (rollouts, rack incidents).  The output feeds
+:mod:`repro.telemetry.ingest` → :mod:`repro.faults.fitting`, closing the
+telemetry → fault-curve → analysis pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro._rng import SeedLike, as_generator
+from repro.errors import InvalidConfigurationError
+from repro.telemetry.datasets import HARDWARE_CATALOG, HardwareModel
+
+
+@dataclass(frozen=True)
+class MachineRecord:
+    """One machine's observed lifetime in the telemetry window.
+
+    ``failed`` is False for right-censored machines (still alive when the
+    observation window closed); ``cause`` distinguishes intrinsic hardware
+    failures from correlated shock casualties.
+    """
+
+    machine_id: int
+    model: str
+    vendor: str
+    lifetime_hours: float
+    failed: bool
+    cause: str = ""
+
+
+@dataclass(frozen=True)
+class ShockEvent:
+    """A correlated incident that hit the fleet at ``time_hours``."""
+
+    time_hours: float
+    name: str
+    casualties: tuple[int, ...]
+
+
+@dataclass
+class FleetTelemetry:
+    """Everything the generator observed over the window."""
+
+    window_hours: float
+    records: list[MachineRecord] = field(default_factory=list)
+    shocks: list[ShockEvent] = field(default_factory=list)
+
+    def observed_afr(self, model: str | None = None) -> float:
+        """Empirical annualized failure rate (failures / machine-years)."""
+        relevant = [r for r in self.records if model is None or r.model == model]
+        if not relevant:
+            raise InvalidConfigurationError(f"no records for model {model!r}")
+        machine_years = sum(r.lifetime_hours for r in relevant) / 8766.0
+        failures = sum(1 for r in relevant if r.failed)
+        if machine_years <= 0:
+            return 0.0
+        return failures / machine_years
+
+    def durations_and_flags(self, model: str | None = None) -> tuple[list[float], list[bool]]:
+        """The (durations, observed) pair :mod:`repro.faults.fitting` consumes."""
+        relevant = [r for r in self.records if model is None or r.model == model]
+        return [r.lifetime_hours for r in relevant], [r.failed for r in relevant]
+
+    def models_present(self) -> list[str]:
+        return sorted({r.model for r in self.records})
+
+
+def generate_fleet_telemetry(
+    *,
+    machines_per_model: int = 200,
+    window_hours: float = 2.0 * 8766.0,
+    models: Sequence[HardwareModel] = HARDWARE_CATALOG,
+    rollout_probability_per_month: float = 0.05,
+    rollout_lethality: float = 0.02,
+    seed: SeedLike = None,
+) -> FleetTelemetry:
+    """Simulate a fleet's failure log over an observation window.
+
+    Each machine samples an intrinsic failure time from its model's bathtub
+    curve.  Monthly software rollouts fire with the given probability and
+    kill a random ``rollout_lethality`` fraction of the still-alive fleet —
+    the §2 correlated-fault mechanism.
+    """
+    if machines_per_model <= 0 or window_hours <= 0:
+        raise InvalidConfigurationError("machines_per_model and window must be positive")
+    if not 0.0 <= rollout_probability_per_month <= 1.0:
+        raise InvalidConfigurationError("rollout probability must be in [0, 1]")
+    if not 0.0 <= rollout_lethality <= 1.0:
+        raise InvalidConfigurationError("rollout lethality must be in [0, 1]")
+
+    rng = as_generator(seed)
+    telemetry = FleetTelemetry(window_hours=window_hours)
+
+    # Intrinsic (independent, bathtub-shaped) failure times.
+    intrinsic: list[tuple[int, HardwareModel, float]] = []
+    machine_id = 0
+    for model in models:
+        curve = model.crash_curve()
+        for _ in range(machines_per_model):
+            t_fail = curve.sample_failure_time(rng, horizon=window_hours)
+            intrinsic.append((machine_id, model, t_fail))
+            machine_id += 1
+
+    # Correlated rollout shocks, monthly cadence.
+    hours_per_month = 8766.0 / 12.0
+    shock_deaths: dict[int, tuple[float, str]] = {}
+    month = 0
+    while (month + 1) * hours_per_month <= window_hours:
+        month += 1
+        if rng.random() >= rollout_probability_per_month:
+            continue
+        shock_time = month * hours_per_month
+        casualties = []
+        for mid, _model, t_fail in intrinsic:
+            alive_at_shock = t_fail > shock_time and mid not in shock_deaths
+            if alive_at_shock and rng.random() < rollout_lethality:
+                shock_deaths[mid] = (shock_time, f"rollout-{month}")
+                casualties.append(mid)
+        if casualties:
+            telemetry.shocks.append(
+                ShockEvent(time_hours=shock_time, name=f"rollout-{month}", casualties=tuple(casualties))
+            )
+
+    # Materialise per-machine records (earliest cause wins).
+    for mid, model, t_fail in intrinsic:
+        shock = shock_deaths.get(mid)
+        intrinsic_death = t_fail if math.isfinite(t_fail) and t_fail < window_hours else None
+        shock_death = shock[0] if shock is not None else None
+        if intrinsic_death is None and shock_death is None:
+            telemetry.records.append(
+                MachineRecord(mid, model.model, model.vendor, window_hours, failed=False)
+            )
+        elif shock_death is not None and (intrinsic_death is None or shock_death < intrinsic_death):
+            telemetry.records.append(
+                MachineRecord(
+                    mid, model.model, model.vendor, shock_death, failed=True, cause=shock[1]
+                )
+            )
+        else:
+            telemetry.records.append(
+                MachineRecord(
+                    mid, model.model, model.vendor, intrinsic_death, failed=True, cause="hardware"
+                )
+            )
+    return telemetry

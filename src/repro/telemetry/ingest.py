@@ -1,0 +1,108 @@
+"""Telemetry → fault-curve ingestion pipeline (paper §4 "accurate fault curves").
+
+Turns raw machine lifetime logs into the :class:`repro.faults.FaultCurve`
+objects the analysis layer consumes: empirical hazard estimation, model
+fitting per hardware model, and fleet construction for a chosen analysis
+window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidConfigurationError
+from repro.faults.curves import EmpiricalCurve, FaultCurve
+from repro.faults.fitting import CurveFit, select_best_fit
+from repro.faults.mixture import Fleet, NodeModel
+from repro.telemetry.fleet import FleetTelemetry
+
+
+def empirical_hazard(
+    durations: list[float],
+    observed: list[bool],
+    *,
+    n_bins: int = 12,
+) -> EmpiricalCurve:
+    """Nonparametric hazard estimate: events / exposure per age bin.
+
+    The standard actuarial estimator; returns an interpolatable curve with
+    knots at bin midpoints.
+    """
+    if len(durations) != len(observed) or not durations:
+        raise InvalidConfigurationError("durations/observed must be equal-length and non-empty")
+    if n_bins < 2:
+        raise InvalidConfigurationError("need at least 2 bins")
+    durations_arr = np.asarray(durations, dtype=float)
+    observed_arr = np.asarray(observed, dtype=bool)
+    horizon = float(durations_arr.max())
+    if horizon <= 0:
+        raise InvalidConfigurationError("all durations are zero")
+    edges = np.linspace(0.0, horizon, n_bins + 1)
+    midpoints: list[float] = []
+    hazards: list[float] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        exposure = float(np.clip(np.minimum(durations_arr, hi) - lo, 0.0, None).sum())
+        events = int((observed_arr & (durations_arr > lo) & (durations_arr <= hi)).sum())
+        midpoints.append(0.5 * (lo + hi))
+        hazards.append(events / exposure if exposure > 0 else 0.0)
+    return EmpiricalCurve(tuple(midpoints), tuple(hazards))
+
+
+@dataclass(frozen=True)
+class ModelCurves:
+    """Fitted reliability description of one hardware model."""
+
+    model: str
+    fit: CurveFit
+    observed_afr: float
+
+    @property
+    def curve(self) -> FaultCurve:
+        return self.fit.curve
+
+
+def fit_model_curves(telemetry: FleetTelemetry) -> dict[str, ModelCurves]:
+    """Fit a best-AIC fault curve per hardware model in the telemetry."""
+    curves: dict[str, ModelCurves] = {}
+    for model in telemetry.models_present():
+        durations, observed = telemetry.durations_and_flags(model)
+        fit = select_best_fit(durations, observed)
+        curves[model] = ModelCurves(
+            model=model,
+            fit=fit,
+            observed_afr=telemetry.observed_afr(model),
+        )
+    return curves
+
+
+def fleet_from_telemetry(
+    telemetry: FleetTelemetry,
+    composition: list[tuple[str, int]],
+    *,
+    window_hours: float = 30.0 * 24.0,
+    deployment_age_hours: float = 8766.0,
+) -> Fleet:
+    """Build an analysis fleet from fitted telemetry curves.
+
+    ``composition`` lists (model, count) pairs; each node's window failure
+    probability comes from its model's fitted curve evaluated at the
+    deployment's age — the full telemetry → fault curve → fleet pipeline.
+    """
+    if window_hours <= 0 or deployment_age_hours < 0:
+        raise InvalidConfigurationError("window/age must be positive")
+    fitted = fit_model_curves(telemetry)
+    nodes: list[NodeModel] = []
+    for model, count in composition:
+        if model not in fitted:
+            raise InvalidConfigurationError(
+                f"model {model!r} absent from telemetry; present: {sorted(fitted)}"
+            )
+        if count <= 0:
+            raise InvalidConfigurationError(f"count for {model!r} must be positive")
+        p_fail = fitted[model].curve.failure_probability(
+            deployment_age_hours, deployment_age_hours + window_hours
+        )
+        nodes.extend([NodeModel(p_crash=p_fail, label=model)] * count)
+    return Fleet(tuple(nodes))

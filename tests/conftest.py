@@ -1,0 +1,25 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.mixture import Fleet, NodeModel, heterogeneous_fleet, uniform_fleet
+
+
+@pytest.fixture
+def small_cft_fleet() -> Fleet:
+    """Three crash-only nodes at the paper's 1% failure probability."""
+    return uniform_fleet(3, 0.01)
+
+
+@pytest.fixture
+def mixed_fleet() -> Fleet:
+    """The paper's §3 heterogeneous cluster: 4 × 8% + 3 × 1%."""
+    return heterogeneous_fleet([(4, NodeModel(0.08)), (3, NodeModel(0.01))])
+
+
+@pytest.fixture
+def byz_mixture_fleet() -> Fleet:
+    """Five nodes with distinct crash and Byzantine mass."""
+    return Fleet(tuple(NodeModel(p_crash=0.02 * (i + 1), p_byzantine=0.005) for i in range(5)))

@@ -1,0 +1,90 @@
+"""Unit tests for failure configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.config import FailureConfig, FaultKind, config_probability
+from repro.errors import InvalidConfigurationError
+
+
+class TestConstruction:
+    def test_all_correct(self):
+        config = FailureConfig.all_correct(4)
+        assert config.num_correct == 4
+        assert config.num_failed == 0
+
+    def test_from_failed_indices(self):
+        config = FailureConfig.from_failed_indices(5, [1, 3])
+        assert config.crashed_indices == {1, 3}
+        assert config.correct_indices == {0, 2, 4}
+
+    def test_from_failed_indices_byzantine(self):
+        config = FailureConfig.from_failed_indices(3, [0], kind=FaultKind.BYZANTINE)
+        assert config.byzantine_indices == {0}
+        assert config.num_crashed == 0
+
+    def test_from_failed_rejects_correct_kind(self):
+        with pytest.raises(InvalidConfigurationError):
+            FailureConfig.from_failed_indices(3, [0], kind=FaultKind.CORRECT)
+
+    def test_from_failed_rejects_bad_index(self):
+        with pytest.raises(InvalidConfigurationError):
+            FailureConfig.from_failed_indices(3, [7])
+
+    def test_from_counts(self):
+        config = FailureConfig.from_counts(2, 1, 1)
+        assert config.n == 4
+        assert config.num_correct == 2
+        assert config.num_crashed == 1
+        assert config.num_byzantine == 1
+
+    def test_from_counts_negative_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            FailureConfig.from_counts(-1, 0, 0)
+
+
+class TestViews:
+    def test_failed_union(self):
+        config = FailureConfig(
+            (FaultKind.CORRECT, FaultKind.CRASH, FaultKind.BYZANTINE)
+        )
+        assert config.failed_indices == {1, 2}
+        assert config.num_failed == 2
+
+    def test_describe(self):
+        config = FailureConfig(
+            (FaultKind.CORRECT, FaultKind.CRASH, FaultKind.BYZANTINE)
+        )
+        assert config.describe() == ".XB"
+
+    def test_with_kind(self):
+        config = FailureConfig.all_correct(3).with_kind(1, FaultKind.CRASH)
+        assert config.crashed_indices == {1}
+
+    def test_hashable_and_equal(self):
+        a = FailureConfig.from_failed_indices(3, [1])
+        b = FailureConfig.from_failed_indices(3, [1])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_iteration_and_indexing(self):
+        config = FailureConfig.from_counts(1, 1, 0)
+        assert list(config) == [FaultKind.CORRECT, FaultKind.CRASH]
+        assert config[0] is FaultKind.CORRECT
+
+
+class TestProbability:
+    def test_independent_product(self):
+        config = FailureConfig((FaultKind.CORRECT, FaultKind.CRASH, FaultKind.BYZANTINE))
+        p = config_probability(config, [0.1, 0.2, 0.1], [0.05, 0.0, 0.3])
+        assert p == pytest.approx((1 - 0.15) * 0.2 * 0.3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            config_probability(FailureConfig.all_correct(2), [0.1], [0.0])
+
+    def test_all_correct_probability(self):
+        config = FailureConfig.all_correct(3)
+        p = config_probability(config, [0.1] * 3, [0.0] * 3)
+        assert p == pytest.approx(0.9**3)

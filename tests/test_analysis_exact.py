@@ -1,0 +1,85 @@
+"""Unit tests for the exact enumerator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.counting import counting_reliability
+from repro.analysis.exact import (
+    configuration_count,
+    enumerate_configurations,
+    exact_reliability,
+    worst_configurations,
+)
+from repro.errors import EstimationError, InvalidConfigurationError
+from repro.faults.mixture import Fleet, NodeModel, uniform_fleet
+from repro.protocols.pbft import PBFTSpec
+from repro.protocols.raft import RaftSpec
+
+
+class TestEnumeration:
+    def test_configuration_count_cft(self):
+        assert configuration_count(uniform_fleet(5, 0.1)) == 32
+
+    def test_configuration_count_with_byzantine(self):
+        fleet = Fleet((NodeModel(0.1, 0.05),) * 3)
+        assert configuration_count(fleet) == 27
+
+    def test_zero_probability_outcomes_pruned(self):
+        fleet = Fleet((NodeModel(0.0, 0.0), NodeModel(0.5, 0.0)))
+        assert configuration_count(fleet) == 2
+
+    def test_probabilities_sum_to_one(self, byz_mixture_fleet):
+        total = sum(p for _, p in enumerate_configurations(byz_mixture_fleet))
+        assert total == pytest.approx(1.0)
+
+    def test_budget_enforced(self):
+        fleet = uniform_fleet(30, 0.5)
+        with pytest.raises(EstimationError):
+            list(enumerate_configurations(fleet, max_configs=100))
+
+
+class TestExactReliability:
+    def test_agrees_with_counting_raft(self, mixed_fleet):
+        spec = RaftSpec(7)
+        exact = exact_reliability(spec, mixed_fleet)
+        counted = counting_reliability(spec, mixed_fleet)
+        assert exact.safe.value == pytest.approx(counted.safe.value)
+        assert exact.live.value == pytest.approx(counted.live.value)
+        assert exact.safe_and_live.value == pytest.approx(counted.safe_and_live.value)
+
+    def test_agrees_with_counting_pbft_mixture(self, byz_mixture_fleet):
+        spec = PBFTSpec(5)
+        exact = exact_reliability(spec, byz_mixture_fleet)
+        counted = counting_reliability(spec, byz_mixture_fleet)
+        assert exact.safe.value == pytest.approx(counted.safe.value)
+        assert exact.live.value == pytest.approx(counted.live.value)
+
+    def test_size_mismatch(self, small_cft_fleet):
+        with pytest.raises(InvalidConfigurationError):
+            exact_reliability(RaftSpec(4), small_cft_fleet)
+
+
+class TestWorstConfigurations:
+    def test_most_probable_liveness_violation(self):
+        # 3-node Raft at 1%: the top liveness violations are the three
+        # two-node failure patterns.
+        fleet = uniform_fleet(3, 0.01)
+        worst = worst_configurations(RaftSpec(3), fleet, predicate="live", limit=3)
+        assert len(worst) == 3
+        assert all(config.num_failed == 2 for config, _ in worst)
+
+    def test_heterogeneous_ranking_prefers_flaky_nodes(self, mixed_fleet):
+        worst = worst_configurations(RaftSpec(7), mixed_fleet, predicate="live", limit=1)
+        config, probability = worst[0]
+        # The most probable violation kills 4 of the 8% nodes (indices 0-3).
+        assert config.failed_indices == {0, 1, 2, 3}
+        assert probability == pytest.approx((0.08**4) * (0.99**3))
+
+    def test_unknown_predicate(self, small_cft_fleet):
+        with pytest.raises(InvalidConfigurationError):
+            worst_configurations(RaftSpec(3), small_cft_fleet, predicate="nope")
+
+    def test_raft_safety_never_violated(self, small_cft_fleet):
+        worst = worst_configurations(RaftSpec(3), small_cft_fleet, predicate="safe")
+        assert worst == []

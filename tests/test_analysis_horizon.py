@@ -1,0 +1,127 @@
+"""Unit tests for multi-window horizon analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.counting import counting_reliability
+from repro.analysis.horizon import (
+    annualized_downtime_minutes,
+    expected_bad_windows,
+    first_subtarget_window,
+    fleet_for_window,
+    horizon_survival,
+    reliability_over_horizon,
+)
+from repro.errors import InvalidConfigurationError
+from repro.faults.curves import ConstantHazard, WeibullCurve
+from repro.faults.mixture import uniform_fleet
+from repro.protocols.raft import RaftSpec
+
+WINDOW = 720.0  # 30 days
+
+
+def _constant_curves(n, p):
+    return [ConstantHazard.from_window_probability(p, WINDOW)] * n
+
+
+def _aging_curves(n):
+    return [WeibullCurve(shape=4.0, scale_hours=20_000.0)] * n
+
+
+class TestWindowProjection:
+    def test_constant_curves_flat_series(self):
+        points = reliability_over_horizon(
+            RaftSpec, _constant_curves(5, 0.01), window_hours=WINDOW, n_windows=6
+        )
+        values = [p.safe_and_live for p in points]
+        assert all(v == pytest.approx(values[0]) for v in values)
+
+    def test_first_window_matches_direct_analysis(self):
+        points = reliability_over_horizon(
+            RaftSpec, _constant_curves(5, 0.01), window_hours=WINDOW, n_windows=1
+        )
+        direct = counting_reliability(RaftSpec(5), uniform_fleet(5, 0.01))
+        assert points[0].safe_and_live == pytest.approx(direct.safe_and_live.value)
+
+    def test_aging_curves_decline(self):
+        points = reliability_over_horizon(
+            RaftSpec, _aging_curves(5), window_hours=WINDOW, n_windows=24
+        )
+        assert points[-1].safe_and_live < points[0].safe_and_live
+
+    def test_fleet_for_window_projects_hazard(self):
+        fleet = fleet_for_window(_constant_curves(3, 0.02), 0.0, WINDOW)
+        assert fleet[0].p_fail == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            reliability_over_horizon(
+                RaftSpec, _constant_curves(3, 0.01), window_hours=WINDOW, n_windows=0
+            )
+        with pytest.raises(InvalidConfigurationError):
+            fleet_for_window(_constant_curves(3, 0.01), 0.0, 0.0)
+
+
+class TestHorizonSurvival:
+    def test_repair_model_is_product(self):
+        curves = _constant_curves(5, 0.01)
+        one = horizon_survival(RaftSpec, curves, window_hours=WINDOW, n_windows=1)
+        twelve = horizon_survival(RaftSpec, curves, window_hours=WINDOW, n_windows=12)
+        assert twelve == pytest.approx(one**12)
+
+    def test_no_repair_equals_single_long_window(self):
+        curves = _constant_curves(5, 0.01)
+        no_repair = horizon_survival(
+            RaftSpec, curves, window_hours=WINDOW, n_windows=12, repair_between_windows=False
+        )
+        long_window = counting_reliability(
+            RaftSpec(5), fleet_for_window(curves, 0.0, 12 * WINDOW)
+        )
+        assert no_repair == pytest.approx(long_window.safe_and_live.value)
+
+    def test_repair_strictly_helps(self):
+        curves = _constant_curves(5, 0.05)
+        with_repair = horizon_survival(RaftSpec, curves, window_hours=WINDOW, n_windows=12)
+        without = horizon_survival(
+            RaftSpec, curves, window_hours=WINDOW, n_windows=12, repair_between_windows=False
+        )
+        assert with_repair > without
+
+
+class TestDeadlines:
+    def test_aging_fleet_has_deadline(self):
+        point = first_subtarget_window(
+            RaftSpec, _aging_curves(5), window_hours=WINDOW, target_nines=4.0
+        )
+        assert point is not None
+        assert point.window_index > 0  # healthy at first
+
+    def test_reliable_fleet_never_dips(self):
+        point = first_subtarget_window(
+            RaftSpec,
+            _constant_curves(5, 0.001),
+            window_hours=WINDOW,
+            target_nines=3.0,
+            max_windows=24,
+        )
+        assert point is None
+
+    def test_expected_bad_windows_scales_linearly_for_constant_curves(self):
+        curves = _constant_curves(5, 0.02)
+        one_year = expected_bad_windows(RaftSpec, curves, window_hours=WINDOW, n_windows=12)
+        two_years = expected_bad_windows(RaftSpec, curves, window_hours=WINDOW, n_windows=24)
+        assert two_years == pytest.approx(2 * one_year)
+
+
+class TestDowntimeTranslation:
+    def test_magnitude(self):
+        # 3-nines windows: ~0.1% of the year exposed.
+        minutes = annualized_downtime_minutes(1e-3, window_hours=WINDOW)
+        assert minutes == pytest.approx(8766.0 * 60.0 * 1e-3)
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            annualized_downtime_minutes(1.5, window_hours=WINDOW)
+        with pytest.raises(InvalidConfigurationError):
+            annualized_downtime_minutes(0.1, window_hours=0.0)

@@ -1,0 +1,118 @@
+"""Unit tests for importance sampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.counting import counting_reliability
+from repro.analysis.importance import (
+    default_tilt,
+    importance_sample_violation,
+    minimal_violating_failures,
+    quorum_wipeout_probability,
+)
+from repro.errors import InvalidConfigurationError
+from repro.faults.mixture import uniform_fleet
+from repro.protocols.pbft import PBFTSpec
+from repro.protocols.raft import RaftSpec
+
+
+class TestMinimalViolations:
+    def test_raft_liveness_threshold(self):
+        # 5-node Raft: liveness needs 3 correct, so 3 failures violate.
+        assert minimal_violating_failures(RaftSpec(5), predicate="live") == 3
+
+    def test_raft_safety_unviolable_by_crashes(self):
+        from repro.analysis.config import FaultKind
+
+        assert (
+            minimal_violating_failures(
+                RaftSpec(5), predicate="safe", failure_kind=FaultKind.CRASH
+            )
+            is None
+        )
+
+    def test_raft_safety_violable_by_byzantine(self):
+        assert minimal_violating_failures(RaftSpec(5), predicate="safe") == 1
+
+    def test_pbft_safety_threshold(self):
+        # N=4 PBFT: safe while Byz <= 1, so 2 failures can violate.
+        assert minimal_violating_failures(PBFTSpec(4), predicate="safe") == 2
+
+    def test_asymmetric_rejected(self):
+        from repro.protocols.reliability_aware import ReliabilityAwareRaftSpec
+
+        with pytest.raises(InvalidConfigurationError):
+            minimal_violating_failures(ReliabilityAwareRaftSpec(3, pinned=[0]))
+
+
+class TestTilt:
+    def test_floor_applied(self):
+        fleet = uniform_fleet(10, 0.001)
+        tilt = default_tilt(fleet, 5)
+        assert all(t == pytest.approx(0.5) for t in tilt)
+
+    def test_likely_failures_untouched(self):
+        fleet = uniform_fleet(4, 0.8)
+        tilt = default_tilt(fleet, 1)
+        assert all(t == pytest.approx(0.8) for t in tilt)
+
+
+class TestImportanceEstimates:
+    def test_matches_exact_liveness_violation(self):
+        fleet = uniform_fleet(5, 0.01)
+        spec = RaftSpec(5)
+        exact_violation = 1.0 - counting_reliability(spec, fleet).live.value
+        result = importance_sample_violation(
+            spec, fleet, predicate="live", trials=40_000, seed=0
+        )
+        assert result.violation.value == pytest.approx(exact_violation, rel=0.1)
+
+    def test_resolves_deep_nines_plain_mc_cannot(self):
+        # 9-node Raft at p=1%: violation ≈ 1.2e-8; 20k plain-MC trials would
+        # almost surely see zero events.
+        fleet = uniform_fleet(9, 0.01)
+        spec = RaftSpec(9)
+        exact_violation = 1.0 - counting_reliability(spec, fleet).live.value
+        result = importance_sample_violation(
+            spec, fleet, predicate="live", trials=40_000, seed=1
+        )
+        assert result.violation.value == pytest.approx(exact_violation, rel=0.2)
+        assert result.effective_sample_size > 100
+
+    def test_structurally_safe_returns_exact_zero(self):
+        fleet = uniform_fleet(5, 0.01)
+        result = importance_sample_violation(RaftSpec(5), fleet, predicate="safe")
+        assert result.violation.value == 0.0
+        assert result.violation.is_exact
+
+    def test_explicit_tilt_validation(self):
+        fleet = uniform_fleet(3, 0.01)
+        with pytest.raises(InvalidConfigurationError):
+            importance_sample_violation(
+                RaftSpec(3), fleet, predicate="live", tilt=[0.5, 0.5]
+            )
+        with pytest.raises(InvalidConfigurationError):
+            importance_sample_violation(
+                RaftSpec(3), fleet, predicate="live", tilt=[0.0, 0.5, 1.0]
+            )
+
+    def test_reliability_complement(self):
+        fleet = uniform_fleet(5, 0.02)
+        result = importance_sample_violation(
+            RaftSpec(5), fleet, predicate="live", trials=20_000, seed=2
+        )
+        assert result.reliability.value == pytest.approx(1.0 - result.violation.value)
+
+
+class TestQuorumWipeout:
+    def test_matches_closed_form(self):
+        # The paper's §4 example: q=10, p=10% -> 1e-10.
+        result = quorum_wipeout_probability(100, 10, 0.10, trials=400_000, seed=3)
+        assert result.violation.value == pytest.approx(1e-10, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            quorum_wipeout_probability(10, 0, 0.1)
+        with pytest.raises(InvalidConfigurationError):
+            quorum_wipeout_probability(10, 3, 0.0)

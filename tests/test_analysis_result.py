@@ -1,0 +1,92 @@
+"""Unit tests for estimates, nines and formatting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.result import (
+    Estimate,
+    ReliabilityResult,
+    format_probability,
+    from_nines,
+    nines,
+)
+
+
+class TestNines:
+    @pytest.mark.parametrize(
+        "p,expected", [(0.9, 1.0), (0.99, 2.0), (0.999, 3.0), (0.99999999999, 11.0)]
+    )
+    def test_known_values(self, p, expected):
+        assert nines(p) == pytest.approx(expected, abs=1e-6)
+
+    def test_perfect_reliability(self):
+        assert nines(1.0) == math.inf
+
+    def test_round_trip(self):
+        for n in (0.5, 1.0, 3.5, 9.0):
+            assert nines(from_nines(n)) == pytest.approx(n)
+
+    def test_from_inf(self):
+        assert from_nines(math.inf) == 1.0
+
+
+class TestFormatting:
+    def test_paper_style_precision(self):
+        # Mirrors Table 1's "99.9990%" vs "99.90%" distinction.
+        assert format_probability(0.99999) == "99.99900%"[:9] or format_probability(0.99999).startswith("99.999")
+        assert format_probability(0.999) .startswith("99.9")
+
+    def test_boundaries(self):
+        assert format_probability(1.0) == "100%"
+        assert format_probability(0.0) == "0%"
+
+    def test_distinguishes_nearby_nines(self):
+        assert format_probability(0.9990) != format_probability(0.99990)
+
+
+class TestEstimate:
+    def test_exact(self):
+        est = Estimate.exact(0.999)
+        assert est.is_exact
+        assert est.nines == pytest.approx(3.0)
+        assert est.contains(0.999)
+        assert not est.contains(0.998)
+
+    def test_interval_contains(self):
+        est = Estimate(value=0.5, stderr=0.01, ci_low=0.48, ci_high=0.52)
+        assert est.contains(0.49)
+        assert not est.contains(0.55)
+
+    def test_str_forms(self):
+        assert "±" not in str(Estimate.exact(0.99))
+        assert "±" in str(Estimate(0.99, stderr=0.001, ci_low=0.98, ci_high=0.995))
+
+
+class TestReliabilityResult:
+    def test_row_layout(self):
+        result = ReliabilityResult(
+            protocol="Raft",
+            n=3,
+            safe=Estimate.exact(1.0),
+            live=Estimate.exact(0.999702),
+            safe_and_live=Estimate.exact(0.999702),
+            method="counting",
+        )
+        row = result.row()
+        assert row["N"] == "3"
+        assert row["Safe %"] == "100%"
+        assert "99.970" in row["Safe and Live %"]
+
+    def test_str(self):
+        result = ReliabilityResult(
+            protocol="PBFT",
+            n=4,
+            safe=Estimate.exact(0.9994),
+            live=Estimate.exact(0.9994),
+            safe_and_live=Estimate.exact(0.9994),
+            method="counting",
+        )
+        assert "PBFT(n=4)" in str(result)

@@ -1,0 +1,100 @@
+"""Unit tests for Birnbaum importance and the upgrade advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.config import FaultKind
+from repro.analysis.counting import counting_reliability
+from repro.analysis.sensitivity import (
+    best_single_upgrade,
+    birnbaum_importance,
+    greedy_upgrade_plan,
+    importance_ranking,
+    reliability_gradient,
+)
+from repro.errors import InvalidConfigurationError
+from repro.faults.mixture import Fleet, NodeModel, heterogeneous_fleet, uniform_fleet
+from repro.protocols.raft import RaftSpec
+from repro.protocols.reliability_aware import ReliabilityAwareRaftSpec
+
+
+class TestBirnbaum:
+    def test_matches_finite_difference(self):
+        """B_u must equal the derivative of reliability in p_u."""
+        fleet = heterogeneous_fleet([(2, NodeModel(0.05)), (3, NodeModel(0.2))])
+        spec = RaftSpec(5)
+        node = 0
+        importance = birnbaum_importance(spec, fleet, node, metric="live")
+        eps = 1e-6
+        base_p = fleet[node].p_fail
+        up = counting_reliability(spec, fleet.replace(node, NodeModel(base_p + eps)))
+        down = counting_reliability(spec, fleet.replace(node, NodeModel(base_p - eps)))
+        derivative = (up.live.value - down.live.value) / (2 * eps)
+        assert importance == pytest.approx(-derivative, rel=1e-4)
+
+    def test_symmetric_fleet_equal_importance(self):
+        fleet = uniform_fleet(5, 0.1)
+        spec = RaftSpec(5)
+        scores = [birnbaum_importance(spec, fleet, i) for i in range(5)]
+        assert all(s == pytest.approx(scores[0]) for s in scores)
+
+    def test_raft_safety_insensitive_to_crashes(self):
+        fleet = uniform_fleet(5, 0.1)
+        assert birnbaum_importance(RaftSpec(5), fleet, 0, metric="safe") == 0.0
+
+    def test_raft_safety_sensitive_to_byzantine(self):
+        fleet = uniform_fleet(5, 0.1)
+        importance = birnbaum_importance(
+            RaftSpec(5), fleet, 0, metric="safe", failure_kind=FaultKind.BYZANTINE
+        )
+        assert importance > 0.9  # one Byzantine node sinks CFT safety
+
+    def test_asymmetric_spec_pinned_nodes_matter_more(self):
+        fleet = heterogeneous_fleet([(4, NodeModel(0.08)), (3, NodeModel(0.01))])
+        spec = ReliabilityAwareRaftSpec(7, pinned=[4, 5, 6], require_pinned=1)
+        ranking = importance_ranking(spec, fleet, metric="live")
+        # All-pinned-down kills liveness outright, so a pinned node carries
+        # the extra failure mode and outranks symmetric unpinned nodes...
+        # at least one pinned node must appear in the top half.
+        top = [node for node, _ in ranking[:3]]
+        assert any(node in (4, 5, 6) for node in top)
+
+    def test_validation(self):
+        fleet = uniform_fleet(3, 0.1)
+        with pytest.raises(InvalidConfigurationError):
+            birnbaum_importance(RaftSpec(3), fleet, 7)
+        with pytest.raises(InvalidConfigurationError):
+            birnbaum_importance(RaftSpec(3), fleet, 0, failure_kind=FaultKind.CORRECT)
+        with pytest.raises(InvalidConfigurationError):
+            birnbaum_importance(RaftSpec(3), fleet, 0, metric="vibes")
+
+
+class TestUpgradeAdvisor:
+    def test_targets_flakiest_node(self):
+        fleet = Fleet((NodeModel(0.02), NodeModel(0.3), NodeModel(0.05)))
+        option = best_single_upgrade(RaftSpec(3), fleet, NodeModel(0.01))
+        assert option is not None
+        assert option.node == 1
+        assert option.gain > 0
+
+    def test_no_upgrade_when_replacement_worse(self):
+        fleet = uniform_fleet(3, 0.01)
+        assert best_single_upgrade(RaftSpec(3), fleet, NodeModel(0.05)) is None
+
+    def test_greedy_plan_monotone_gains(self):
+        fleet = Fleet((NodeModel(0.3), NodeModel(0.25), NodeModel(0.2), NodeModel(0.05), NodeModel(0.05)))
+        plan = greedy_upgrade_plan(RaftSpec(5), fleet, NodeModel(0.01), budget=3)
+        assert len(plan) == 3
+        assert [o.node for o in plan] == [0, 1, 2]  # flakiest first
+        gains = [o.gain for o in plan]
+        assert gains == sorted(gains, reverse=True)  # diminishing returns
+
+    def test_budget_zero(self):
+        fleet = uniform_fleet(3, 0.2)
+        assert greedy_upgrade_plan(RaftSpec(3), fleet, NodeModel(0.01), budget=0) == []
+
+    def test_gradient_sign(self):
+        fleet = uniform_fleet(5, 0.1)
+        gradient = reliability_gradient(RaftSpec(5), fleet)
+        assert all(g < 0 for g in gradient)  # worse nodes, worse system

@@ -1,0 +1,96 @@
+"""CLI tests (argument parsing and table output)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "99.99901%" in out  # the N=5 safety cell (paper: 99.9990%)
+        assert "Table 1" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "99.970%" in out  # N=3, p=1%
+        assert "Table 2" in out
+
+
+class TestSingleAnalyses:
+    def test_raft(self, capsys):
+        assert main(["raft", "--n", "3", "--p", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "99.970%" in out
+
+    def test_raft_flexible_quorums(self, capsys):
+        assert main(["raft", "--n", "5", "--p", "0.01", "--q-per", "2", "--q-vc", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "100%" in out  # structurally safe pair
+
+    def test_pbft(self, capsys):
+        assert main(["pbft", "--n", "4", "--p", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "99.941%" in out
+
+
+class TestPlan:
+    def test_feasible_plan(self, capsys):
+        assert main(["plan", "--target-nines", "3.4"]) == 0
+        out = capsys.readouterr().out
+        assert "spot" in out
+
+    def test_infeasible_plan(self, capsys):
+        assert main(["plan", "--target-nines", "12", "--max-size", "3"]) == 1
+        out = capsys.readouterr().out
+        assert "no plan" in out
+
+
+class TestSensitivity:
+    def test_ranks_reliable_nodes_on_mixed_fleet(self, capsys):
+        assert main(["sensitivity", "--n", "7", "--p", "0.08,0.08,0.08,0.08,0.01,0.01,0.01"]) == 0
+        out = capsys.readouterr().out
+        first_row = [line for line in out.splitlines() if line.startswith("1 ")][0]
+        assert " 4 " in first_row  # a reliable node tops the ranking
+
+    def test_single_probability_broadcast(self, capsys):
+        assert main(["sensitivity", "--n", "3", "--p", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("0.0500") == 3
+
+    def test_wrong_probability_count(self):
+        with pytest.raises(SystemExit):
+            main(["sensitivity", "--n", "3", "--p", "0.1,0.2"])
+
+
+class TestCommittee:
+    def test_finds_small_committee(self, capsys):
+        assert main(["committee", "--n", "100", "--p", "0.01", "--target-nines", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "smallest committee: 5" in out
+
+    def test_unreachable_target(self, capsys):
+        assert main(["committee", "--n", "5", "--p", "0.3", "--target-nines", "9"]) == 1
+        assert "no committee" in capsys.readouterr().out
+
+
+class TestMTTF:
+    def test_prints_metrics(self, capsys):
+        assert main(["mttf", "--n", "5", "--afr", "0.08", "--mttr-hours", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "MTTDL" in out
+        assert "availability" in out
+
+
+class TestParser:
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["fnord"])

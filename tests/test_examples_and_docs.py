@@ -1,0 +1,42 @@
+"""Keep documentation honest: run doctests and every example script."""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestDoctests:
+    def test_package_docstring_examples(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 2  # the quickstart snippet is exercised
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script",
+        sorted(path.name for path in EXAMPLES_DIR.glob("*.py")),
+    )
+    def test_example_runs_clean(self, script):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert completed.stdout.strip(), f"{script} produced no output"
+
+    def test_expected_example_set_present(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 4  # quickstart + ≥3 scenario scripts

@@ -1,0 +1,74 @@
+"""Unit tests for AFR / MTBF / rate conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidConfigurationError, InvalidProbabilityError
+from repro.faults.afr import (
+    afr_to_hourly_rate,
+    afr_to_window_probability,
+    hourly_rate_to_afr,
+    mtbf_hours_to_afr,
+    rate_to_mtbf_hours,
+    window_probability_to_afr,
+)
+from repro.faults.curves import HOURS_PER_YEAR
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("afr", [0.001, 0.01, 0.04, 0.08, 0.5])
+    def test_afr_rate_round_trip(self, afr):
+        assert hourly_rate_to_afr(afr_to_hourly_rate(afr)) == pytest.approx(afr)
+
+    @pytest.mark.parametrize("p", [0.005, 0.08, 0.3])
+    def test_window_probability_round_trip(self, p):
+        afr = window_probability_to_afr(p, 720.0)
+        assert afr_to_window_probability(afr, 720.0) == pytest.approx(p)
+
+    def test_afr_over_one_year_window_is_identity(self):
+        assert afr_to_window_probability(0.04, HOURS_PER_YEAR) == pytest.approx(0.04)
+
+
+class TestMTBF:
+    def test_mtbf_inverse_of_rate(self):
+        assert rate_to_mtbf_hours(1e-4) == pytest.approx(10_000.0)
+
+    def test_mtbf_to_afr_small_rate_approximation(self):
+        # For MTBF >> a year, AFR ≈ hours-per-year / MTBF.
+        mtbf = 1_000_000.0
+        assert mtbf_hours_to_afr(mtbf) == pytest.approx(HOURS_PER_YEAR / mtbf, rel=0.01)
+
+    def test_mtbf_equal_to_year_gives_63_percent(self):
+        assert mtbf_hours_to_afr(HOURS_PER_YEAR) == pytest.approx(0.6321, abs=1e-3)
+
+
+class TestValidation:
+    def test_afr_bounds(self):
+        with pytest.raises(InvalidProbabilityError):
+            afr_to_hourly_rate(1.0)
+        with pytest.raises(InvalidProbabilityError):
+            afr_to_hourly_rate(-0.1)
+
+    def test_negative_rate(self):
+        with pytest.raises(InvalidConfigurationError):
+            hourly_rate_to_afr(-1e-5)
+
+    def test_nonpositive_mtbf(self):
+        with pytest.raises(InvalidConfigurationError):
+            mtbf_hours_to_afr(0.0)
+
+    def test_zero_window(self):
+        assert afr_to_window_probability(0.04, 0.0) == 0.0
+        with pytest.raises(InvalidConfigurationError):
+            window_probability_to_afr(0.01, 0.0)
+
+
+class TestMonotonicity:
+    def test_rate_monotone_in_afr(self):
+        rates = [afr_to_hourly_rate(a) for a in (0.01, 0.04, 0.2)]
+        assert rates == sorted(rates)
+
+    def test_window_probability_monotone_in_window(self):
+        probs = [afr_to_window_probability(0.04, h) for h in (24, 720, 8766)]
+        assert probs == sorted(probs)

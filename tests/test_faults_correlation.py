@@ -1,0 +1,133 @@
+"""Unit tests for correlated-failure models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfigurationError, InvalidProbabilityError
+from repro.faults.correlation import (
+    BetaBinomialContagion,
+    CommonShockModel,
+    IndependentFailures,
+    ShockGroup,
+    correlated_fleet_sampler,
+    rack_shocks,
+    rollout_shock,
+)
+from repro.faults.mixture import uniform_fleet
+
+
+class TestIndependent:
+    def test_marginals(self):
+        model = IndependentFailures(uniform_fleet(10, 0.3))
+        assert np.allclose(model.marginal_probabilities(), 0.3)
+
+    def test_sample_frequency(self):
+        model = IndependentFailures(uniform_fleet(20, 0.25))
+        samples = model.sample_many(4000, seed=0)
+        assert samples.mean() == pytest.approx(0.25, abs=0.02)
+
+    def test_near_zero_pairwise_correlation(self):
+        model = IndependentFailures(uniform_fleet(6, 0.3))
+        assert abs(model.empirical_pairwise_correlation(trials=20_000, seed=1)) < 0.03
+
+
+class TestCommonShock:
+    def test_degenerates_to_independent_without_shocks(self):
+        fleet = uniform_fleet(8, 0.1)
+        model = CommonShockModel(fleet, ())
+        assert np.allclose(model.marginal_probabilities(), 0.1)
+
+    def test_marginals_include_shock_mass(self):
+        fleet = uniform_fleet(4, 0.1)
+        shock = ShockGroup((0, 1), probability=0.5, lethality=1.0)
+        model = CommonShockModel(fleet, (shock,))
+        marginals = model.marginal_probabilities()
+        assert marginals[0] == pytest.approx(1 - 0.9 * 0.5)
+        assert marginals[2] == pytest.approx(0.1)
+
+    def test_positive_correlation_from_shock(self):
+        fleet = uniform_fleet(6, 0.05)
+        model = CommonShockModel(fleet, (rollout_shock(fleet, 0.3),))
+        assert model.empirical_pairwise_correlation(trials=20_000, seed=2) > 0.5
+
+    def test_count_pmf_sums_to_one(self):
+        fleet = uniform_fleet(5, 0.1)
+        model = CommonShockModel(fleet, (rollout_shock(fleet, 0.2, lethality=0.5),))
+        pmf = model.failure_count_pmf()
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_count_pmf_matches_sampling(self):
+        fleet = uniform_fleet(4, 0.1)
+        model = CommonShockModel(fleet, (rollout_shock(fleet, 0.4),))
+        pmf = model.failure_count_pmf()
+        samples = model.sample_many(30_000, seed=3).sum(axis=1)
+        empirical = np.bincount(samples, minlength=5) / samples.size
+        assert np.allclose(pmf, empirical, atol=0.015)
+
+    def test_rack_shocks_partition(self):
+        fleet = uniform_fleet(7, 0.05)
+        shocks = rack_shocks(fleet, rack_size=3, probability=0.1)
+        members = sorted(i for s in shocks for i in s.members)
+        assert members == list(range(7))
+        assert len(shocks) == 3
+
+    def test_member_out_of_range_rejected(self):
+        fleet = uniform_fleet(3, 0.1)
+        with pytest.raises(InvalidConfigurationError):
+            CommonShockModel(fleet, (ShockGroup((5,), 0.1),))
+
+    def test_bad_shock_probability(self):
+        with pytest.raises(InvalidProbabilityError):
+            ShockGroup((0,), probability=1.5)
+
+
+class TestBetaBinomial:
+    def test_marginal_and_correlation_formulas(self):
+        model = BetaBinomialContagion.from_marginal_and_correlation(10, 0.1, 0.2)
+        assert model.marginal == pytest.approx(0.1)
+        assert model.pairwise_correlation == pytest.approx(0.2)
+
+    def test_count_pmf_sums_to_one(self):
+        model = BetaBinomialContagion(12, 2.0, 8.0)
+        assert model.failure_count_pmf().sum() == pytest.approx(1.0)
+
+    def test_count_pmf_mean(self):
+        model = BetaBinomialContagion(10, 2.0, 8.0)
+        pmf = model.failure_count_pmf()
+        mean = sum(k * p for k, p in enumerate(pmf))
+        assert mean == pytest.approx(10 * model.marginal)
+
+    def test_sampling_matches_marginal(self):
+        model = BetaBinomialContagion(8, 3.0, 7.0)
+        samples = model.sample_many(20_000, seed=4)
+        assert samples.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_contagion_raises_tail_risk_vs_independent(self):
+        """Correlation fattens the many-simultaneous-failures tail (§2)."""
+        n, marginal = 9, 0.1
+        contagion = BetaBinomialContagion.from_marginal_and_correlation(n, marginal, 0.3)
+        pmf = contagion.failure_count_pmf()
+        from scipy import stats
+
+        p_majority_corr = pmf[5:].sum()
+        p_majority_indep = float(stats.binom.sf(4, n, marginal))
+        assert p_majority_corr > 10 * p_majority_indep
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidConfigurationError):
+            BetaBinomialContagion(5, 0.0, 1.0)
+        with pytest.raises(InvalidProbabilityError):
+            BetaBinomialContagion.from_marginal_and_correlation(5, 0.0, 0.2)
+
+
+class TestSamplerFactory:
+    def test_no_shocks_gives_independent(self):
+        model = correlated_fleet_sampler(uniform_fleet(3, 0.1))
+        assert isinstance(model, IndependentFailures)
+
+    def test_with_shocks_gives_common_shock(self):
+        fleet = uniform_fleet(3, 0.1)
+        model = correlated_fleet_sampler(fleet, [rollout_shock(fleet, 0.1)])
+        assert isinstance(model, CommonShockModel)

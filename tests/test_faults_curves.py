@@ -1,0 +1,198 @@
+"""Unit tests for the fault-curve hierarchy."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfigurationError, InvalidProbabilityError
+from repro.faults.curves import (
+    HOURS_PER_YEAR,
+    BathtubCurve,
+    ConstantHazard,
+    EmpiricalCurve,
+    ExponentialCurve,
+    PiecewiseConstantCurve,
+    ScaledCurve,
+    WeibullCurve,
+    curve_from_samples,
+)
+
+
+class TestConstantHazard:
+    def test_window_probability_matches_exponential(self):
+        curve = ConstantHazard(1e-4)
+        assert curve.failure_probability(0, 1000) == pytest.approx(1 - math.exp(-0.1))
+
+    def test_memorylessness(self):
+        curve = ConstantHazard(2e-5)
+        assert curve.failure_probability(0, 500) == pytest.approx(
+            curve.failure_probability(10_000, 10_500)
+        )
+
+    def test_from_afr_round_trip(self):
+        curve = ConstantHazard.from_afr(0.04)
+        assert curve.annualized_failure_rate() == pytest.approx(0.04)
+
+    def test_from_window_probability_round_trip(self):
+        curve = ConstantHazard.from_window_probability(0.08, 720.0)
+        assert curve.failure_probability(0, 720.0) == pytest.approx(0.08)
+
+    def test_zero_rate_never_fails(self):
+        curve = ConstantHazard(0.0)
+        assert curve.failure_probability(0, 1e9) == 0.0
+        assert curve.sample_failure_time(seed=1, horizon=1e6) == math.inf
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            ConstantHazard(-1.0)
+
+    def test_invalid_afr_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            ConstantHazard.from_afr(1.0)
+
+    def test_exponential_alias(self):
+        assert ExponentialCurve is ConstantHazard
+
+    def test_survival_plus_failure_is_one(self):
+        curve = ConstantHazard(3e-5)
+        total = curve.survival_probability(0, 2000) + curve.failure_probability(0, 2000)
+        assert total == pytest.approx(1.0)
+
+    def test_reversed_window_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            ConstantHazard(1e-5).cumulative_hazard(10.0, 5.0)
+
+
+class TestWeibull:
+    def test_shape_one_is_exponential(self):
+        weibull = WeibullCurve(shape=1.0, scale_hours=10_000.0)
+        const = ConstantHazard(1.0 / 10_000.0)
+        assert weibull.failure_probability(0, 5000) == pytest.approx(
+            const.failure_probability(0, 5000)
+        )
+
+    def test_increasing_hazard_for_shape_above_one(self):
+        curve = WeibullCurve(shape=3.0, scale_hours=1000.0)
+        assert curve.hazard(2000.0) > curve.hazard(500.0)
+
+    def test_decreasing_hazard_for_shape_below_one(self):
+        curve = WeibullCurve(shape=0.5, scale_hours=1000.0)
+        assert curve.hazard(2000.0) < curve.hazard(100.0)
+
+    def test_cumulative_hazard_closed_form(self):
+        curve = WeibullCurve(shape=2.0, scale_hours=100.0)
+        assert curve.cumulative_hazard(0, 200.0) == pytest.approx(4.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidConfigurationError):
+            WeibullCurve(shape=0.0, scale_hours=100.0)
+        with pytest.raises(InvalidConfigurationError):
+            WeibullCurve(shape=1.0, scale_hours=-5.0)
+
+
+class TestPiecewise:
+    def test_integrates_segments_exactly(self):
+        curve = PiecewiseConstantCurve((0.0, 10.0, 20.0), (1e-3, 5e-3, 2e-3))
+        expected = 10 * 1e-3 + 10 * 5e-3 + 5 * 2e-3
+        assert curve.cumulative_hazard(0.0, 25.0) == pytest.approx(expected)
+
+    def test_hazard_lookup(self):
+        curve = PiecewiseConstantCurve((0.0, 10.0), (1e-3, 9e-3))
+        assert curve.hazard(5.0) == 1e-3
+        assert curve.hazard(15.0) == 9e-3
+
+    def test_final_rate_extends_forever(self):
+        curve = PiecewiseConstantCurve((0.0, 1.0), (0.0, 2e-3))
+        assert curve.cumulative_hazard(1.0, 101.0) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            PiecewiseConstantCurve((1.0, 2.0), (1e-3, 1e-3))  # must start at 0
+        with pytest.raises(InvalidConfigurationError):
+            PiecewiseConstantCurve((0.0, 0.0), (1e-3, 1e-3))  # not increasing
+        with pytest.raises(InvalidConfigurationError):
+            PiecewiseConstantCurve((0.0,), (-1e-3,))  # negative rate
+
+
+class TestBathtub:
+    def test_bathtub_shape(self):
+        curve = BathtubCurve()
+        infant = curve.hazard(10.0)
+        useful = curve.hazard(20_000.0)
+        wearout = curve.hazard(80_000.0)
+        assert infant > useful
+        assert wearout > useful
+
+    def test_infant_weight_scales_burn_in(self):
+        gentle = BathtubCurve(infant_weight=0.01)
+        harsh = BathtubCurve(infant_weight=0.10)
+        assert harsh.failure_probability(0, 2000) > gentle.failure_probability(0, 2000)
+
+    def test_useful_life_afr_near_baseline(self):
+        curve = BathtubCurve()
+        # Year 2 is useful life: AFR should be within 2x of the 4% floor.
+        afr = curve.failure_probability(HOURS_PER_YEAR, 2 * HOURS_PER_YEAR)
+        assert 0.03 < afr < 0.09
+
+
+class TestEmpirical:
+    def test_interpolation(self):
+        curve = curve_from_samples([0.0, 100.0], [1e-3, 3e-3])
+        assert curve.hazard(50.0) == pytest.approx(2e-3)
+
+    def test_constant_extension_beyond_knots(self):
+        curve = curve_from_samples([0.0, 100.0], [1e-3, 3e-3])
+        assert curve.hazard(500.0) == pytest.approx(3e-3)
+
+    def test_cumulative_matches_trapezoid(self):
+        curve = curve_from_samples([0.0, 100.0], [0.0, 2e-3])
+        # Linear ramp: integral over [0, 100] = 0.5 * 100 * 2e-3
+        assert curve.cumulative_hazard(0.0, 100.0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            EmpiricalCurve((0.0,), (1e-3,))
+        with pytest.raises(InvalidConfigurationError):
+            EmpiricalCurve((0.0, 0.0), (1e-3, 1e-3))
+
+
+class TestCombinators:
+    def test_scaled_curve(self):
+        base = ConstantHazard(1e-4)
+        scaled = base.scaled(3.0)
+        assert scaled.cumulative_hazard(0, 100) == pytest.approx(3e-2)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            ScaledCurve(ConstantHazard(1e-4), -1.0)
+
+    def test_sum_curve(self):
+        combined = ConstantHazard(1e-4) + ConstantHazard(2e-4)
+        assert combined.hazard(0.0) == pytest.approx(3e-4)
+        assert combined.cumulative_hazard(0, 10) == pytest.approx(3e-3)
+
+
+class TestSampling:
+    def test_sample_matches_distribution(self):
+        curve = ConstantHazard(1e-3)
+        rng = np.random.default_rng(42)
+        horizon = 2000.0
+        samples = [curve.sample_failure_time(rng, horizon=horizon) for _ in range(3000)]
+        failed_fraction = sum(1 for t in samples if math.isfinite(t)) / len(samples)
+        assert failed_fraction == pytest.approx(curve.failure_probability(0, horizon), abs=0.02)
+
+    def test_sample_deterministic_under_seed(self):
+        curve = WeibullCurve(2.0, 5_000.0)
+        a = curve.sample_failure_time(seed=7, horizon=20_000.0)
+        b = curve.sample_failure_time(seed=7, horizon=20_000.0)
+        assert a == b
+
+    def test_sampled_times_within_horizon(self):
+        curve = ConstantHazard(1e-2)
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            t = curve.sample_failure_time(rng, horizon=100.0)
+            assert t == math.inf or 0.0 <= t <= 100.0

@@ -1,0 +1,116 @@
+"""Unit tests for fault-curve fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError, InvalidConfigurationError
+from repro.faults.curves import ConstantHazard, WeibullCurve
+from repro.faults.fitting import (
+    fit_constant_hazard,
+    fit_piecewise_hazard,
+    fit_weibull,
+    select_best_fit,
+)
+
+
+def _censored_sample(curve, n, horizon, seed):
+    rng = np.random.default_rng(seed)
+    durations, observed = [], []
+    for _ in range(n):
+        t = curve.sample_failure_time(rng, horizon=horizon)
+        if np.isfinite(t) and t < horizon:
+            durations.append(t)
+            observed.append(True)
+        else:
+            durations.append(horizon)
+            observed.append(False)
+    return durations, observed
+
+
+class TestConstantFit:
+    def test_exposure_ratio(self):
+        fit = fit_constant_hazard([100.0, 200.0, 300.0], [True, False, True])
+        assert fit.curve.rate_per_hour == pytest.approx(2.0 / 600.0)
+
+    def test_recovers_true_rate(self):
+        true = ConstantHazard(1e-3)
+        durations, observed = _censored_sample(true, 2000, 3000.0, seed=0)
+        fit = fit_constant_hazard(durations, observed)
+        assert fit.curve.rate_per_hour == pytest.approx(1e-3, rel=0.1)
+
+    def test_zero_failures_gives_zero_rate(self):
+        fit = fit_constant_hazard([10.0, 20.0], [False, False])
+        assert fit.curve.rate_per_hour == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            fit_constant_hazard([], [])
+        with pytest.raises(InvalidConfigurationError):
+            fit_constant_hazard([1.0], [True, False])
+        with pytest.raises(InvalidConfigurationError):
+            fit_constant_hazard([-1.0], [True])
+
+
+class TestWeibullFit:
+    def test_recovers_shape_and_scale(self):
+        true = WeibullCurve(shape=2.5, scale_hours=1_000.0)
+        durations, observed = _censored_sample(true, 3000, 5_000.0, seed=1)
+        fit = fit_weibull(durations, observed)
+        assert fit.curve.shape == pytest.approx(2.5, rel=0.15)
+        assert fit.curve.scale_hours == pytest.approx(1_000.0, rel=0.1)
+
+    def test_zero_failures_rejected(self):
+        with pytest.raises(FittingError):
+            fit_weibull([10.0, 10.0], [False, False])
+
+
+class TestPiecewiseFit:
+    def test_recovers_step_change(self):
+        rng = np.random.default_rng(2)
+        from repro.faults.curves import PiecewiseConstantCurve
+
+        true = PiecewiseConstantCurve((0.0, 500.0), (5e-3, 5e-4))
+        durations, observed = [], []
+        for _ in range(3000):
+            t = true.sample_failure_time(rng, horizon=2_000.0)
+            failed = np.isfinite(t) and t < 2_000.0
+            durations.append(t if failed else 2_000.0)
+            observed.append(bool(failed))
+        fit = fit_piecewise_hazard(durations, observed, (0.0, 500.0))
+        assert fit.curve.rates[0] == pytest.approx(5e-3, rel=0.2)
+        assert fit.curve.rates[1] == pytest.approx(5e-4, rel=0.3)
+
+    def test_bad_breakpoints(self):
+        with pytest.raises(InvalidConfigurationError):
+            fit_piecewise_hazard([1.0], [True], (1.0, 2.0))
+
+
+class TestModelSelection:
+    def test_prefers_weibull_for_aging_data(self):
+        true = WeibullCurve(shape=3.0, scale_hours=800.0)
+        durations, observed = _censored_sample(true, 2000, 2_500.0, seed=3)
+        best = select_best_fit(durations, observed)
+        assert best.model_name == "weibull"
+
+    def test_prefers_constant_for_memoryless_data(self):
+        true = ConstantHazard(1e-3)
+        durations, observed = _censored_sample(true, 2000, 2_000.0, seed=4)
+        best = select_best_fit(durations, observed)
+        # Weibull nests constant; AIC's parameter penalty should favour
+        # the 1-parameter model on truly memoryless data.
+        assert best.model_name in ("constant", "weibull")
+        if best.model_name == "weibull":
+            assert best.curve.shape == pytest.approx(1.0, abs=0.15)
+
+    def test_survives_zero_failures(self):
+        best = select_best_fit([100.0] * 5, [False] * 5)
+        assert best.model_name == "constant"
+
+    def test_aic_ordering(self):
+        durations, observed = _censored_sample(ConstantHazard(2e-3), 500, 1_000.0, seed=5)
+        constant = fit_constant_hazard(durations, observed)
+        weibull = fit_weibull(durations, observed)
+        # The 2-parameter model can never have much higher likelihood loss.
+        assert weibull.log_likelihood >= constant.log_likelihood - 1e-6

@@ -1,0 +1,125 @@
+"""Unit tests for node models and fleets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidConfigurationError, InvalidProbabilityError
+from repro.faults.curves import ConstantHazard
+from repro.faults.mixture import (
+    Fleet,
+    NodeModel,
+    byzantine_fleet,
+    fleet_from_curves,
+    heterogeneous_fleet,
+    uniform_fleet,
+)
+
+
+class TestNodeModel:
+    def test_disjoint_outcome_probabilities(self):
+        node = NodeModel(p_crash=0.03, p_byzantine=0.01)
+        assert node.p_fail == pytest.approx(0.04)
+        assert node.p_correct == pytest.approx(0.96)
+
+    def test_mass_exceeding_one_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            NodeModel(p_crash=0.7, p_byzantine=0.4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            NodeModel(p_crash=-0.1)
+        with pytest.raises(InvalidProbabilityError):
+            NodeModel(p_crash=0.0, p_byzantine=1.5)
+
+    def test_as_byzantine_moves_all_mass(self):
+        node = NodeModel(p_crash=0.03, p_byzantine=0.01).as_byzantine()
+        assert node.p_crash == 0.0
+        assert node.p_byzantine == pytest.approx(0.04)
+
+    def test_as_crash_only_moves_all_mass(self):
+        node = NodeModel(p_crash=0.03, p_byzantine=0.01).as_crash_only()
+        assert node.p_byzantine == 0.0
+        assert node.p_crash == pytest.approx(0.04)
+
+    def test_from_curves_competing_risks(self):
+        crash = ConstantHazard(3e-4)
+        byz = ConstantHazard(1e-4)
+        node = NodeModel.from_curves(crash, 1000.0, byz)
+        # Total failure mass equals the combined process; split 3:1.
+        import math
+
+        assert node.p_fail == pytest.approx(-math.expm1(-0.4))
+        assert node.p_crash / node.p_byzantine == pytest.approx(3.0)
+
+    def test_from_curves_zero_hazard(self):
+        node = NodeModel.from_curves(ConstantHazard(0.0), 1000.0)
+        assert node.p_fail == 0.0
+
+
+class TestFleet:
+    def test_uniform_fleet(self):
+        fleet = uniform_fleet(5, 0.02)
+        assert fleet.n == 5
+        assert fleet.is_homogeneous
+        assert fleet.is_crash_only
+        assert fleet.failure_probabilities == (0.02,) * 5
+
+    def test_byzantine_fleet(self):
+        fleet = byzantine_fleet(4, 0.01)
+        assert fleet.byzantine_probabilities == (0.01,) * 4
+        assert fleet.crash_probabilities == (0.0,) * 4
+
+    def test_byzantine_fraction_split(self):
+        fleet = uniform_fleet(3, 0.1, byzantine_fraction=0.2)
+        assert fleet[0].p_byzantine == pytest.approx(0.02)
+        assert fleet[0].p_crash == pytest.approx(0.08)
+
+    def test_heterogeneous_fleet_order(self, mixed_fleet):
+        assert mixed_fleet.n == 7
+        assert mixed_fleet.failure_probabilities == (0.08,) * 4 + (0.01,) * 3
+        assert not mixed_fleet.is_homogeneous
+
+    def test_replace_is_functional(self):
+        fleet = uniform_fleet(3, 0.05)
+        upgraded = fleet.replace(1, NodeModel(0.01))
+        assert fleet[1].p_fail == 0.05  # original untouched
+        assert upgraded[1].p_fail == 0.01
+
+    def test_replace_bad_index(self):
+        with pytest.raises(InvalidConfigurationError):
+            uniform_fleet(3, 0.05).replace(5, NodeModel(0.01))
+
+    def test_extend(self):
+        fleet = uniform_fleet(2, 0.01).extend([NodeModel(0.5)])
+        assert fleet.n == 3
+        assert fleet[2].p_fail == 0.5
+
+    def test_sorted_by_reliability(self, mixed_fleet):
+        order = mixed_fleet.sorted_by_reliability()
+        assert list(order)[:3] == [4, 5, 6]  # the three 1% nodes first
+
+    def test_as_byzantine_view(self, mixed_fleet):
+        byz = mixed_fleet.as_byzantine()
+        assert byz.crash_probabilities == (0.0,) * 7
+        assert byz.byzantine_probabilities == mixed_fleet.failure_probabilities
+
+    def test_hourly_cost_sums(self):
+        fleet = Fleet(
+            (NodeModel(0.01, cost_per_hour=1.0), NodeModel(0.08, cost_per_hour=0.1))
+        )
+        assert fleet.hourly_cost == pytest.approx(1.1)
+
+    def test_negative_group_count_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            heterogeneous_fleet([(-1, NodeModel(0.01))])
+
+    def test_fleet_from_curves(self):
+        curves = [ConstantHazard.from_window_probability(0.01, 720.0) for _ in range(3)]
+        fleet = fleet_from_curves(curves, 720.0)
+        assert fleet.n == 3
+        assert fleet[0].p_crash == pytest.approx(0.01)
+
+    def test_fleet_from_curves_length_mismatch(self):
+        with pytest.raises(InvalidConfigurationError):
+            fleet_from_curves([ConstantHazard(0.0)], 10.0, byzantine_curves=[None, None])

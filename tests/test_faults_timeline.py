@@ -1,0 +1,139 @@
+"""Unit tests for operational hazard timelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.faults.curves import ConstantHazard
+from repro.faults.timeline import (
+    HazardTimeline,
+    RiskWindow,
+    peak_hours_calendar,
+    rollout_calendar,
+)
+
+BASE = ConstantHazard(1e-5)
+
+
+class TestRiskWindow:
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            RiskWindow(10.0, 5.0, 2.0)
+        with pytest.raises(InvalidConfigurationError):
+            RiskWindow(-1.0, 5.0, 2.0)
+        with pytest.raises(InvalidConfigurationError):
+            RiskWindow(0.0, 5.0, -2.0)
+
+
+class TestTimeline:
+    def test_hazard_amplified_inside_window(self):
+        timeline = HazardTimeline(BASE, (RiskWindow(10.0, 12.0, 50.0, "rollout"),))
+        assert timeline.hazard(11.0) == pytest.approx(50.0 * 1e-5)
+        assert timeline.hazard(5.0) == pytest.approx(1e-5)
+        assert timeline.hazard(13.0) == pytest.approx(1e-5)
+
+    def test_cumulative_hazard_splits_exactly(self):
+        timeline = HazardTimeline(BASE, (RiskWindow(10.0, 12.0, 50.0),))
+        expected = 1e-5 * (10.0 + 50.0 * 2.0 + 8.0)  # [0,10) + [10,12) + [12,20)
+        assert timeline.cumulative_hazard(0.0, 20.0) == pytest.approx(expected)
+
+    def test_partial_overlap_of_query_and_window(self):
+        timeline = HazardTimeline(BASE, (RiskWindow(10.0, 12.0, 50.0),))
+        expected = 1e-5 * (1.0 + 50.0 * 1.0)  # [9,10) base + [10,11) amplified
+        assert timeline.cumulative_hazard(9.0, 11.0) == pytest.approx(expected)
+
+    def test_freeze_window_reduces_hazard(self):
+        timeline = HazardTimeline(BASE, (RiskWindow(0.0, 24.0, 0.5, "freeze"),))
+        assert timeline.failure_probability(0.0, 24.0) < BASE.failure_probability(0.0, 24.0)
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            HazardTimeline(BASE, (RiskWindow(0.0, 10.0, 2.0), RiskWindow(5.0, 15.0, 3.0)))
+
+    def test_windows_sorted_internally(self):
+        timeline = HazardTimeline(
+            BASE, (RiskWindow(20.0, 21.0, 2.0), RiskWindow(5.0, 6.0, 3.0))
+        )
+        assert timeline.windows[0].start_hours == 5.0
+
+    def test_active_window_lookup(self):
+        window = RiskWindow(10.0, 12.0, 50.0, "rollout")
+        timeline = HazardTimeline(BASE, (window,))
+        assert timeline.active_window(11.0) == window
+        assert timeline.active_window(13.0) is None
+
+    def test_sampling_concentrates_in_risky_windows(self):
+        import numpy as np
+
+        timeline = HazardTimeline(
+            ConstantHazard(1e-4), (RiskWindow(100.0, 110.0, 500.0, "rollout"),)
+        )
+        rng = np.random.default_rng(0)
+        in_window = 0
+        failures = 0
+        for _ in range(2000):
+            t = timeline.sample_failure_time(rng, horizon=200.0)
+            if np.isfinite(t):
+                failures += 1
+                in_window += 100.0 <= t <= 110.0
+        assert failures > 0
+        assert in_window / failures > 0.5  # the 10h rollout dominates 200h
+
+
+class TestCalendars:
+    def test_rollout_calendar_cadence(self):
+        windows = rollout_calendar(
+            first_rollout_hours=24.0,
+            cadence_hours=168.0,
+            rollout_duration_hours=2.0,
+            multiplier=50.0,
+            horizon_hours=1000.0,
+        )
+        assert len(windows) == 6
+        assert windows[1].start_hours == pytest.approx(24.0 + 168.0)
+        assert all(w.multiplier == 50.0 for w in windows)
+
+    def test_peak_hours_daily(self):
+        windows = peak_hours_calendar(
+            peak_start_hour_of_day=18.0, peak_length_hours=4.0, multiplier=3.0, days=3
+        )
+        assert len(windows) == 3
+        assert windows[2].start_hours == pytest.approx(2 * 24.0 + 18.0)
+
+    def test_calendar_composes_with_timeline_and_analysis(self):
+        """Calendar -> timeline -> window fleet -> reliability delta."""
+        from repro.analysis.counting import counting_reliability
+        from repro.faults.mixture import Fleet, NodeModel
+        from repro.protocols.raft import RaftSpec
+
+        windows = rollout_calendar(
+            first_rollout_hours=100.0,
+            cadence_hours=720.0,
+            rollout_duration_hours=4.0,
+            multiplier=200.0,
+            horizon_hours=720.0,
+        )
+        quiet = ConstantHazard(2e-5)
+        risky = HazardTimeline(quiet, windows)
+        p_quiet = quiet.failure_probability(0.0, 720.0)
+        p_risky = risky.failure_probability(0.0, 720.0)
+        assert p_risky > p_quiet
+
+        r_quiet = counting_reliability(RaftSpec(5), Fleet((NodeModel(p_quiet),) * 5))
+        r_risky = counting_reliability(RaftSpec(5), Fleet((NodeModel(p_risky),) * 5))
+        assert r_risky.safe_and_live.value < r_quiet.safe_and_live.value
+
+    def test_calendar_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            rollout_calendar(
+                first_rollout_hours=0.0,
+                cadence_hours=1.0,
+                rollout_duration_hours=2.0,
+                multiplier=1.0,
+                horizon_hours=10.0,
+            )
+        with pytest.raises(InvalidConfigurationError):
+            peak_hours_calendar(
+                peak_start_hour_of_day=25.0, peak_length_hours=1.0, multiplier=1.0, days=1
+            )

@@ -1,0 +1,135 @@
+"""Unit tests for the CTMC toolkit and cluster Markov models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.markov.builders import ClusterMarkovModel, mttf_comparison
+from repro.markov.chain import ContinuousTimeMarkovChain, TransitionRates
+
+
+class TestChainBasics:
+    def test_two_state_steady_state(self):
+        # up -> down at rate λ, down -> up at rate μ: π_up = μ/(λ+μ).
+        lam, mu = 0.2, 1.0
+        chain = ContinuousTimeMarkovChain(
+            ["up", "down"], TransitionRates({("up", "down"): lam, ("down", "up"): mu})
+        )
+        pi = chain.steady_state()
+        assert pi["up"] == pytest.approx(mu / (lam + mu))
+        assert pi["down"] == pytest.approx(lam / (lam + mu))
+
+    def test_absorption_time_single_step(self):
+        # One transient state with exit rate λ: E[T] = 1/λ.
+        chain = ContinuousTimeMarkovChain(
+            ["alive", "dead"], TransitionRates({("alive", "dead"): 0.25})
+        )
+        assert chain.expected_time_to_absorption("alive", ["dead"]) == pytest.approx(4.0)
+
+    def test_absorption_time_two_steps(self):
+        # a -> b -> c, rates 1 and 2: E[T] = 1 + 0.5.
+        chain = ContinuousTimeMarkovChain(
+            ["a", "b", "c"], TransitionRates({("a", "b"): 1.0, ("b", "c"): 2.0})
+        )
+        assert chain.expected_time_to_absorption("a", ["c"]) == pytest.approx(1.5)
+
+    def test_absorption_probability_split(self):
+        # a splits to b (rate 1) or c (rate 3): P(hit b first) = 1/4.
+        chain = ContinuousTimeMarkovChain(
+            ["a", "b", "c"], TransitionRates({("a", "b"): 1.0, ("a", "c"): 3.0})
+        )
+        assert chain.absorption_probability("a", ["b"], ["b", "c"]) == pytest.approx(0.25)
+
+    def test_transient_distribution_decay(self):
+        chain = ContinuousTimeMarkovChain(
+            ["alive", "dead"], TransitionRates({("alive", "dead"): 1.0})
+        )
+        dist = chain.transient_distribution("alive", 2.0)
+        assert dist["alive"] == pytest.approx(math.exp(-2.0))
+
+    def test_unreachable_absorption_is_infinite(self):
+        chain = ContinuousTimeMarkovChain(
+            ["a", "b", "c"], TransitionRates({("a", "b"): 1.0, ("b", "a"): 1.0})
+        )
+        assert chain.expected_time_to_absorption("a", ["c"]) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            ContinuousTimeMarkovChain([], TransitionRates({}))
+        with pytest.raises(InvalidConfigurationError):
+            TransitionRates({("a", "a"): 1.0})
+        with pytest.raises(InvalidConfigurationError):
+            TransitionRates({("a", "b"): -1.0})
+        with pytest.raises(InvalidConfigurationError):
+            ContinuousTimeMarkovChain(["a"], TransitionRates({("a", "b"): 1.0}))
+
+
+class TestClusterModel:
+    def test_no_repair_mttf_harmonic_sum(self):
+        # Without repair, E[time to all n failed] = Σ 1/(kλ) over survivors.
+        n, lam = 3, 1e-3
+        model = ClusterMarkovModel(n, lam, 0.0, repair_slots=0)
+        expected = sum(1.0 / (k * lam) for k in range(1, n + 1))
+        assert model.mean_time_to_failure_count(3) == pytest.approx(expected)
+
+    def test_repair_extends_mttf(self):
+        without = ClusterMarkovModel(5, 1e-3, 0.0).mttf_liveness(3)
+        with_repair = ClusterMarkovModel(5, 1e-3, 0.1).mttf_liveness(3)
+        assert with_repair > 10 * without
+
+    def test_mttdl_exceeds_liveness_mttf(self):
+        # Losing all quorum copies (4 down) takes longer than losing quorum
+        # availability (3 down) in a 5-node majority system... here thresholds:
+        model = ClusterMarkovModel(5, 1e-3, 0.05)
+        assert model.mttdl(4) > model.mttf_liveness(3)
+
+    def test_faster_nodes_fail_sooner(self):
+        slow = ClusterMarkovModel(5, 1e-4, 0.01).mttf_liveness(3)
+        fast = ClusterMarkovModel(5, 1e-2, 0.01).mttf_liveness(3)
+        assert fast < slow
+
+    def test_steady_state_availability_close_to_one(self):
+        model = ClusterMarkovModel(5, 1e-4, 0.1)
+        availability = model.steady_state_availability(3)
+        assert 0.999 < availability < 1.0
+
+    def test_availability_needs_repair(self):
+        with pytest.raises(InvalidConfigurationError):
+            ClusterMarkovModel(3, 1e-3, 0.0).steady_state_availability(2)
+
+    def test_window_unavailability_matches_binomial(self):
+        from scipy import stats
+
+        model = ClusterMarkovModel(5, 1e-3, 0.0)
+        window = 100.0
+        p = -math.expm1(-1e-3 * window)
+        expected = float(stats.binom.sf(2, 5, p))
+        assert model.window_unavailability(3, window) == pytest.approx(expected)
+
+    def test_repair_slots_parallelism(self):
+        serial = ClusterMarkovModel(9, 1e-3, 0.05, repair_slots=1).mttf_liveness(5)
+        parallel = ClusterMarkovModel(9, 1e-3, 0.05, repair_slots=9).mttf_liveness(5)
+        assert parallel > serial
+
+    def test_comparison_helper(self):
+        models = {
+            "3@1e-3": ClusterMarkovModel(3, 1e-3, 0.05),
+            "5@1e-3": ClusterMarkovModel(5, 1e-3, 0.05),
+        }
+        result = mttf_comparison(models, {"3@1e-3": 2, "5@1e-3": 3})
+        assert result["5@1e-3"] > result["3@1e-3"]
+
+    def test_comparison_missing_quorum(self):
+        with pytest.raises(InvalidConfigurationError):
+            mttf_comparison({"x": ClusterMarkovModel(3, 1e-3, 0.0)}, {})
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            ClusterMarkovModel(0, 1e-3, 0.0)
+        with pytest.raises(InvalidConfigurationError):
+            ClusterMarkovModel(3, -1e-3, 0.0)
+        with pytest.raises(InvalidConfigurationError):
+            ClusterMarkovModel(3, 1e-3, 0.0).mttdl(4)

@@ -1,0 +1,97 @@
+"""Unit tests for Gillespie CTMC simulation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.markov.builders import ClusterMarkovModel
+from repro.markov.chain import ContinuousTimeMarkovChain, TransitionRates
+from repro.markov.simulate import (
+    empirical_availability,
+    sample_absorption_times,
+    simulate_trajectory,
+)
+
+
+@pytest.fixture
+def two_state_chain():
+    return ContinuousTimeMarkovChain(
+        ["up", "down"], TransitionRates({("up", "down"): 0.5, ("down", "up"): 2.0})
+    )
+
+
+class TestTrajectories:
+    def test_starts_at_start(self, two_state_chain):
+        trajectory = simulate_trajectory(two_state_chain, "up", horizon=10.0, seed=0)
+        assert trajectory.states[0] == "up"
+        assert trajectory.entry_times[0] == 0.0
+
+    def test_times_monotone(self, two_state_chain):
+        trajectory = simulate_trajectory(two_state_chain, "up", horizon=50.0, seed=1)
+        times = trajectory.entry_times
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_states_alternate(self, two_state_chain):
+        trajectory = simulate_trajectory(two_state_chain, "up", horizon=50.0, seed=2)
+        for a, b in zip(trajectory.states, trajectory.states[1:]):
+            assert a != b
+
+    def test_absorption_stops_simulation(self):
+        chain = ContinuousTimeMarkovChain(
+            ["a", "b"], TransitionRates({("a", "b"): 1.0})
+        )
+        trajectory = simulate_trajectory(chain, "a", horizon=1e9, absorbing=["b"], seed=3)
+        assert trajectory.final_state == "b"
+
+    def test_deterministic_under_seed(self, two_state_chain):
+        a = simulate_trajectory(two_state_chain, "up", horizon=20.0, seed=7)
+        b = simulate_trajectory(two_state_chain, "up", horizon=20.0, seed=7)
+        assert a == b
+
+    def test_time_in_state_sums_to_horizon(self, two_state_chain):
+        horizon = 25.0
+        trajectory = simulate_trajectory(two_state_chain, "up", horizon=horizon, seed=4)
+        total = trajectory.time_in_state("up", horizon) + trajectory.time_in_state(
+            "down", horizon
+        )
+        assert total == pytest.approx(horizon)
+
+    def test_validation(self, two_state_chain):
+        with pytest.raises(InvalidConfigurationError):
+            simulate_trajectory(two_state_chain, "up", horizon=0.0)
+
+
+class TestAgainstExactSolvers:
+    def test_absorption_time_mean_matches_fundamental_matrix(self):
+        model = ClusterMarkovModel(3, 0.01, 0.1)
+        chain = model.chain(absorbing_at=2)
+        exact = chain.expected_time_to_absorption(0, [2])
+        samples = sample_absorption_times(chain, 0, [2], trials=3_000, seed=5)
+        assert np.isfinite(samples).all()
+        assert samples.mean() == pytest.approx(exact, rel=0.1)
+
+    def test_absorption_distribution_is_skewed(self):
+        """MTTDL means hide long tails (the paper's 'mean time to
+        meaningless' point): median << mean for repairable chains."""
+        model = ClusterMarkovModel(3, 0.01, 0.5)
+        chain = model.chain(absorbing_at=2)
+        samples = sample_absorption_times(chain, 0, [2], trials=3_000, seed=6)
+        assert np.median(samples) < samples.mean()
+
+    def test_empirical_availability_matches_steady_state(self, two_state_chain):
+        pi = two_state_chain.steady_state()
+        measured = empirical_availability(
+            two_state_chain, "up", ["up"], horizon=400.0, trials=60, seed=7
+        )
+        assert measured == pytest.approx(pi["up"], abs=0.03)
+
+    def test_censoring_returns_inf(self):
+        chain = ContinuousTimeMarkovChain(
+            ["a", "b"], TransitionRates({("a", "b"): 1e-9})
+        )
+        samples = sample_absorption_times(chain, "a", ["b"], trials=50, horizon=1.0, seed=8)
+        assert np.isinf(samples).all()

@@ -1,0 +1,267 @@
+"""Unit tests for the probability-native planning toolbox."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.faults.curves import ConstantHazard, WeibullCurve
+from repro.faults.mixture import Fleet, NodeModel, uniform_fleet
+from repro.planner.cost import (
+    DEFAULT_PRICE_BOOK,
+    RELIABLE_SKU,
+    SPOT_SKU,
+    DeploymentPlan,
+    NodeSKU,
+    cost_ratio,
+)
+from repro.planner.detector import PhiAccrualDetector
+from repro.planner.leader import (
+    compare_leader_policies,
+    expected_leader_tenure_hours,
+    expected_view_changes_per_year,
+    rank_leaders,
+    rank_leaders_by_curves,
+)
+from repro.planner.optimizer import (
+    equivalent_reliability_size,
+    evaluate_plan,
+    find_cheapest_plan,
+)
+from repro.planner.quorum_sizing import best_flexible_pair, size_quorums
+from repro.planner.reconfig import PreemptiveReconfigPolicy
+from repro.protocols.raft import RaftSpec
+
+
+class TestCost:
+    def test_plan_costs(self):
+        plan = DeploymentPlan(SPOT_SKU, 9)
+        assert plan.hourly_cost == pytest.approx(0.9)
+        assert plan.power_watts == pytest.approx(9 * 150.0)
+
+    def test_cost_ratio_paper_example(self):
+        """§1: 3 reliable nodes vs 9 spot nodes -> 3.33x cheaper."""
+        baseline = DeploymentPlan(RELIABLE_SKU, 3)
+        candidate = DeploymentPlan(SPOT_SKU, 9)
+        assert cost_ratio(baseline, candidate) == pytest.approx(10.0 / 3.0)
+
+    def test_sku_discounting(self):
+        cheap = RELIABLE_SKU.discounted(0.1)
+        assert cheap.price_per_hour == pytest.approx(0.1)
+        assert cheap.p_fail == RELIABLE_SKU.p_fail
+
+    def test_fleet_projection(self):
+        fleet = DeploymentPlan(SPOT_SKU, 3).fleet()
+        assert fleet.n == 3
+        assert fleet[0].p_fail == pytest.approx(0.08)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            NodeSKU("bad", p_fail=1.5, price_per_hour=1.0)
+        with pytest.raises(InvalidConfigurationError):
+            DeploymentPlan(SPOT_SKU, 0)
+
+
+class TestOptimizer:
+    def test_evaluate_plan_matches_counting(self):
+        evaluation = evaluate_plan(DeploymentPlan(SPOT_SKU, 9))
+        from repro.analysis.counting import counting_reliability
+
+        expected = counting_reliability(RaftSpec(9), uniform_fleet(9, 0.08))
+        assert evaluation.reliability == pytest.approx(expected.safe_and_live.value)
+
+    def test_finds_spot_plan_for_three_nines(self):
+        """The paper's punchline: spot nodes win at ~3.5 nines."""
+        outcome = find_cheapest_plan(DEFAULT_PRICE_BOOK, 3.4)
+        assert outcome.best is not None
+        assert outcome.best.plan.sku.name == "spot"
+        assert outcome.best.plan.count == 9
+
+    def test_infeasible_target(self):
+        low_grade = [NodeSKU("junk", 0.4, 0.01)]
+        outcome = find_cheapest_plan(low_grade, 9.0, sizes=range(3, 8, 2))
+        assert outcome.best is None
+        assert outcome.candidates  # frontier still reported
+
+    def test_equivalent_reliability_size_paper_match(self):
+        """E2: 9 spot nodes match 3 reliable nodes."""
+        match = equivalent_reliability_size(DeploymentPlan(RELIABLE_SKU, 3), SPOT_SKU)
+        assert match is not None
+        assert match.plan.count == 9
+
+    def test_equivalent_size_none_when_impossible(self):
+        junk = NodeSKU("junk", 0.45, 0.01)
+        match = equivalent_reliability_size(
+            DeploymentPlan(RELIABLE_SKU, 3), junk, max_size=7
+        )
+        assert match is None
+
+    def test_objective_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            find_cheapest_plan(DEFAULT_PRICE_BOOK, 3.0, objective="karma")
+
+
+class TestQuorumSizing:
+    def test_paper_n100_trigger_quorum(self):
+        """§3: at N=100, p=1%, 5 sampled nodes give ten nines (vs f+1=34)."""
+        sizing = size_quorums(100, 0.01, 10.0)
+        assert sizing.view_change_trigger == 5
+
+    def test_sampled_quorum_smaller_than_majority(self):
+        sizing = size_quorums(100, 0.01, 6.0)
+        assert sizing.sampled_quorum < 51
+        assert sizing.sampled_quorum_correct_overlap >= sizing.sampled_quorum
+
+    def test_best_flexible_pair_structurally_safe(self):
+        fleet = uniform_fleet(5, 0.05)
+        choice = best_flexible_pair(fleet)
+        assert 5 < choice.q_per + choice.q_vc
+        assert 5 < 2 * choice.q_vc
+
+    def test_best_pair_is_majority_for_uniform_fleet(self):
+        # With homogeneous nodes, majority/majority maximises S&L.
+        fleet = uniform_fleet(5, 0.05)
+        choice = best_flexible_pair(fleet)
+        assert (choice.q_per, choice.q_vc) == (3, 3)
+
+    def test_target_picks_smaller_quorums(self):
+        fleet = uniform_fleet(7, 0.01)
+        unconstrained = best_flexible_pair(fleet)
+        relaxed = best_flexible_pair(fleet, target_nines=2.0)
+        assert relaxed.q_per + relaxed.q_vc <= unconstrained.q_per + unconstrained.q_vc
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            size_quorums(0, 0.01, 3.0)
+        with pytest.raises(InvalidConfigurationError):
+            size_quorums(10, 0.0, 3.0)
+
+
+class TestLeader:
+    def test_rank_leaders_prefers_reliable(self):
+        fleet = Fleet((NodeModel(0.08), NodeModel(0.01), NodeModel(0.04)))
+        ranking = rank_leaders(fleet)
+        assert ranking.best == 1
+        assert list(ranking.order) == [1, 2, 0]
+
+    def test_rank_by_curves_horizon_sensitivity(self):
+        """Aging matters: rankings flip with the horizon (paper §2)."""
+        young_but_flaky = ConstantHazard(2e-4)
+        aging = WeibullCurve(shape=6.0, scale_hours=4000.0)
+        short = rank_leaders_by_curves([young_but_flaky, aging], horizon_hours=100.0)
+        long = rank_leaders_by_curves([young_but_flaky, aging], horizon_hours=6000.0)
+        assert short.best == 1  # wear-out curve is safer early in life
+        assert long.best == 0  # but loses over a long lease
+
+    def test_expected_tenure_exponential(self):
+        curve = ConstantHazard(1e-3)
+        tenure = expected_leader_tenure_hours(curve, horizon_hours=50_000.0)
+        assert tenure == pytest.approx(1000.0, rel=0.01)
+
+    def test_view_change_rate(self):
+        curve = ConstantHazard(1e-3)
+        rate = expected_view_changes_per_year(curve)
+        assert rate == pytest.approx(8.766, rel=0.05)
+
+    def test_policy_comparison(self):
+        fleet = Fleet((NodeModel(0.08), NodeModel(0.01), NodeModel(0.04)))
+        comparison = compare_leader_policies(fleet)
+        assert comparison.aware_failure_probability == pytest.approx(0.01)
+        assert comparison.improvement_factor > 4.0
+
+
+class TestReconfig:
+    def test_no_action_when_target_met(self):
+        curves = [ConstantHazard.from_window_probability(0.01, 720.0)] * 5
+        policy = PreemptiveReconfigPolicy(RaftSpec, 3.0, NodeModel(0.005))
+        decision = policy.evaluate(curves, 0.0, 720.0)
+        assert not decision.acted
+        assert decision.reliability_after == decision.reliability_before
+
+    def test_replaces_worst_node_first(self):
+        curves = [
+            ConstantHazard.from_window_probability(p, 720.0)
+            for p in (0.01, 0.01, 0.30, 0.01, 0.01)
+        ]
+        policy = PreemptiveReconfigPolicy(RaftSpec, 4.0, NodeModel(0.005))
+        decision = policy.evaluate(curves, 0.0, 720.0)
+        assert decision.acted
+        assert decision.replacements[0].node_index == 2
+        assert decision.reliability_after > decision.reliability_before
+
+    def test_budget_respected(self):
+        curves = [ConstantHazard.from_window_probability(0.3, 720.0)] * 5
+        policy = PreemptiveReconfigPolicy(
+            RaftSpec, 9.0, NodeModel(0.001), max_replacements_per_window=2
+        )
+        decision = policy.evaluate(curves, 0.0, 720.0)
+        assert len(decision.replacements) == 2
+
+    def test_schedule_handles_aging(self):
+        """Wear-out curves eventually trigger replacement."""
+        curves = [WeibullCurve(shape=5.0, scale_hours=6_000.0) for _ in range(3)]
+        policy = PreemptiveReconfigPolicy(RaftSpec, 3.0, NodeModel(0.002))
+        decisions = policy.simulate_schedule(curves, total_hours=10_000.0, window_hours=1_000.0)
+        assert any(d.acted for d in decisions)
+        assert decisions[-1].reliability_after >= 0.999
+
+
+class TestDetector:
+    def _feed(self, detector, period=1.0, count=50, start=0.0):
+        t = start
+        for _ in range(count):
+            detector.heartbeat(t)
+            t += period
+        return t - period
+
+    def test_phi_grows_with_silence(self):
+        detector = PhiAccrualDetector()
+        last = self._feed(detector)
+        assert detector.phi(last + 1.0) < detector.phi(last + 5.0)
+
+    def test_not_suspected_on_schedule(self):
+        detector = PhiAccrualDetector(threshold=8.0)
+        last = self._feed(detector)
+        assert not detector.level(last + 1.0).suspected
+
+    def test_suspected_after_long_silence(self):
+        detector = PhiAccrualDetector(threshold=8.0)
+        last = self._feed(detector)
+        assert detector.level(last + 60.0).suspected
+
+    def test_false_positive_probability(self):
+        detector = PhiAccrualDetector()
+        last = self._feed(detector)
+        level = detector.level(last + 3.0)
+        assert level.false_positive_probability == pytest.approx(10.0 ** (-level.phi))
+
+    def test_time_to_suspicion_consistent(self):
+        detector = PhiAccrualDetector(threshold=6.0)
+        last = self._feed(detector)
+        t_suspect = detector.time_to_suspicion()
+        assert detector.phi(last + t_suspect) == pytest.approx(6.0, abs=0.2)
+
+    def test_cold_start_not_suspicious(self):
+        detector = PhiAccrualDetector()
+        assert detector.phi(100.0) == 0.0
+
+    def test_jittery_heartbeats_need_longer_silence(self):
+        steady = PhiAccrualDetector()
+        jittery = PhiAccrualDetector()
+        self._feed(steady, period=1.0)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        t = 0.0
+        for _ in range(50):
+            jittery.heartbeat(t)
+            t += float(rng.uniform(0.2, 1.8))
+        assert jittery.time_to_suspicion() > steady.time_to_suspicion()
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            PhiAccrualDetector(window_size=1)
+        detector = PhiAccrualDetector()
+        detector.heartbeat(1.0)
+        with pytest.raises(InvalidConfigurationError):
+            detector.heartbeat(0.5)

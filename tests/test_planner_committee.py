@@ -1,0 +1,76 @@
+"""Unit tests for committee-sampled deployment planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.counting import counting_reliability
+from repro.errors import InvalidConfigurationError
+from repro.faults.mixture import NodeModel, heterogeneous_fleet, uniform_fleet
+from repro.planner.committee import (
+    committee_reliability,
+    smallest_committee_for_target,
+)
+from repro.protocols.raft import RaftSpec
+
+
+class TestCommitteeReliability:
+    def test_homogeneous_collapses_to_single_eval(self):
+        fleet = uniform_fleet(100, 0.01)
+        assessment = committee_reliability(RaftSpec, fleet, 5)
+        expected = counting_reliability(RaftSpec(5), uniform_fleet(5, 0.01))
+        assert assessment.method == "homogeneous"
+        assert assessment.safe_and_live == pytest.approx(expected.safe_and_live.value)
+
+    def test_heterogeneous_exact_enumeration(self):
+        fleet = heterogeneous_fleet([(3, NodeModel(0.01)), (3, NodeModel(0.2))])
+        assessment = committee_reliability(RaftSpec, fleet, 3)
+        assert assessment.method.startswith("exact")
+        # Sanity bounds: between all-reliable and all-flaky committees.
+        best = counting_reliability(RaftSpec(3), uniform_fleet(3, 0.01)).safe_and_live.value
+        worst = counting_reliability(RaftSpec(3), uniform_fleet(3, 0.2)).safe_and_live.value
+        assert worst < assessment.safe_and_live < best
+
+    def test_sampled_path_close_to_exact(self):
+        fleet = heterogeneous_fleet([(3, NodeModel(0.01)), (3, NodeModel(0.2))])
+        exact = committee_reliability(RaftSpec, fleet, 3)
+        import repro.planner.committee as committee_module
+
+        original = committee_module._EXACT_COMMITTEE_LIMIT
+        committee_module._EXACT_COMMITTEE_LIMIT = 1  # force sampling
+        try:
+            sampled = committee_reliability(RaftSpec, fleet, 3, samples=3_000, seed=0)
+        finally:
+            committee_module._EXACT_COMMITTEE_LIMIT = original
+        assert sampled.method.startswith("sampled")
+        assert sampled.safe_and_live == pytest.approx(exact.safe_and_live, abs=0.01)
+
+    def test_validation(self):
+        fleet = uniform_fleet(5, 0.1)
+        with pytest.raises(InvalidConfigurationError):
+            committee_reliability(RaftSpec, fleet, 0)
+        with pytest.raises(InvalidConfigurationError):
+            committee_reliability(RaftSpec, fleet, 9)
+
+
+class TestSmallestCommittee:
+    def test_reliable_pool_allows_small_committee(self):
+        fleet = uniform_fleet(100, 0.001)
+        assessment = smallest_committee_for_target(RaftSpec, fleet, 5.0)
+        assert assessment is not None
+        assert assessment.committee_size <= 7
+
+    def test_higher_target_needs_bigger_committee(self):
+        fleet = uniform_fleet(100, 0.01)
+        low = smallest_committee_for_target(RaftSpec, fleet, 3.0)
+        high = smallest_committee_for_target(RaftSpec, fleet, 6.0)
+        assert low is not None and high is not None
+        assert high.committee_size > low.committee_size
+
+    def test_unreachable_target(self):
+        fleet = uniform_fleet(9, 0.3)
+        assert smallest_committee_for_target(RaftSpec, fleet, 9.0) is None
+
+    def test_invalid_target(self):
+        with pytest.raises(InvalidConfigurationError):
+            smallest_committee_for_target(RaftSpec, uniform_fleet(5, 0.1), 0.0)

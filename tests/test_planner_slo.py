@@ -1,0 +1,125 @@
+"""Unit tests for end-to-end SLO translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.planner.slo import (
+    estimate_availability,
+    estimate_durability,
+    slo_report,
+)
+
+
+class TestAvailability:
+    def test_components_positive(self):
+        estimate = estimate_availability(
+            n=5, node_afr=0.08, mean_time_to_repair_hours=24.0, election_seconds=2.0
+        )
+        assert estimate.quorum_loss_downtime_hours > 0
+        assert estimate.election_downtime_hours > 0
+        assert 0.99 < estimate.availability < 1.0
+
+    def test_elections_dominate_for_healthy_clusters(self):
+        """With fast repair, short election blips dwarf quorum loss —
+        the paper's point that recovery latency drives availability."""
+        estimate = estimate_availability(
+            n=5, node_afr=0.04, mean_time_to_repair_hours=4.0, election_seconds=10.0
+        )
+        assert estimate.election_downtime_hours > estimate.quorum_loss_downtime_hours
+
+    def test_slow_repair_flips_the_balance(self):
+        estimate = estimate_availability(
+            n=3, node_afr=0.3, mean_time_to_repair_hours=500.0, election_seconds=1.0
+        )
+        assert estimate.quorum_loss_downtime_hours > estimate.election_downtime_hours
+
+    def test_more_nodes_less_quorum_loss(self):
+        small = estimate_availability(
+            n=3, node_afr=0.08, mean_time_to_repair_hours=24.0, election_seconds=2.0
+        )
+        large = estimate_availability(
+            n=7, node_afr=0.08, mean_time_to_repair_hours=24.0, election_seconds=2.0
+        )
+        assert large.quorum_loss_downtime_hours < small.quorum_loss_downtime_hours
+
+    def test_faster_elections_help(self):
+        slow = estimate_availability(
+            n=5, node_afr=0.08, mean_time_to_repair_hours=24.0, election_seconds=30.0
+        )
+        fast = estimate_availability(
+            n=5, node_afr=0.08, mean_time_to_repair_hours=24.0, election_seconds=0.3
+        )
+        assert fast.availability > slow.availability
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            estimate_availability(
+                n=0, node_afr=0.1, mean_time_to_repair_hours=24.0, election_seconds=1.0
+            )
+        with pytest.raises(InvalidConfigurationError):
+            estimate_availability(
+                n=3, node_afr=1.0, mean_time_to_repair_hours=24.0, election_seconds=1.0
+            )
+        with pytest.raises(InvalidConfigurationError):
+            estimate_availability(
+                n=3, node_afr=0.1, mean_time_to_repair_hours=0.0, election_seconds=1.0
+            )
+
+
+class TestDurability:
+    def test_annualisation(self):
+        estimate = estimate_durability(1e-9, window_hours=730.5)
+        # 12 windows/year at 1e-9 each -> ~1.2e-8 annual loss.
+        assert 1.0 - estimate.annual_durability == pytest.approx(1.2e-8, rel=0.01)
+
+    def test_s3_style_nines(self):
+        estimate = estimate_durability(1e-12, window_hours=730.5)
+        assert estimate.durability_nines > 10.0
+
+    def test_shorter_windows_more_exposure(self):
+        coarse = estimate_durability(1e-6, window_hours=8766.0)
+        fine = estimate_durability(1e-6, window_hours=730.5)
+        assert fine.annual_durability < coarse.annual_durability
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            estimate_durability(2.0, window_hours=10.0)
+        with pytest.raises(InvalidConfigurationError):
+            estimate_durability(0.1, window_hours=0.0)
+
+
+class TestReport:
+    def test_summary_renders(self):
+        report = slo_report(
+            n=5,
+            node_afr=0.08,
+            mean_time_to_repair_hours=24.0,
+            election_seconds=2.0,
+            loss_probability_per_window=1e-9,
+            window_hours=730.5,
+        )
+        text = report.summary()
+        assert "availability" in text
+        assert "durability" in text
+        assert "nines" in text
+
+    def test_end_to_end_with_analysis_pipeline(self):
+        """Per-window loss from the pinned-quorum analysis feeds the SLO."""
+        from repro.analysis import predicate_probability
+        from repro.faults.mixture import NodeModel, heterogeneous_fleet
+        from repro.protocols.reliability_aware import ReliabilityAwareRaftSpec
+
+        fleet = heterogeneous_fleet([(4, NodeModel(0.08)), (3, NodeModel(0.01))])
+        spec = ReliabilityAwareRaftSpec(7, pinned=[4, 5, 6])
+        loss = 1.0 - predicate_probability(fleet, spec.is_durable)
+        report = slo_report(
+            n=7,
+            node_afr=0.08,
+            mean_time_to_repair_hours=24.0,
+            election_seconds=1.0,
+            loss_probability_per_window=loss,
+            window_hours=730.5,
+        )
+        assert 2.0 < report.durability.durability_nines < 5.0

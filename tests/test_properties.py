@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These encode the *laws* the analysis engine must respect regardless of
+input: estimator agreement, probability monotonicities, quorum axioms and
+the safety/liveness trade-off the paper's §3 is built on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.counting import counting_reliability, joint_count_pmf, poisson_binomial_pmf
+from repro.analysis.exact import exact_reliability
+from repro.analysis.result import from_nines, nines
+from repro.faults.curves import ConstantHazard, WeibullCurve
+from repro.faults.mixture import Fleet, NodeModel, uniform_fleet
+from repro.protocols.pbft import PBFTSpec
+from repro.protocols.raft import RaftSpec
+from repro.quorums.probabilistic import ProbabilisticQuorums
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+small_probabilities = st.floats(min_value=0.0, max_value=0.4, allow_nan=False)
+
+
+@st.composite
+def fleets(draw, max_n=7, byzantine=False):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    nodes = []
+    for _ in range(n):
+        p_crash = draw(small_probabilities)
+        p_byz = draw(small_probabilities) if byzantine else 0.0
+        assume(p_crash + p_byz <= 1.0)
+        nodes.append(NodeModel(p_crash=p_crash, p_byzantine=p_byz))
+    return Fleet(tuple(nodes))
+
+
+class TestPoissonBinomialLaws:
+    @given(st.lists(probabilities, min_size=0, max_size=30))
+    def test_pmf_is_distribution(self, probs):
+        pmf = poisson_binomial_pmf(probs)
+        assert np.all(pmf >= -1e-12)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    @given(st.lists(probabilities, min_size=1, max_size=20))
+    def test_mean_equals_sum_of_probabilities(self, probs):
+        pmf = poisson_binomial_pmf(probs)
+        mean = float(sum(k * p for k, p in enumerate(pmf)))
+        assert mean == pytest.approx(sum(probs), abs=1e-9)
+
+    @given(fleets(byzantine=True))
+    def test_joint_pmf_is_distribution(self, fleet):
+        pmf = joint_count_pmf(fleet)
+        assert np.all(pmf >= -1e-12)
+        assert pmf.sum() == pytest.approx(1.0)
+
+
+class TestEstimatorAgreement:
+    @settings(max_examples=30, deadline=None)
+    @given(fleets(max_n=6, byzantine=True))
+    def test_counting_equals_exact_for_pbft(self, fleet):
+        spec = PBFTSpec(fleet.n) if fleet.n >= 4 else None
+        assume(spec is not None)
+        counted = counting_reliability(spec, fleet)
+        exact = exact_reliability(spec, fleet)
+        assert counted.safe.value == pytest.approx(exact.safe.value, abs=1e-9)
+        assert counted.live.value == pytest.approx(exact.live.value, abs=1e-9)
+        assert counted.safe_and_live.value == pytest.approx(
+            exact.safe_and_live.value, abs=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(fleets(max_n=7))
+    def test_counting_equals_exact_for_raft(self, fleet):
+        spec = RaftSpec(fleet.n)
+        counted = counting_reliability(spec, fleet)
+        exact = exact_reliability(spec, fleet)
+        assert counted.safe_and_live.value == pytest.approx(
+            exact.safe_and_live.value, abs=1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(fleets(max_n=6, byzantine=True))
+    def test_safe_and_live_bounded_by_both(self, fleet):
+        assume(fleet.n >= 4)
+        result = counting_reliability(PBFTSpec(fleet.n), fleet)
+        assert result.safe_and_live.value <= result.safe.value + 1e-12
+        assert result.safe_and_live.value <= result.live.value + 1e-12
+
+
+class TestMonotonicityLaws:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.001, max_value=0.2),
+        st.floats(min_value=0.0, max_value=0.2),
+    )
+    def test_reliability_decreases_with_failure_probability(self, half_n, p, extra):
+        n = 2 * half_n + 1
+        better = counting_reliability(RaftSpec(n), uniform_fleet(n, p))
+        worse = counting_reliability(RaftSpec(n), uniform_fleet(n, min(p + extra, 0.4)))
+        assert worse.safe_and_live.value <= better.safe_and_live.value + 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=5), st.floats(min_value=0.001, max_value=0.3))
+    def test_safety_rises_liveness_falls_with_quorum_size(self, half_n, p):
+        """The paper's hidden trade-off, as a law: growing PBFT quorums
+        never hurts safety and never helps liveness."""
+        n = 3 * half_n + 1
+        fleet = uniform_fleet(n, p, byzantine_fraction=1.0)
+        base_quorum = (n + (n - 1) // 3 + 2) // 2
+        assume(base_quorum + 1 <= n)
+        small = PBFTSpec(n, q_eq=base_quorum, q_per=base_quorum, q_vc=base_quorum)
+        large = PBFTSpec(n, q_eq=base_quorum + 1, q_per=base_quorum + 1, q_vc=base_quorum + 1)
+        r_small = counting_reliability(small, fleet)
+        r_large = counting_reliability(large, fleet)
+        assert r_large.safe.value >= r_small.safe.value - 1e-12
+        assert r_large.live.value <= r_small.live.value + 1e-12
+
+    @given(st.integers(min_value=1, max_value=5), st.floats(min_value=0.001, max_value=0.3))
+    def test_bigger_cluster_same_quorum_margin_more_live(self, half_n, p):
+        n = 2 * half_n + 1
+        small = counting_reliability(RaftSpec(n), uniform_fleet(n, p))
+        big = counting_reliability(RaftSpec(n + 2), uniform_fleet(n + 2, p))
+        assert big.live.value >= small.live.value - 1e-12
+
+
+class TestNinesLaws:
+    @given(st.floats(min_value=0.0, max_value=0.999999999))
+    def test_round_trip(self, p):
+        assert from_nines(nines(p)) == pytest.approx(p, abs=1e-9)
+
+    @given(st.floats(min_value=0.5, max_value=0.9999), st.floats(min_value=0.0, max_value=0.0001))
+    def test_monotone(self, p, bump):
+        assert nines(min(p + bump, 1.0)) >= nines(p)
+
+
+class TestFaultCurveLaws:
+    @given(
+        st.floats(min_value=1e-8, max_value=1e-2),
+        st.floats(min_value=0.0, max_value=1e5),
+        st.floats(min_value=0.0, max_value=1e5),
+    )
+    def test_constant_hazard_additive_windows(self, rate, t0, dt):
+        curve = ConstantHazard(rate)
+        h_total = curve.cumulative_hazard(0.0, t0 + dt)
+        h_split = curve.cumulative_hazard(0.0, t0) + curve.cumulative_hazard(t0, t0 + dt)
+        assert h_total == pytest.approx(h_split, rel=1e-9, abs=1e-12)
+
+    @given(
+        st.floats(min_value=0.2, max_value=5.0),
+        st.floats(min_value=10.0, max_value=1e5),
+        st.floats(min_value=0.0, max_value=1e4),
+        st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_failure_probability_monotone_in_window(self, shape, scale, t0, dt):
+        curve = WeibullCurve(shape, scale)
+        assert curve.failure_probability(t0, t0 + dt) <= curve.failure_probability(
+            t0, t0 + dt + 1.0
+        )
+
+    @given(st.floats(min_value=1e-7, max_value=1e-3), st.integers(min_value=0, max_value=10**6))
+    def test_survival_in_unit_interval(self, rate, hours):
+        curve = ConstantHazard(rate)
+        s = curve.survival_probability(0.0, float(hours))
+        assert 0.0 <= s <= 1.0
+
+
+class TestQuorumLaws:
+    @given(st.integers(min_value=2, max_value=40), st.data())
+    def test_majority_quorums_pairwise_intersect(self, n, data):
+        k = n // 2 + 1
+        system = ProbabilisticQuorums(n, k)
+        q1 = system.sample_quorum(seed=data.draw(st.integers(0, 2**32 - 1)))
+        q2 = system.sample_quorum(seed=data.draw(st.integers(0, 2**32 - 1)))
+        assert q1 & q2  # majority-sized subsets always overlap
+
+    @given(st.integers(min_value=2, max_value=50))
+    def test_intersection_probability_in_unit_interval(self, n):
+        for k in (1, max(1, n // 3), n):
+            p = ProbabilisticQuorums(n, k).intersection_probability()
+            assert 0.0 <= p <= 1.0 + 1e-12
+
+    @given(
+        st.integers(min_value=3, max_value=30),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_correct_overlap_monotone_in_k(self, n, p_fail):
+        values = [
+            ProbabilisticQuorums(n, k).intersection_in_correct_probability(p_fail)
+            for k in range(1, n + 1)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestSimulatorDeterminismLaw:
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_same_seed_same_trace(self, seed):
+        from repro.sim import Cluster, run_scenario
+        from repro.sim.raft import raft_node_factory
+
+        def run():
+            cluster = Cluster(3, raft_node_factory(), seed=seed)
+            trace = run_scenario(cluster, commands=["a", "b"], duration=3.0)
+            return [(c.time, c.node_id, c.slot, c.value) for c in trace.commits]
+
+        assert run() == run()

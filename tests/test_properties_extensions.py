@@ -1,0 +1,143 @@
+"""Property-based tests for the extension modules.
+
+Laws for sensitivity analysis, horizon chaining, hybrid thresholds,
+committee planning, the SLO translation and tree quorums.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.counting import counting_reliability
+from repro.analysis.horizon import horizon_survival, reliability_over_horizon
+from repro.analysis.sensitivity import birnbaum_importance
+from repro.faults.curves import ConstantHazard
+from repro.faults.mixture import Fleet, NodeModel, uniform_fleet
+from repro.planner.committee import committee_reliability
+from repro.planner.slo import estimate_availability, estimate_durability
+from repro.protocols.hybrid import StakeWeightedSpec, UprightSpec
+from repro.protocols.raft import RaftSpec
+from repro.quorums.tree import TreeQuorums
+
+small_p = st.floats(min_value=0.001, max_value=0.3, allow_nan=False)
+
+
+class TestSensitivityLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=3), small_p)
+    def test_importance_bounded(self, half_n, p):
+        n = 2 * half_n + 1
+        fleet = uniform_fleet(n, p)
+        importance = birnbaum_importance(RaftSpec(n), fleet, 0, metric="live")
+        assert 0.0 <= importance <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_p, small_p)
+    def test_worse_peers_raise_pivotality(self, p_low, p_high):
+        """A node matters more when its peers are closer to the threshold."""
+        assume(p_high > p_low + 0.05)
+        healthy = Fleet((NodeModel(0.01),) + (NodeModel(p_low),) * 4)
+        strained = Fleet((NodeModel(0.01),) + (NodeModel(p_high),) * 4)
+        b_healthy = birnbaum_importance(RaftSpec(5), healthy, 0, metric="live")
+        b_strained = birnbaum_importance(RaftSpec(5), strained, 0, metric="live")
+        assert b_strained >= b_healthy - 1e-12
+
+
+class TestHorizonLaws:
+    @settings(max_examples=15, deadline=None)
+    @given(small_p, st.integers(min_value=1, max_value=8))
+    def test_survival_decreases_with_horizon(self, p, windows):
+        curves = [ConstantHazard.from_window_probability(p, 720.0)] * 5
+        short = horizon_survival(RaftSpec, curves, window_hours=720.0, n_windows=windows)
+        long = horizon_survival(RaftSpec, curves, window_hours=720.0, n_windows=windows + 1)
+        assert long <= short + 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_p)
+    def test_series_matches_direct_computation(self, p):
+        curves = [ConstantHazard.from_window_probability(p, 720.0)] * 3
+        points = reliability_over_horizon(RaftSpec, curves, window_hours=720.0, n_windows=2)
+        direct = counting_reliability(RaftSpec(3), uniform_fleet(3, p))
+        assert points[0].safe_and_live == pytest.approx(direct.safe_and_live.value, rel=1e-9)
+
+
+class TestUprightLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=3), small_p)
+    def test_safety_never_below_liveness_budget_constraints(self, u, r, p):
+        assume(r <= u)
+        spec = UprightSpec(u, r)
+        fleet = uniform_fleet(spec.n, p, byzantine_fraction=0.3)
+        result = counting_reliability(spec, fleet)
+        assert 0.0 <= result.safe_and_live.value <= min(result.safe.value, result.live.value) + 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=3), small_p)
+    def test_byzantine_budget_monotone_in_r(self, u, p):
+        """More Byzantine budget (same n is impossible; compare same u)."""
+        fleet_small = uniform_fleet(UprightSpec(u, 0).n, p, byzantine_fraction=0.5)
+        fleet_big = uniform_fleet(UprightSpec(u, u).n, p, byzantine_fraction=0.5)
+        safe_small = counting_reliability(UprightSpec(u, 0), fleet_small).safe.value
+        safe_big = counting_reliability(UprightSpec(u, u), fleet_big).safe.value
+        assert safe_big >= safe_small - 1e-9
+
+
+class TestStakeLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=3, max_size=7))
+    def test_nakamoto_bounds(self, stakes):
+        spec = StakeWeightedSpec(stakes)
+        coefficient = spec.nakamoto_coefficient()
+        assert 1 <= coefficient <= len(stakes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=3, max_size=7))
+    def test_full_correct_set_is_quorum(self, stakes):
+        spec = StakeWeightedSpec(stakes)
+        assert spec.is_quorum(frozenset(range(len(stakes))))
+
+
+class TestCommitteeLaws:
+    @settings(max_examples=10, deadline=None)
+    @given(small_p, st.integers(min_value=1, max_value=3))
+    def test_bigger_committee_more_reliable_for_reliable_pool(self, p, half_k):
+        assume(p < 0.2)
+        fleet = uniform_fleet(50, p)
+        small = committee_reliability(RaftSpec, fleet, 2 * half_k + 1)
+        large = committee_reliability(RaftSpec, fleet, 2 * half_k + 3)
+        assert large.safe_and_live >= small.safe_and_live - 1e-12
+
+
+class TestSLOLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=0.001, max_value=0.5),
+        st.floats(min_value=1.0, max_value=500.0),
+    )
+    def test_availability_in_unit_interval(self, afr, mttr):
+        estimate = estimate_availability(
+            n=5, node_afr=afr, mean_time_to_repair_hours=mttr, election_seconds=2.0
+        )
+        assert 0.0 <= estimate.availability <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1e-3), st.floats(min_value=24.0, max_value=8766.0))
+    def test_durability_monotone_in_window_loss(self, loss, window):
+        lower = estimate_durability(loss, window_hours=window)
+        higher = estimate_durability(min(1.0, loss * 2 + 1e-12), window_hours=window)
+        assert higher.annual_durability <= lower.annual_durability + 1e-15
+
+
+class TestTreeQuorumLaws:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=4), st.data())
+    def test_monotone_membership(self, depth, data):
+        tree = TreeQuorums(depth)
+        members = data.draw(
+            st.sets(st.integers(min_value=0, max_value=tree.n - 1), max_size=tree.n)
+        )
+        extra = data.draw(st.integers(min_value=0, max_value=tree.n - 1))
+        if tree.is_quorum(frozenset(members)):
+            assert tree.is_quorum(frozenset(members) | {extra})

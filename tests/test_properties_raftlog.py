@@ -1,0 +1,108 @@
+"""Property-based tests for the Raft log (the §5.3 invariants).
+
+The replicated log is where Raft's safety argument lives; these laws check
+the conflict-truncation semantics against arbitrary message interleavings.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.raft.log import LogEntry, RaftLog
+
+entries = st.builds(
+    LogEntry,
+    term=st.integers(min_value=1, max_value=6),
+    value=st.integers(min_value=0, max_value=50),
+)
+
+
+def _build_log(items) -> RaftLog:
+    log = RaftLog()
+    term = 0
+    for entry in items:
+        # Terms in a real log are non-decreasing; enforce it here.
+        term = max(term, entry.term)
+        log.append(LogEntry(term, entry.value))
+    return log
+
+
+class TestAppendLaws:
+    @given(st.lists(entries, max_size=20))
+    def test_terms_non_decreasing(self, items):
+        log = _build_log(items)
+        terms = [log.term_at(i) for i in range(1, log.last_index + 1)]
+        assert terms == sorted(terms)
+
+    @given(st.lists(entries, max_size=20))
+    def test_last_index_tracks_length(self, items):
+        log = _build_log(items)
+        assert log.last_index == len(items)
+
+
+class TestOverwriteLaws:
+    @given(st.lists(entries, min_size=1, max_size=12), st.data())
+    def test_overwrite_is_idempotent(self, items, data):
+        log = _build_log(items)
+        prev = data.draw(st.integers(min_value=0, max_value=log.last_index))
+        suffix = tuple(
+            LogEntry(term=log.last_term + 1, value=i) for i in range(data.draw(st.integers(0, 4)))
+        )
+        log.overwrite_from(prev, suffix)
+        snapshot = [log.entry_at(i) for i in range(1, log.last_index + 1)]
+        log.overwrite_from(prev, suffix)
+        assert [log.entry_at(i) for i in range(1, log.last_index + 1)] == snapshot
+
+    @given(st.lists(entries, min_size=1, max_size=12), st.data())
+    def test_overwrite_installs_suffix(self, items, data):
+        log = _build_log(items)
+        prev = data.draw(st.integers(min_value=0, max_value=log.last_index))
+        new_term = log.last_term + 1
+        suffix = tuple(LogEntry(new_term, value=100 + i) for i in range(3))
+        log.overwrite_from(prev, suffix)
+        for offset, entry in enumerate(suffix):
+            assert log.entry_at(prev + offset + 1) == entry
+
+    @given(st.lists(entries, min_size=2, max_size=12), st.data())
+    def test_overwrite_preserves_prefix(self, items, data):
+        log = _build_log(items)
+        prev = data.draw(st.integers(min_value=1, max_value=log.last_index))
+        before_prefix = [log.entry_at(i) for i in range(1, prev + 1)]
+        suffix = (LogEntry(log.last_term + 1, "new"),)
+        log.overwrite_from(prev, suffix)
+        assert [log.entry_at(i) for i in range(1, prev + 1)] == before_prefix
+
+
+class TestUpToDateLaws:
+    @given(st.lists(entries, max_size=12), st.lists(entries, max_size=12))
+    def test_up_to_date_is_total_order(self, items_a, items_b):
+        """For any two logs, at least one is up-to-date w.r.t. the other."""
+        log_a = _build_log(items_a)
+        log_b = _build_log(items_b)
+        a_accepts_b = log_a.is_up_to_date(log_b.last_index, log_b.last_term)
+        b_accepts_a = log_b.is_up_to_date(log_a.last_index, log_a.last_term)
+        assert a_accepts_b or b_accepts_a
+
+    @given(st.lists(entries, max_size=12))
+    def test_log_is_up_to_date_with_itself(self, items):
+        log = _build_log(items)
+        assert log.is_up_to_date(log.last_index, log.last_term)
+
+    @given(st.lists(entries, max_size=12))
+    def test_extension_is_up_to_date(self, items):
+        log = _build_log(items)
+        assert log.is_up_to_date(log.last_index + 1, max(log.last_term, 1))
+
+
+class TestMatchingLaws:
+    @given(st.lists(entries, min_size=1, max_size=12), st.data())
+    def test_matches_own_entries(self, items, data):
+        log = _build_log(items)
+        index = data.draw(st.integers(min_value=0, max_value=log.last_index))
+        assert log.matches(index, log.term_at(index))
+
+    @given(st.lists(entries, min_size=1, max_size=12))
+    def test_never_matches_beyond_end(self, items):
+        log = _build_log(items)
+        assert not log.matches(log.last_index + 1, 1)

@@ -1,0 +1,91 @@
+"""Unit tests for Ben-Or specs and the generic quorum-system spec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.config import FailureConfig, FaultKind
+from repro.analysis.exact import exact_reliability
+from repro.analysis.counting import counting_reliability
+from repro.errors import InvalidConfigurationError
+from repro.faults.mixture import uniform_fleet
+from repro.protocols.benor import BenOrSpec, ByzantineBenOrSpec
+from repro.protocols.quorum_based import QuorumSystemSpec
+from repro.protocols.raft import RaftSpec
+from repro.quorums.flexible import GridQuorums
+from repro.quorums.majority import MajorityQuorums, ThresholdQuorums
+
+
+class TestBenOr:
+    def test_safe_under_any_crashes(self):
+        spec = BenOrSpec(5)
+        for crashed in range(6):
+            assert spec.is_safe_counts(crashed, 0)
+
+    def test_unsafe_with_byzantine(self):
+        assert not BenOrSpec(5).is_safe_counts(0, 1)
+
+    def test_live_with_correct_majority(self):
+        spec = BenOrSpec(5)
+        assert spec.is_live_counts(2, 0)
+        assert not spec.is_live_counts(3, 0)
+
+    def test_matches_raft_liveness_probability(self):
+        """Ben-Or and majority-Raft have identical liveness envelopes."""
+        fleet = uniform_fleet(5, 0.05)
+        benor = counting_reliability(BenOrSpec(5), fleet)
+        raft = counting_reliability(RaftSpec(5), fleet)
+        assert benor.live.value == pytest.approx(raft.live.value)
+
+
+class TestByzantineBenOr:
+    def test_safety_threshold_n_over_5(self):
+        spec = ByzantineBenOrSpec(11)
+        assert spec.is_safe_counts(0, 2)
+        assert not spec.is_safe_counts(0, 3)  # 5*3 >= 11... 15 >= 11
+
+    def test_liveness_requires_report_threshold(self):
+        spec = ByzantineBenOrSpec(11)
+        assert spec.is_live_counts(0, 0)
+        assert not spec.is_live_counts(6, 0)
+
+
+class TestQuorumSystemSpec:
+    def test_universe_mismatch(self):
+        with pytest.raises(InvalidConfigurationError):
+            QuorumSystemSpec(MajorityQuorums(3), MajorityQuorums(5))
+
+    def test_majority_systems_match_raft(self):
+        """The generic spec with majority systems must equal Thm 3.2."""
+        n = 5
+        spec = QuorumSystemSpec(MajorityQuorums(n), MajorityQuorums(n), name="maj")
+        raft = RaftSpec(n)
+        fleet = uniform_fleet(n, 0.1)
+        generic = exact_reliability(spec, fleet)
+        theorem = counting_reliability(raft, fleet)
+        assert generic.safe.value == pytest.approx(theorem.safe.value)
+        assert generic.live.value == pytest.approx(theorem.live.value)
+
+    def test_non_intersecting_thresholds_unsafe(self):
+        n = 4
+        spec = QuorumSystemSpec(ThresholdQuorums(n, 2), ThresholdQuorums(n, 2))
+        config = FailureConfig.all_correct(n)
+        assert not spec.is_safe(config)
+
+    def test_byzantine_always_unsafe(self):
+        spec = QuorumSystemSpec(MajorityQuorums(3), MajorityQuorums(3))
+        config = FailureConfig.from_failed_indices(3, [0], kind=FaultKind.BYZANTINE)
+        assert not spec.is_safe(config)
+
+    def test_grid_quorums_analysable(self):
+        grid = GridQuorums(2, 2)
+        spec = QuorumSystemSpec(grid, grid, name="grid")
+        # All correct: grid quorums intersect pairwise (row x column).
+        assert spec.is_safe(FailureConfig.all_correct(4))
+        assert spec.is_live(FailureConfig.all_correct(4))
+        # Any single failure kills every (row + column) pair through that
+        # node's row or column eventually: check liveness degradation.
+        one_down = FailureConfig.from_failed_indices(4, [0])
+        assert spec.is_live(one_down)  # row 1 + col 1 still correct
+        two_down = FailureConfig.from_failed_indices(4, [0, 3])
+        assert not spec.is_live(two_down)  # every row and column hit

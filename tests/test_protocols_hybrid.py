@@ -1,0 +1,111 @@
+"""Unit tests for Upright and stake-weighted specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.config import FailureConfig, FaultKind
+from repro.analysis.counting import counting_reliability
+from repro.analysis.exact import exact_reliability
+from repro.errors import InvalidConfigurationError
+from repro.faults.mixture import Fleet, NodeModel, uniform_fleet
+from repro.protocols.hybrid import StakeWeightedSpec, UprightSpec
+from repro.protocols.raft import RaftSpec
+
+
+class TestUpright:
+    def test_cluster_sizing(self):
+        spec = UprightSpec(u=2, r=1)
+        assert spec.n == 6
+
+    def test_for_cluster_round_trip(self):
+        spec = UprightSpec.for_cluster(6, r=1)
+        assert (spec.u, spec.r) == (2, 1)
+
+    def test_for_cluster_infeasible(self):
+        with pytest.raises(InvalidConfigurationError):
+            UprightSpec.for_cluster(3, r=2)
+
+    def test_safety_tolerates_crashes_not_byzantine(self):
+        spec = UprightSpec(u=2, r=1)
+        assert spec.is_safe_counts(6, 0)  # crashes never break safety
+        assert spec.is_safe_counts(0, 1)
+        assert not spec.is_safe_counts(0, 2)
+
+    def test_liveness_budget_is_total(self):
+        spec = UprightSpec(u=2, r=1)
+        assert spec.is_live_counts(2, 0)
+        assert spec.is_live_counts(1, 1)
+        assert not spec.is_live_counts(2, 1)
+
+    def test_r_zero_is_cft(self):
+        """Upright with r=0 has Raft's failure envelope at the same n."""
+        spec = UprightSpec(u=2, r=0)  # n = 5
+        raft = RaftSpec(5)
+        fleet = uniform_fleet(5, 0.05)
+        upright = counting_reliability(spec, fleet)
+        vanilla = counting_reliability(raft, fleet)
+        assert upright.live.value == pytest.approx(vanilla.live.value)
+
+    def test_mixture_analysis_rewards_byzantine_budget(self):
+        """With real Byzantine mass, r=1 beats r=0 on safety (paper §2.4)."""
+        fleet = Fleet((NodeModel(0.03, 0.005),) * 6)
+        tolerant = counting_reliability(UprightSpec(u=2, r=1), fleet)
+        # Compare against a CFT spec of the same size: any Byzantine node
+        # breaks it.
+        cft = counting_reliability(RaftSpec(6), fleet)
+        assert tolerant.safe.value > cft.safe.value
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            UprightSpec(u=1, r=2)
+        with pytest.raises(InvalidConfigurationError):
+            UprightSpec(u=-1, r=0)
+
+
+class TestStakeWeighted:
+    def test_quorum_by_stake(self):
+        spec = StakeWeightedSpec([60.0, 20.0, 20.0])
+        assert spec.is_quorum(frozenset({0}))
+        assert not spec.is_quorum(frozenset({1, 2}))  # exactly 40 < 50+
+
+    def test_whale_failure_stalls(self):
+        spec = StakeWeightedSpec([60.0, 20.0, 20.0])
+        config = FailureConfig.from_failed_indices(3, [0])
+        assert not spec.is_live(config)
+        # But losing both minnows is survivable.
+        config2 = FailureConfig.from_failed_indices(3, [1, 2])
+        assert spec.is_live(config2)
+
+    def test_safety_structural_at_majority_threshold(self):
+        spec = StakeWeightedSpec([1.0, 1.0, 1.0])
+        assert spec.is_safe(FailureConfig.all_correct(3))
+        byz = FailureConfig.from_failed_indices(3, [0], kind=FaultKind.BYZANTINE)
+        assert not spec.is_safe(byz)
+
+    def test_equal_stake_matches_majority_raft_liveness(self):
+        stakes = [1.0] * 5
+        spec = StakeWeightedSpec(stakes)
+        fleet = uniform_fleet(5, 0.1)
+        weighted = exact_reliability(spec, fleet)
+        vanilla = counting_reliability(RaftSpec(5), fleet)
+        assert weighted.live.value == pytest.approx(vanilla.live.value)
+
+    def test_concentration_hurts_reliability(self):
+        """Same node quality: concentrated stake is less live (paper §2.1)."""
+        fleet = uniform_fleet(5, 0.1)
+        flat = exact_reliability(StakeWeightedSpec([1.0] * 5), fleet)
+        whale = exact_reliability(StakeWeightedSpec([10.0, 1.0, 1.0, 1.0, 1.0]), fleet)
+        assert whale.live.value < flat.live.value
+
+    def test_nakamoto_coefficient(self):
+        assert StakeWeightedSpec([60.0, 20.0, 20.0]).nakamoto_coefficient() == 1
+        assert StakeWeightedSpec([1.0] * 5).nakamoto_coefficient() == 3
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            StakeWeightedSpec([])
+        with pytest.raises(InvalidConfigurationError):
+            StakeWeightedSpec([1.0, -1.0])
+        with pytest.raises(InvalidConfigurationError):
+            StakeWeightedSpec([1.0], threshold_fraction=1.5)

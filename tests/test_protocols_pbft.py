@@ -1,0 +1,95 @@
+"""Unit tests for the PBFT spec (Theorem 3.1, erratum-corrected)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.protocols.pbft import PBFTSpec, pbft_fault_threshold, pbft_quorum, table1_spec
+
+
+class TestDefaults:
+    @pytest.mark.parametrize("n,f", [(4, 1), (5, 1), (6, 1), (7, 2), (8, 2), (10, 3)])
+    def test_fault_threshold(self, n, f):
+        assert pbft_fault_threshold(n) == f
+
+    @pytest.mark.parametrize("n,quorum", [(4, 3), (5, 4), (7, 5), (8, 6)])
+    def test_quorum_matches_table1_column(self, n, quorum):
+        """The paper's Table 1 quorum sizes."""
+        assert pbft_quorum(n) == quorum
+
+    @pytest.mark.parametrize("n,trigger", [(4, 2), (5, 2), (7, 3), (8, 3)])
+    def test_trigger_matches_table1_column(self, n, trigger):
+        assert PBFTSpec(n).q_vc_t == trigger
+
+    def test_classic_3f_plus_1(self):
+        # At n = 3f+1 the quorum is the familiar 2f+1.
+        for f in (1, 2, 3, 5):
+            assert pbft_quorum(3 * f + 1) == 2 * f + 1
+
+
+class TestTheorem31Safety:
+    def test_n4_tolerates_one_byzantine(self):
+        spec = PBFTSpec(4)
+        assert spec.is_safe_counts(0, 1)
+        assert not spec.is_safe_counts(0, 2)
+
+    def test_n5_tolerates_two_byzantine(self):
+        # Larger quorums at n=5 buy an extra unit of *safety* tolerance.
+        spec = PBFTSpec(5)
+        assert spec.is_safe_counts(0, 2)
+        assert not spec.is_safe_counts(0, 3)
+
+    def test_crashes_alone_never_violate_safety(self):
+        spec = PBFTSpec(7)
+        for crashed in range(8):
+            assert spec.is_safe_counts(crashed, 0)
+
+    def test_both_conditions_checked(self):
+        # Shrink q_eq only: non-equivocation becomes the binding constraint.
+        spec = PBFTSpec(7, q_eq=4)  # 2*4-7 = 1 -> no Byzantine tolerated
+        assert not spec.is_safe_counts(0, 1)
+        assert spec.is_safe_counts(0, 0)
+
+
+class TestTheorem31Liveness:
+    def test_quorum_formability(self):
+        spec = PBFTSpec(4)
+        assert spec.is_live_counts(1, 0)
+        assert not spec.is_live_counts(2, 0)
+
+    def test_byzantine_view_change_completion_bound(self):
+        # N=4: q_vc - q_vc_t = 1 -> one Byzantine tolerable for liveness.
+        spec = PBFTSpec(4)
+        assert spec.is_live_counts(0, 1)
+        assert not spec.is_live_counts(0, 2)
+
+    def test_spurious_view_change_bound(self):
+        # Force the q_vc_t condition to bind: huge trigger quorum.
+        spec = PBFTSpec(7, q_vc_t=1)
+        assert not spec.is_live_counts(0, 1)  # byz < q_vc_t == 1 fails
+
+    def test_erratum_reading_is_nonnegative(self):
+        # With the printed (uncorrected) reading liveness would always be
+        # False; the corrected bound must admit the all-correct config.
+        for n in (4, 5, 7, 8):
+            assert PBFTSpec(n).is_live_counts(0, 0)
+
+
+class TestHelpers:
+    def test_table1_spec_valid_rows(self):
+        for n in (4, 5, 7, 8):
+            assert table1_spec(n).n == n
+
+    def test_table1_spec_invalid_row(self):
+        with pytest.raises(InvalidConfigurationError):
+            table1_spec(6)
+
+    def test_quorum_bounds_validated(self):
+        with pytest.raises(InvalidConfigurationError):
+            PBFTSpec(4, q_eq=5)
+        with pytest.raises(InvalidConfigurationError):
+            PBFTSpec(4, q_vc_t=0)
+
+    def test_repr_mentions_quorums(self):
+        assert "q_eq=3" in repr(PBFTSpec(4))

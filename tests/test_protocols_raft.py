@@ -1,0 +1,102 @@
+"""Unit tests for the Raft spec (Theorem 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.config import FailureConfig, FaultKind
+from repro.errors import InvalidConfigurationError
+from repro.protocols.raft import FlexibleRaftSpec, RaftSpec, majority
+
+
+class TestMajority:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (9, 5)])
+    def test_values(self, n, expected):
+        assert majority(n) == expected
+
+
+class TestTheorem32Safety:
+    def test_majority_quorums_structurally_safe(self):
+        for n in (1, 3, 5, 7, 9):
+            assert RaftSpec(n).structurally_safe
+
+    def test_small_view_change_quorum_unsafe(self):
+        # N=5, Qvc=2: two disjoint leader elections possible.
+        spec = RaftSpec(5, q_per=4, q_vc=2)
+        assert not spec.structurally_safe
+        assert not spec.is_safe_counts(0, 0)
+
+    def test_non_intersecting_persistence_unsafe(self):
+        # N=5, Qper=2, Qvc=3: 2+3 = 5, not > 5.
+        spec = RaftSpec(5, q_per=2, q_vc=3)
+        assert not spec.structurally_safe
+
+    def test_flexible_pair_safe(self):
+        # N=5, Qper=2, Qvc=4: 6 > 5 and 8 > 5 — Flexible-Paxos legal.
+        spec = RaftSpec(5, q_per=2, q_vc=4)
+        assert spec.structurally_safe
+
+    def test_crashes_never_violate_safety(self):
+        spec = RaftSpec(5)
+        for crashed in range(6):
+            assert spec.is_safe_counts(crashed, 0)
+
+    def test_byzantine_presence_breaks_cft_safety(self):
+        spec = RaftSpec(5)
+        assert not spec.is_safe_counts(0, 1)
+
+
+class TestTheorem32Liveness:
+    def test_live_up_to_minority_failures(self):
+        spec = RaftSpec(5)
+        assert spec.is_live_counts(2, 0)
+        assert not spec.is_live_counts(3, 0)
+
+    def test_byzantine_counts_as_failed_for_liveness(self):
+        spec = RaftSpec(5)
+        assert spec.is_live_counts(1, 1)
+        assert not spec.is_live_counts(2, 1)
+
+    def test_larger_quorum_needs_more_correct(self):
+        spec = RaftSpec(5, q_per=4, q_vc=3)
+        assert spec.is_live_counts(1, 0)
+        assert not spec.is_live_counts(2, 0)
+
+
+class TestConfigInterface:
+    def test_config_predicates_match_counts(self):
+        spec = RaftSpec(5)
+        config = FailureConfig.from_failed_indices(5, [0, 4])
+        assert spec.is_safe(config)
+        assert spec.is_live(config)
+        config3 = FailureConfig.from_failed_indices(5, [0, 2, 4])
+        assert not spec.is_live(config3)
+
+    def test_wrong_size_config_rejected(self):
+        spec = RaftSpec(3)
+        with pytest.raises(InvalidConfigurationError):
+            spec.is_safe(FailureConfig.all_correct(4))
+
+
+class TestDurability:
+    def test_durable_below_quorum_failures(self):
+        spec = RaftSpec(7)
+        assert spec.is_durable_counts(3)
+        assert not spec.is_durable_counts(4)
+
+
+class TestValidationAndRepr:
+    def test_quorum_bounds(self):
+        with pytest.raises(InvalidConfigurationError):
+            RaftSpec(3, q_per=0)
+        with pytest.raises(InvalidConfigurationError):
+            RaftSpec(3, q_vc=4)
+
+    def test_nonpositive_n(self):
+        with pytest.raises(InvalidConfigurationError):
+            RaftSpec(0)
+
+    def test_flexible_subclass_name(self):
+        spec = FlexibleRaftSpec(5, 2, 4)
+        assert spec.name == "FlexRaft"
+        assert repr(spec).startswith("RaftSpec") or "q_per=2" in repr(spec)

@@ -1,0 +1,119 @@
+"""Unit tests for reliability-aware (pinned-quorum) Raft."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.config import FailureConfig, FaultKind
+from repro.analysis.predicates import predicate_probability
+from repro.errors import InvalidConfigurationError
+from repro.faults.mixture import NodeModel, heterogeneous_fleet
+from repro.protocols.reliability_aware import (
+    ObliviousDurabilityRaftSpec,
+    ReliabilityAwareRaftSpec,
+)
+
+
+@pytest.fixture
+def paper_spec() -> ReliabilityAwareRaftSpec:
+    """The §3 scenario: 7 nodes, indices 4-6 pinned reliable."""
+    return ReliabilityAwareRaftSpec(7, pinned=[4, 5, 6], require_pinned=1)
+
+
+class TestConstruction:
+    def test_pinned_out_of_range(self):
+        with pytest.raises(InvalidConfigurationError):
+            ReliabilityAwareRaftSpec(3, pinned=[5])
+
+    def test_require_exceeds_pinned(self):
+        with pytest.raises(InvalidConfigurationError):
+            ReliabilityAwareRaftSpec(5, pinned=[0], require_pinned=2)
+
+    def test_require_exceeds_quorum(self):
+        with pytest.raises(InvalidConfigurationError):
+            ReliabilityAwareRaftSpec(5, pinned=[0, 1, 2, 3], require_pinned=4)
+
+    def test_bad_placement(self):
+        with pytest.raises(InvalidConfigurationError):
+            ReliabilityAwareRaftSpec(5, pinned=[0], placement="magic")
+
+    def test_not_symmetric(self, paper_spec):
+        assert not paper_spec.symmetric
+
+
+class TestSafety:
+    def test_structural_safety_unchanged(self, paper_spec):
+        config = FailureConfig.from_failed_indices(7, [0, 1, 2])
+        assert paper_spec.is_safe(config)
+
+    def test_byzantine_unsafe(self, paper_spec):
+        config = FailureConfig.from_failed_indices(7, [0], kind=FaultKind.BYZANTINE)
+        assert not paper_spec.is_safe(config)
+
+
+class TestLiveness:
+    def test_needs_pinned_correct_node(self, paper_spec):
+        # All three pinned nodes down: no valid quorum can form.
+        config = FailureConfig.from_failed_indices(7, [4, 5, 6])
+        assert not paper_spec.is_live(config)
+
+    def test_live_with_majority_and_pinned(self, paper_spec):
+        config = FailureConfig.from_failed_indices(7, [0, 1])
+        assert paper_spec.is_live(config)
+
+    def test_pinning_costs_liveness_vs_vanilla(self, paper_spec):
+        """Pinned quorums add a liveness failure mode (all pinned down)."""
+        vanilla = ObliviousDurabilityRaftSpec(7)
+        config = FailureConfig.from_failed_indices(7, [4, 5, 6])
+        assert vanilla.is_live(config)
+        assert not paper_spec.is_live(config)
+
+
+class TestDurabilityPolicy:
+    def test_policy_loss_requires_both_pools(self, paper_spec):
+        # 3 unpinned + 0 pinned failed: the pinned quorum member survives.
+        config = FailureConfig.from_failed_indices(7, [0, 1, 2])
+        assert paper_spec.is_durable(config)
+        # 3 unpinned + 1 pinned failed: the policy quorum is coverable.
+        config_loss = FailureConfig.from_failed_indices(7, [0, 1, 2, 4])
+        assert not paper_spec.is_durable(config_loss)
+
+    def test_adversarial_stricter_than_policy(self):
+        policy = ReliabilityAwareRaftSpec(7, pinned=[4, 5, 6], placement="policy")
+        adversarial = ReliabilityAwareRaftSpec(7, pinned=[4, 5, 6], placement="adversarial")
+        # 2 unpinned + 2 pinned failed: adversarial quorum (2 pinned + 2
+        # unpinned) is covered; the policy quorum (1 pinned + 3 unpinned)
+        # is not.
+        config = FailureConfig.from_failed_indices(7, [0, 1, 4, 5])
+        assert policy.is_durable(config)
+        assert not adversarial.is_durable(config)
+
+    def test_oblivious_loses_at_quorum_failures(self):
+        spec = ObliviousDurabilityRaftSpec(7)
+        assert spec.is_durable(FailureConfig.from_failed_indices(7, [0, 1, 2]))
+        assert not spec.is_durable(FailureConfig.from_failed_indices(7, [0, 1, 2, 3]))
+
+
+class TestDurabilityOrdering:
+    def test_full_paper_ordering(self):
+        """Oblivious < pinned durability on the §3 mixed fleet."""
+        fleet = heterogeneous_fleet([(4, NodeModel(0.08)), (3, NodeModel(0.01))])
+        oblivious = predicate_probability(fleet, ObliviousDurabilityRaftSpec(7).is_durable)
+        policy = predicate_probability(
+            fleet, ReliabilityAwareRaftSpec(7, pinned=[4, 5, 6]).is_durable
+        )
+        adversarial = predicate_probability(
+            fleet,
+            ReliabilityAwareRaftSpec(7, pinned=[4, 5, 6], placement="adversarial").is_durable,
+        )
+        assert oblivious < adversarial < policy
+
+    def test_pinning_two_nodes_beats_one(self):
+        fleet = heterogeneous_fleet([(4, NodeModel(0.08)), (3, NodeModel(0.01))])
+        one = predicate_probability(
+            fleet, ReliabilityAwareRaftSpec(7, pinned=[4, 5, 6], require_pinned=1).is_durable
+        )
+        two = predicate_probability(
+            fleet, ReliabilityAwareRaftSpec(7, pinned=[4, 5, 6], require_pinned=2).is_durable
+        )
+        assert two > one

@@ -1,0 +1,191 @@
+"""Unit tests for probabilistic quorums, committees and intersection maths."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.quorums.committee import (
+    CommitteeReliability,
+    committee_faulty_count_pmf,
+    prob_committee_all_faulty,
+    prob_committee_contains_correct,
+    prob_committee_fraction_safe,
+    required_committee_size,
+    sample_committee,
+    smallest_bft_committee,
+)
+from repro.quorums.intersection import (
+    enumerate_threshold_pair_property,
+    prob_failure_count_reaches,
+    prob_fixed_quorum_wiped_out,
+    prob_random_quorums_overlap,
+    prob_random_quorums_overlap_in_correct,
+    prob_threshold_pair_intersects_in_correct,
+)
+from repro.quorums.probabilistic import (
+    ProbabilisticQuorums,
+    minimum_quorum_size_for_correct_intersection,
+    minimum_quorum_size_for_intersection,
+)
+
+
+class TestProbabilisticQuorums:
+    def test_sqrt_sizing(self):
+        system = ProbabilisticQuorums.sqrt_sized(100)
+        assert system.k == 10
+
+    def test_overlap_pmf_sums_to_one(self):
+        pmf = ProbabilisticQuorums(20, 6).overlap_pmf()
+        assert sum(pmf) == pytest.approx(1.0)
+
+    def test_intersection_probability_closed_form(self):
+        n, k = 12, 4
+        system = ProbabilisticQuorums(n, k)
+        expected = 1.0 - math.comb(n - k, k) / math.comb(n, k)
+        assert system.intersection_probability() == pytest.approx(expected)
+
+    def test_intersection_monotone_in_k(self):
+        values = [ProbabilisticQuorums(50, k).intersection_probability() for k in (3, 7, 12)]
+        assert values == sorted(values)
+
+    def test_correct_intersection_below_plain(self):
+        system = ProbabilisticQuorums(30, 8)
+        assert system.intersection_in_correct_probability(0.2) < system.intersection_probability()
+
+    def test_correct_intersection_zero_failure_equals_plain(self):
+        system = ProbabilisticQuorums(30, 8)
+        assert system.intersection_in_correct_probability(0.0) == pytest.approx(
+            system.intersection_probability()
+        )
+
+    def test_correct_intersection_monte_carlo(self):
+        system = ProbabilisticQuorums(15, 5)
+        p_fail = 0.3
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 30_000
+        for _ in range(trials):
+            q1 = system.sample_quorum(rng)
+            q2 = system.sample_quorum(rng)
+            overlap = q1 & q2
+            if overlap and any(rng.random() >= p_fail for _ in overlap):
+                # sample correctness lazily: each overlap node correct w.p. 0.7
+                hits += 1
+        # Statistical agreement within 3 sigma.
+        expected = system.intersection_in_correct_probability(p_fail)
+        stderr = math.sqrt(expected * (1 - expected) / trials)
+        assert abs(hits / trials - expected) < 5 * stderr + 0.01
+
+    def test_sample_quorum_size_and_range(self):
+        system = ProbabilisticQuorums(10, 4)
+        quorum = system.sample_quorum(seed=1)
+        assert len(quorum) == 4
+        assert all(0 <= i < 10 for i in quorum)
+
+    def test_sizing_functions(self):
+        k = minimum_quorum_size_for_intersection(100, 3.0)
+        assert ProbabilisticQuorums(100, k).intersection_probability() >= 0.999
+        assert (
+            ProbabilisticQuorums(100, k - 1).intersection_probability() < 0.999
+            if k > 1
+            else True
+        )
+        kc = minimum_quorum_size_for_correct_intersection(100, 0.05, 3.0)
+        assert kc >= k
+
+
+class TestCommittee:
+    def test_paper_ten_nines_example(self):
+        assert prob_committee_all_faulty(0.01, 5) == pytest.approx(1e-10)
+
+    def test_contains_correct_complement(self):
+        assert prob_committee_contains_correct(0.2, 3) == pytest.approx(1 - 0.008)
+
+    def test_hypergeometric_pmf(self):
+        pmf = committee_faulty_count_pmf(10, 4, 3)
+        assert sum(pmf) == pytest.approx(1.0)
+        expected_all_faulty = math.comb(4, 3) / math.comb(10, 3)
+        assert pmf[3] == pytest.approx(expected_all_faulty)
+
+    def test_fraction_safe(self):
+        # Committee of 3 from 10 nodes with 4 faulty; safe if < 1/3 faulty,
+        # i.e. zero faulty members.
+        p = prob_committee_fraction_safe(10, 4, 3)
+        expected = math.comb(6, 3) / math.comb(10, 3)
+        assert p == pytest.approx(expected)
+
+    def test_required_size_closed_form(self):
+        assert required_committee_size(0.01, 10.0) == 5
+        assert required_committee_size(0.1, 3.0) == 3
+
+    def test_committee_reliability_binomial(self):
+        from scipy import stats
+
+        committee = CommitteeReliability(100, 9, 0.05, 1.0 / 3.0)
+        expected = float(stats.binom.cdf(2, 9, 0.05))
+        assert committee.probability_committee_ok() == pytest.approx(expected)
+
+    def test_smallest_bft_committee_monotone(self):
+        small = smallest_bft_committee(0.01, 3.0)
+        large = smallest_bft_committee(0.01, 6.0)
+        assert large >= small
+
+    def test_sample_committee_distinct(self):
+        committee = sample_committee(20, 8, seed=2)
+        assert len(committee) == 8
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            prob_committee_all_faulty(1.2, 3)
+        with pytest.raises(InvalidConfigurationError):
+            required_committee_size(0.0, 3.0)
+        with pytest.raises(InvalidConfigurationError):
+            sample_committee(5, 9)
+
+
+class TestIntersection:
+    def test_overlap_probability_hypergeometric(self):
+        n, k1, k2 = 10, 4, 5
+        expected = 1.0 - math.comb(n - k1, k2) / math.comb(n, k2)
+        assert prob_random_quorums_overlap(n, k1, k2) == pytest.approx(expected)
+
+    def test_overlap_in_correct_bounded_by_overlap(self):
+        assert prob_random_quorums_overlap_in_correct(20, 6, 6, 0.3) < prob_random_quorums_overlap(
+            20, 6, 6
+        )
+
+    def test_fixed_quorum_wipeout_product(self):
+        assert prob_fixed_quorum_wiped_out([0.1, 0.2, 0.5]) == pytest.approx(0.01)
+
+    def test_failure_count_tail(self):
+        from scipy import stats
+
+        assert prob_failure_count_reaches(100, 0.1, 10) == pytest.approx(
+            float(stats.binom.sf(9, 100, 0.1))
+        )
+        assert prob_failure_count_reaches(10, 0.1, 0) == 1.0
+        assert prob_failure_count_reaches(10, 0.1, 11) == 0.0
+
+    def test_threshold_pair_formula_against_bruteforce(self):
+        """The count criterion must match exhaustive quorum enumeration."""
+        n, k1, k2 = 5, 4, 4
+        slack = k1 + k2 - n  # 3
+        for n_failed in range(n + 1):
+            failed = frozenset(range(n_failed))
+            brute = enumerate_threshold_pair_property(failed, n, k1, k2)
+            assert brute == (n_failed < slack), f"failed={n_failed}"
+
+    def test_threshold_pair_probability(self):
+        from scipy import stats
+
+        # P(#failed < slack) with slack = 3 at n=5, p=0.2.
+        p = prob_threshold_pair_intersects_in_correct([0.2] * 5, 4, 4)
+        assert p == pytest.approx(float(stats.binom.cdf(2, 5, 0.2)))
+
+    def test_non_overlapping_sizes_always_violable(self):
+        assert prob_threshold_pair_intersects_in_correct([0.01] * 10, 3, 3) == 0.0

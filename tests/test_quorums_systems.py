@@ -1,0 +1,144 @@
+"""Unit tests for threshold, weighted and grid quorum systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.quorums.flexible import FlexibleQuorumPair, GridQuorums
+from repro.quorums.majority import MajorityQuorums, ThresholdQuorums
+from repro.quorums.weighted import WeightedQuorums, reliability_weights
+
+
+class TestThreshold:
+    def test_membership(self):
+        system = ThresholdQuorums(5, 3)
+        assert system.is_quorum(frozenset({0, 1, 2}))
+        assert not system.is_quorum(frozenset({0, 1}))
+
+    def test_minimal_quorums_count(self):
+        import math
+
+        system = ThresholdQuorums(6, 4)
+        quorums = list(system.minimal_quorums())
+        assert len(quorums) == math.comb(6, 4)
+        assert all(len(q) == 4 for q in quorums)
+
+    def test_availability_closed_form(self):
+        from scipy import stats
+
+        system = ThresholdQuorums(7, 4)
+        availability = system.availability([0.1] * 7)
+        assert availability == pytest.approx(float(stats.binom.cdf(3, 7, 0.1)))
+
+    def test_availability_heterogeneous_matches_generic(self):
+        system = ThresholdQuorums(5, 3)
+        probs = [0.05, 0.1, 0.2, 0.3, 0.01]
+        closed = system.availability(probs)
+        generic = super(ThresholdQuorums, system).availability(probs)
+        assert closed == pytest.approx(generic)
+
+    def test_intersection_rule(self):
+        a = ThresholdQuorums(10, 6)
+        b = ThresholdQuorums(10, 5)
+        assert a.intersects_with(b)
+        assert not ThresholdQuorums(10, 5).intersects_with(ThresholdQuorums(10, 5))
+
+    def test_majority_is_self_intersecting(self):
+        for n in (3, 4, 5, 8):
+            m = MajorityQuorums(n)
+            assert m.intersects_with(m)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidConfigurationError):
+            ThresholdQuorums(5, 0)
+        with pytest.raises(InvalidConfigurationError):
+            ThresholdQuorums(5, 6)
+
+    def test_validate_universe(self):
+        with pytest.raises(InvalidConfigurationError):
+            ThresholdQuorums(3, 2).is_quorum(frozenset({5}))
+
+
+class TestWeighted:
+    def test_membership_by_weight(self):
+        system = WeightedQuorums([5.0, 1.0, 1.0, 1.0], threshold=5.0)
+        assert system.is_quorum(frozenset({0}))
+        assert not system.is_quorum(frozenset({1, 2, 3}))
+
+    def test_majority_of_weight_intersects(self):
+        weights = [3.0, 2.0, 2.0, 1.0]
+        system = WeightedQuorums.majority_of_weight(weights)
+        assert system.guaranteed_intersection_with(system)
+
+    def test_minimal_quorums_are_minimal(self):
+        system = WeightedQuorums([2.0, 2.0, 1.0, 1.0], threshold=3.0)
+        quorums = list(system.minimal_quorums())
+        for quorum in quorums:
+            for member in quorum:
+                assert not system.is_quorum(quorum - {member})
+
+    def test_equal_weights_match_threshold_system(self):
+        weighted = WeightedQuorums([1.0] * 5, threshold=3.0)
+        threshold = ThresholdQuorums(5, 3)
+        assert set(weighted.minimal_quorums()) == set(threshold.minimal_quorums())
+
+    def test_reliability_weights_ordering(self):
+        weights = reliability_weights([0.01, 0.08, 0.5])
+        assert weights[0] > weights[1] > weights[2]
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            WeightedQuorums([-1.0, 2.0], threshold=1.0)
+        with pytest.raises(InvalidConfigurationError):
+            WeightedQuorums([1.0, 1.0], threshold=3.0)
+
+
+class TestGrid:
+    def test_row_plus_column_is_quorum(self):
+        grid = GridQuorums(3, 3)
+        quorum = grid.row_members(0) | grid.col_members(1)
+        assert grid.is_quorum(quorum)
+
+    def test_row_alone_is_not_quorum(self):
+        grid = GridQuorums(3, 3)
+        assert not grid.is_quorum(grid.row_members(0))
+
+    def test_all_pairs_intersect(self):
+        grid = GridQuorums(3, 3)
+        quorums = list(grid.minimal_quorums())
+        assert all(q1 & q2 for q1 in quorums for q2 in quorums)
+
+    def test_quorum_size_sublinear(self):
+        grid = GridQuorums(4, 4)
+        assert grid.min_quorum_cardinality() == 7  # 4 + 4 - 1 vs n = 16
+
+    def test_availability_generic_path(self):
+        grid = GridQuorums(2, 2)
+        availability = grid.availability([0.0] * 4)
+        assert availability == pytest.approx(1.0)
+
+
+class TestFlexiblePair:
+    def test_structural_safety_rule(self):
+        assert FlexibleQuorumPair(5, 2, 4).is_safe_configuration
+        assert not FlexibleQuorumPair(5, 2, 3).is_safe_configuration  # 2+3 = 5
+        assert not FlexibleQuorumPair(5, 4, 2).is_safe_configuration  # 2*2 < 5
+
+    def test_all_valid_pairs_are_safe(self):
+        pairs = list(FlexibleQuorumPair.all_valid_pairs(7))
+        assert pairs
+        assert all(p.is_safe_configuration for p in pairs)
+        assert any(p.q_per < 4 for p in pairs)  # sub-majority persistence exists
+
+    def test_liveness_probability_uses_larger_quorum(self):
+        pair = FlexibleQuorumPair(5, 2, 4)
+        from scipy import stats
+
+        expected = float(stats.binom.cdf(1, 5, 0.1))  # need 4 correct
+        assert pair.liveness_probability((0.1,) * 5) == pytest.approx(expected)
+
+    def test_best_case_load_of_majority(self):
+        system = MajorityQuorums(5)
+        load = system.best_case_load()
+        assert load == pytest.approx(3 / 5)

@@ -1,0 +1,91 @@
+"""Unit tests for tree quorum systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.quorums.tree import TreeQuorums
+
+
+class TestStructure:
+    def test_sizes(self):
+        assert TreeQuorums(1).n == 1
+        assert TreeQuorums(2).n == 3
+        assert TreeQuorums(3).n == 7
+
+    def test_min_quorum_is_root_to_leaf_path(self):
+        tree = TreeQuorums(3)
+        assert tree.min_quorum_cardinality() == 3
+        # {root, left child, its left leaf} is a quorum.
+        assert tree.is_quorum(frozenset({0, 1, 3}))
+
+    def test_path_must_be_connected(self):
+        tree = TreeQuorums(3)
+        # Root + a leaf from the *other* subtree is not a quorum.
+        assert not tree.is_quorum(frozenset({0, 1, 6}))
+
+    def test_root_failure_needs_both_subtrees(self):
+        tree = TreeQuorums(3)
+        # Without the root, need quorums of both children's subtrees.
+        assert tree.is_quorum(frozenset({1, 3, 2, 5}))
+        assert not tree.is_quorum(frozenset({1, 3}))
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            TreeQuorums(0)
+
+
+class TestQuorumAxioms:
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_all_pairs_intersect(self, depth):
+        tree = TreeQuorums(depth)
+        quorums = list(tree.minimal_quorums())
+        assert quorums
+        for q1 in quorums:
+            for q2 in quorums:
+                assert q1 & q2, (sorted(q1), sorted(q2))
+
+    @pytest.mark.parametrize("depth", [2, 3])
+    def test_minimal_quorums_are_quorums(self, depth):
+        tree = TreeQuorums(depth)
+        for quorum in tree.minimal_quorums():
+            assert tree.is_quorum(quorum)
+
+    def test_monotonicity(self):
+        tree = TreeQuorums(3)
+        quorum = next(iter(tree.minimal_quorums()))
+        assert tree.is_quorum(quorum | {6})
+
+    def test_full_set_is_quorum(self):
+        tree = TreeQuorums(3)
+        assert tree.is_quorum(frozenset(range(7)))
+
+    def test_empty_set_is_not(self):
+        assert not TreeQuorums(2).is_quorum(frozenset())
+
+
+class TestAvailabilityContrast:
+    def test_tree_beats_majority_on_best_case_size(self):
+        """O(log n) quorums vs majority's O(n) — the §4 sizing contrast."""
+        from repro.quorums.majority import MajorityQuorums
+
+        tree = TreeQuorums(4)  # n = 15
+        majority = MajorityQuorums(15)
+        assert tree.min_quorum_cardinality() == 4
+        assert majority.min_quorum_cardinality() == 8
+
+    def test_generic_spec_over_tree_quorums(self):
+        """Tree quorums drive the generic protocol spec end to end."""
+        from repro.analysis.config import FailureConfig
+        from repro.protocols.quorum_based import QuorumSystemSpec
+
+        tree = TreeQuorums(2)  # n = 3
+        spec = QuorumSystemSpec(tree, tree, name="tree")
+        assert spec.is_safe(FailureConfig.all_correct(3))
+        assert spec.is_live(FailureConfig.all_correct(3))
+        # Losing both leaves forces quorums through the root: still live.
+        leaves_down = FailureConfig.from_failed_indices(3, [1, 2])
+        assert not spec.is_live(leaves_down)  # root alone: needs a child too
+        one_leaf = FailureConfig.from_failed_indices(3, [2])
+        assert spec.is_live(one_leaf)

@@ -1,0 +1,52 @@
+"""Tests for the reproduction-report generator."""
+
+from __future__ import annotations
+
+from repro.report import claims_text, evaluate_claims, full_report, table1_text, table2_text
+
+
+class TestTables:
+    def test_table1_contains_all_rows(self):
+        text = table1_text()
+        for n in (4, 5, 7, 8):
+            assert f"\n{n}  " in text
+        assert "99.99901%" in text
+
+    def test_table2_contains_all_rows(self):
+        text = table2_text()
+        for n in (3, 5, 7, 9):
+            assert f"\n{n}  " in text
+        assert "99.970%" in text
+
+
+class TestClaims:
+    def test_all_claims_match(self):
+        claims = evaluate_claims()
+        assert len(claims) >= 11
+        failing = [c.claim_id for c in claims if not c.matches]
+        assert not failing, f"claims regressed: {failing}"
+
+    def test_claim_ids_unique(self):
+        claims = evaluate_claims()
+        ids = [c.claim_id for c in claims]
+        assert len(set(ids)) == len(ids)
+
+    def test_claims_text_renders(self):
+        text = claims_text()
+        assert "E5a" in text
+        assert "NO" not in text.split("match")[1]
+
+
+class TestFullReport:
+    def test_sections_present(self):
+        report = full_report()
+        assert "Table 1" in report
+        assert "Table 2" in report
+        assert "In-text claims" in report
+
+    def test_cli_report_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduction report" in out

@@ -1,0 +1,168 @@
+"""Simulator edge cases: recovery timing, partitions, churn, scale.
+
+These scenarios exercise interleavings that the happy-path suites miss —
+the places real consensus implementations historically broke.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Cluster, audit_run, run_scenario
+from repro.sim.checker import check_agreement, check_completion
+from repro.sim.network import LogNormalLatency, UniformLatency
+from repro.sim.pbft import pbft_node_factory
+from repro.sim.raft import Role, raft_node_factory
+
+
+class TestRaftChurn:
+    def test_repeated_leader_assassination(self):
+        """Kill every leader as soon as it appears; safety must hold."""
+        cluster = Cluster(5, raft_node_factory(), seed=1)
+        cluster.start()
+        killed: set[int] = set()
+        for round_end in (1.0, 2.0, 3.0):
+            cluster.run_until(round_end)
+            leaders = [e.node_id for e in cluster.trace.events_of_kind("leader")]
+            if leaders and leaders[-1] not in killed and len(killed) < 2:
+                victim = leaders[-1]
+                killed.add(victim)
+                cluster.crash_at(victim, round_end + 0.05)
+        commands = [f"c{i}" for i in range(6)]
+        at = 3.5
+        for command in commands:
+            cluster.submit(command, at=at)
+            at += 0.2
+        cluster.run_until(15.0)
+        correct = sorted(cluster.correct_node_ids())
+        verdict = audit_run(cluster.trace, commands, correct_nodes=correct)
+        assert verdict.safe
+        assert verdict.live  # 3 of 5 still form quorums
+
+    def test_crash_recover_crash_cycles(self):
+        cluster = Cluster(3, raft_node_factory(), seed=2)
+        for cycle in range(3):
+            cluster.crash_at(2, 1.0 + cycle * 2.0)
+            cluster.recover_at(2, 2.0 + cycle * 2.0)
+        commands = [f"cyc{i}" for i in range(8)]
+        trace = run_scenario(cluster, commands=commands, duration=12.0)
+        verdict = audit_run(trace, commands, correct_nodes=range(3))
+        assert verdict.safe and verdict.live
+
+    def test_all_crash_then_all_recover(self):
+        """Full blackout: persistent state must carry committed entries."""
+        cluster = Cluster(3, raft_node_factory(), seed=3)
+        cluster.start()
+        cluster.submit("before", at=0.5)
+        cluster.run_until(2.0)
+        for node in range(3):
+            cluster.crash_at(node, 2.0 + 0.01 * node)
+        for node in range(3):
+            cluster.recover_at(node, 3.0 + 0.01 * node)
+        cluster.submit("after", at=4.0)
+        cluster.run_until(12.0)
+        verdict = audit_run(cluster.trace, ["before", "after"], correct_nodes=range(3))
+        assert verdict.safe and verdict.live
+
+    def test_symmetric_partition_no_split_brain(self):
+        """2-2-1 partition: no majority anywhere, no commits anywhere."""
+        cluster = Cluster(5, raft_node_factory(), seed=4)
+        cluster.start()
+        cluster.run_until(0.5)
+        pre_commits = len(cluster.trace.commits)
+        cluster.network.set_partition([[0, 1], [2, 3], [4]])
+        cluster.submit("split", at=1.0)
+        cluster.run_until(6.0)
+        assert len(cluster.trace.commits) == pre_commits
+        assert check_agreement(cluster.trace).holds
+
+    def test_minority_partition_keeps_majority_side_live(self):
+        cluster = Cluster(5, raft_node_factory(), seed=5)
+        cluster.start()
+        cluster.run_until(0.5)
+        cluster.network.set_partition([[0, 1, 2], [3, 4]])
+        commands = ["maj1", "maj2"]
+        at = 1.0
+        for command in commands:
+            cluster.submit(command, at=at)
+            at += 0.2
+        cluster.run_until(10.0)
+        liveness = check_completion(cluster.trace, commands, correct_nodes=[0, 1, 2])
+        assert liveness.holds
+        assert check_agreement(cluster.trace).holds
+
+
+class TestNetworkConditions:
+    def test_heavy_tail_latency_still_safe_live(self):
+        cluster = Cluster(
+            5,
+            raft_node_factory(),
+            latency=LogNormalLatency(median=0.005, sigma=1.2),
+            seed=6,
+        )
+        commands = [f"lat{i}" for i in range(6)]
+        trace = run_scenario(cluster, commands=commands, duration=20.0)
+        verdict = audit_run(trace, commands, correct_nodes=range(5))
+        assert verdict.safe and verdict.live
+
+    def test_lossy_network_raft(self):
+        cluster = Cluster(
+            5,
+            raft_node_factory(),
+            latency=UniformLatency(0.001, 0.01),
+            drop_probability=0.2,
+            seed=7,
+        )
+        commands = [f"drop{i}" for i in range(5)]
+        trace = run_scenario(cluster, commands=commands, duration=25.0)
+        verdict = audit_run(trace, commands, correct_nodes=range(5))
+        assert verdict.safe and verdict.live
+
+    def test_lossy_network_pbft(self):
+        cluster = Cluster(
+            4,
+            pbft_node_factory(),
+            drop_probability=0.15,
+            seed=8,
+        )
+        commands = [f"pl{i}" for i in range(3)]
+        trace = run_scenario(cluster, commands=commands, duration=30.0)
+        verdict = audit_run(trace, commands, correct_nodes=range(4))
+        assert verdict.safe and verdict.live
+
+
+class TestScale:
+    def test_eleven_node_raft(self):
+        cluster = Cluster(11, raft_node_factory(), seed=9)
+        for node in (0, 1, 2, 3, 4):
+            cluster.crash_at(node, 1.0 + 0.1 * node)
+        commands = [f"big{i}" for i in range(5)]
+        trace = run_scenario(cluster, commands=commands, duration=15.0)
+        correct = sorted(cluster.correct_node_ids())
+        verdict = audit_run(trace, commands, correct_nodes=correct)
+        assert verdict.safe and verdict.live  # 6 of 11 remain
+
+    def test_ten_node_pbft(self):
+        cluster = Cluster(10, pbft_node_factory(), seed=10)
+        cluster.crash_at(5, 0.5)
+        cluster.crash_at(6, 0.5)
+        commands = [f"bp{i}" for i in range(3)]
+        trace = run_scenario(cluster, commands=commands, duration=15.0)
+        correct = sorted(cluster.correct_node_ids())
+        verdict = audit_run(trace, commands, correct_nodes=correct)
+        assert verdict.safe and verdict.live  # f=3 tolerates 2 crashes
+
+    def test_stepped_down_leader_rejoins_as_follower(self):
+        cluster = Cluster(5, raft_node_factory(), seed=11)
+        cluster.start()
+        cluster.run_until(1.0)
+        first = [e.node_id for e in cluster.trace.events_of_kind("leader")][-1]
+        cluster.crash_at(first, 1.2)
+        cluster.recover_at(first, 4.0)
+        cluster.run_until(10.0)
+        node = cluster.nodes[first]
+        later_leaders = [
+            e.node_id for e in cluster.trace.events_of_kind("leader") if e.time > 1.2
+        ]
+        if later_leaders and later_leaders[-1] != first:
+            assert node.role is not Role.LEADER

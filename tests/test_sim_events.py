@@ -1,0 +1,102 @@
+"""Unit tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventScheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        scheduler = EventScheduler()
+        fired: list[str] = []
+        scheduler.schedule_at(2.0, lambda: fired.append("late"))
+        scheduler.schedule_at(1.0, lambda: fired.append("early"))
+        scheduler.run_until(3.0)
+        assert fired == ["early", "late"]
+
+    def test_fifo_tiebreak_at_equal_times(self):
+        scheduler = EventScheduler()
+        fired: list[int] = []
+        for i in range(5):
+            scheduler.schedule_at(1.0, lambda i=i: fired.append(i))
+        scheduler.run_until(1.0)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances_with_events(self):
+        scheduler = EventScheduler()
+        seen: list[float] = []
+        scheduler.schedule_at(0.5, lambda: seen.append(scheduler.now))
+        scheduler.run_until(1.0)
+        assert seen == [0.5]
+        assert scheduler.now == 1.0
+
+    def test_schedule_after(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_after(0.25, lambda: fired.append(scheduler.now))
+        scheduler.run_until(1.0)
+        assert fired == [0.25]
+
+    def test_nested_scheduling(self):
+        scheduler = EventScheduler()
+        fired: list[float] = []
+
+        def outer():
+            scheduler.schedule_after(0.5, lambda: fired.append(scheduler.now))
+
+        scheduler.schedule_at(1.0, outer)
+        scheduler.run_until(2.0)
+        assert fired == [1.5]
+
+    def test_cancellation(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.schedule_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        scheduler.run_until(2.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_events_beyond_horizon_not_fired(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(5.0, lambda: fired.append(1))
+        scheduler.run_until(4.0)
+        assert fired == []
+        scheduler.run_until(6.0)
+        assert fired == [1]
+
+    def test_cannot_schedule_in_past(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(1.0, lambda: None)
+        scheduler.run_until(2.0)
+        with pytest.raises(SimulationError):
+            scheduler.schedule_at(1.5, lambda: None)
+
+    def test_cannot_run_backwards(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(5.0)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(4.0)
+
+    def test_livelock_guard(self):
+        scheduler = EventScheduler()
+
+        def respawn():
+            scheduler.schedule_after(0.0, respawn)
+
+        scheduler.schedule_at(0.0, respawn)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(1.0, max_events=1000)
+
+    def test_counters(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        assert scheduler.pending_events == 2
+        scheduler.run_until(1.5)
+        assert scheduler.processed_events == 1
+        assert scheduler.pending_events == 1

@@ -1,0 +1,171 @@
+"""Unit tests for the simulated network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfigurationError, SimulationError
+from repro.sim.events import EventScheduler
+from repro.sim.network import (
+    FixedLatency,
+    LogNormalLatency,
+    Network,
+    UniformLatency,
+)
+from repro.sim.node import IdleProcess, Process
+
+
+class Recorder(Process):
+    """Test process that logs every delivery."""
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.received: list[tuple[int, object]] = []
+
+    def on_start(self) -> None:
+        pass
+
+    def on_message(self, src: int, payload: object) -> None:
+        self.received.append((src, payload))
+
+
+def _make_pair(drop=0.0, latency=None, seed=0):
+    scheduler = EventScheduler()
+    network = Network(scheduler, latency=latency, drop_probability=drop, seed=seed)
+    rng = np.random.default_rng(0)
+    a = Recorder(0, scheduler, network, rng)
+    b = Recorder(1, scheduler, network, rng)
+    network.attach(a)
+    network.attach(b)
+    a.start()
+    b.start()
+    return scheduler, network, a, b
+
+
+class TestDelivery:
+    def test_basic_delivery_with_latency(self):
+        scheduler, network, a, b = _make_pair(latency=FixedLatency(0.01))
+        network.send(0, 1, "hello")
+        scheduler.run_until(0.005)
+        assert b.received == []
+        scheduler.run_until(0.02)
+        assert b.received == [(0, "hello")]
+
+    def test_broadcast_excludes_self_by_default(self):
+        scheduler, network, a, b = _make_pair()
+        network.broadcast(0, "ping")
+        scheduler.run_until(1.0)
+        assert a.received == []
+        assert b.received == [(0, "ping")]
+
+    def test_broadcast_include_self(self):
+        scheduler, network, a, b = _make_pair()
+        network.broadcast(0, "ping", include_self=True)
+        scheduler.run_until(1.0)
+        assert a.received == [(0, "ping")]
+
+    def test_unknown_destination(self):
+        scheduler, network, a, b = _make_pair()
+        with pytest.raises(SimulationError):
+            network.send(0, 7, "x")
+
+    def test_crashed_destination_drops(self):
+        scheduler, network, a, b = _make_pair()
+        network.send(0, 1, "one")
+        b.crash()
+        scheduler.run_until(1.0)
+        assert b.received == []
+        assert network.messages_dropped == 1
+
+    def test_drop_probability(self):
+        scheduler, network, a, b = _make_pair(drop=0.5, seed=1)
+        for _ in range(1000):
+            network.send(0, 1, "m")
+        scheduler.run_until(10.0)
+        assert 380 <= len(b.received) <= 620
+        assert network.messages_dropped + network.messages_delivered == 1000
+
+
+class TestPartitions:
+    def test_partition_blocks_cross_group(self):
+        scheduler, network, a, b = _make_pair()
+        network.set_partition([[0], [1]])
+        network.send(0, 1, "blocked")
+        scheduler.run_until(1.0)
+        assert b.received == []
+
+    def test_heal_restores_delivery(self):
+        scheduler, network, a, b = _make_pair()
+        network.set_partition([[0], [1]])
+        network.heal_partition()
+        network.send(0, 1, "ok")
+        scheduler.run_until(1.0)
+        assert b.received == [(0, "ok")]
+
+    def test_same_group_unaffected(self):
+        scheduler, network, a, b = _make_pair()
+        network.set_partition([[0, 1]])
+        network.send(0, 1, "ok")
+        scheduler.run_until(1.0)
+        assert b.received == [(0, "ok")]
+
+    def test_partition_formed_mid_flight_cuts_message(self):
+        scheduler, network, a, b = _make_pair(latency=FixedLatency(1.0))
+        network.send(0, 1, "in-flight")
+        scheduler.schedule_at(0.5, lambda: network.set_partition([[0], [1]]))
+        scheduler.run_until(2.0)
+        assert b.received == []
+
+    def test_overlapping_groups_rejected(self):
+        scheduler, network, a, b = _make_pair()
+        with pytest.raises(InvalidConfigurationError):
+            network.set_partition([[0, 1], [1]])
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        assert FixedLatency(0.01).sample(np.random.default_rng(0)) == 0.01
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(0.01, 0.02)
+        rng = np.random.default_rng(0)
+        samples = [model.sample(rng) for _ in range(100)]
+        assert all(0.01 <= s <= 0.02 for s in samples)
+
+    def test_lognormal_positive_and_heavy_tailed(self):
+        model = LogNormalLatency(median=0.01, sigma=1.0)
+        rng = np.random.default_rng(0)
+        samples = np.array([model.sample(rng) for _ in range(5000)])
+        assert (samples > 0).all()
+        assert np.median(samples) == pytest.approx(0.01, rel=0.1)
+        assert samples.max() > 5 * np.median(samples)
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            FixedLatency(-0.1)
+        with pytest.raises(InvalidConfigurationError):
+            UniformLatency(0.2, 0.1)
+        with pytest.raises(InvalidConfigurationError):
+            LogNormalLatency(0.0)
+
+
+class TestLifecycle:
+    def test_double_attach_rejected(self):
+        scheduler = EventScheduler()
+        network = Network(scheduler)
+        rng = np.random.default_rng(0)
+        node = IdleProcess(0, scheduler, network, rng)
+        network.attach(node)
+        with pytest.raises(SimulationError):
+            network.attach(node)
+
+    def test_recovered_node_receives_again(self):
+        scheduler, network, a, b = _make_pair()
+        b.crash()
+        network.send(0, 1, "lost")
+        scheduler.run_until(0.5)
+        b.recover()
+        network.send(0, 1, "found")
+        scheduler.run_until(1.0)
+        assert b.received == [(0, "found")]

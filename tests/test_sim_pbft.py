@@ -1,0 +1,113 @@
+"""Simulated-PBFT behaviour tests, honest and Byzantine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Cluster, audit_run, run_scenario
+from repro.sim.checker import check_agreement, check_completion
+from repro.sim.pbft import (
+    DoubleVoter,
+    EquivocatingDoubleVoter,
+    EquivocatingPrimary,
+    SilentByzantine,
+    mixed_pbft_factory,
+    pbft_node_factory,
+)
+
+
+class TestHonestOperation:
+    def test_commits_under_no_failures(self):
+        cluster = Cluster(4, pbft_node_factory(), seed=0)
+        commands = [f"op{i}" for i in range(8)]
+        trace = run_scenario(cluster, commands=commands, duration=10.0)
+        verdict = audit_run(trace, commands, correct_nodes=range(4))
+        assert verdict.safe and verdict.live
+
+    def test_larger_cluster(self):
+        cluster = Cluster(7, pbft_node_factory(), seed=1)
+        commands = [f"op{i}" for i in range(5)]
+        trace = run_scenario(cluster, commands=commands, duration=10.0)
+        verdict = audit_run(trace, commands, correct_nodes=range(7))
+        assert verdict.safe and verdict.live
+
+    def test_view_change_on_primary_crash(self):
+        cluster = Cluster(4, pbft_node_factory(), seed=2)
+        cluster.crash_at(0, 0.3)
+        commands = [f"vc{i}" for i in range(4)]
+        trace = run_scenario(cluster, commands=commands, duration=15.0)
+        assert trace.events_of_kind("new-view")
+        verdict = audit_run(trace, commands, correct_nodes=[1, 2, 3])
+        assert verdict.safe and verdict.live
+
+    def test_no_progress_beyond_crash_budget(self):
+        # n=4 tolerates one fault; two crashes must stall liveness.
+        cluster = Cluster(4, pbft_node_factory(), seed=3)
+        cluster.crash_at(1, 0.1)
+        cluster.crash_at(2, 0.1)
+        commands = ["never"]
+        trace = run_scenario(cluster, commands=commands, duration=10.0)
+        liveness = check_completion(trace, commands, correct_nodes=[0, 3])
+        assert not liveness.holds
+        assert check_agreement(trace).holds
+
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            cluster = Cluster(4, pbft_node_factory(), seed=seed)
+            trace = run_scenario(cluster, commands=["a", "b"], duration=8.0)
+            return [(c.node_id, c.slot, c.value) for c in trace.commits]
+
+        assert run(42) == run(42)
+
+
+class TestByzantineBehaviour:
+    def test_single_equivocator_cannot_break_safety(self):
+        """Thm 3.1: |Byz| = 1 < 2*3 - 4 = 2 — safe."""
+        factory = mixed_pbft_factory(frozenset({0}), EquivocatingPrimary)
+        cluster = Cluster(4, factory, seed=4)
+        commands = ["x1", "x2"]
+        trace = run_scenario(cluster, commands=commands, duration=15.0)
+        verdict = audit_run(trace, commands, correct_nodes=[1, 2, 3])
+        assert verdict.safe
+
+    def test_two_byzantine_break_four_node_safety(self):
+        """Thm 3.1: |Byz| = 2 ≥ 2|Q_eq| − N — agreement can split."""
+        factory = mixed_pbft_factory(
+            frozenset({0, 2}), DoubleVoter, primary_class=EquivocatingDoubleVoter
+        )
+        cluster = Cluster(4, factory, seed=5)
+        trace = run_scenario(cluster, commands=["y1"], duration=15.0)
+        verdict = check_agreement(trace, correct_nodes=[1, 3])
+        assert not verdict.holds
+        values = {v.value_a for v in verdict.violations} | {
+            v.value_b for v in verdict.violations
+        }
+        assert "y1" in values and "evil(y1)" in values
+
+    def test_seven_nodes_tolerate_two_byzantine(self):
+        """n=7, q_eq=5: safety holds up to |Byz| = 2 < 2*5-7 = 3."""
+        factory = mixed_pbft_factory(
+            frozenset({0, 3}), DoubleVoter, primary_class=EquivocatingDoubleVoter
+        )
+        cluster = Cluster(7, factory, seed=6)
+        commands = ["z1", "z2"]
+        trace = run_scenario(cluster, commands=commands, duration=15.0)
+        verdict = check_agreement(trace, correct_nodes=[1, 2, 4, 5, 6])
+        assert verdict.holds
+
+    def test_silent_primary_triggers_view_change(self):
+        factory = mixed_pbft_factory(frozenset({0}), SilentByzantine)
+        cluster = Cluster(4, factory, seed=7)
+        commands = ["s1", "s2"]
+        trace = run_scenario(cluster, commands=commands, duration=20.0)
+        verdict = audit_run(trace, commands, correct_nodes=[1, 2, 3])
+        assert verdict.safe and verdict.live
+        assert trace.events_of_kind("new-view")
+
+    def test_silent_backup_harmless(self):
+        factory = mixed_pbft_factory(frozenset({2}), SilentByzantine)
+        cluster = Cluster(4, factory, seed=8)
+        commands = ["ok1", "ok2"]
+        trace = run_scenario(cluster, commands=commands, duration=10.0)
+        verdict = audit_run(trace, commands, correct_nodes=[0, 1, 3])
+        assert verdict.safe and verdict.live

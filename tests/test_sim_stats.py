@@ -1,0 +1,132 @@
+"""Unit tests for trace performance statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.sim.stats import (
+    LatencySummary,
+    commit_latencies,
+    latency_summary,
+    leadership_stats,
+    unavailable_windows,
+)
+from repro.sim.trace import TraceRecorder
+
+
+def _trace(commits=(), events=()):
+    trace = TraceRecorder()
+    for time, node, slot, value in commits:
+        trace.record_commit(time, node, slot, value)
+    for time, node, kind in events:
+        trace.record_event(time, node, kind)
+    return trace
+
+
+class TestCommitLatencies:
+    def test_first_vs_all_scope(self):
+        trace = _trace(commits=[(1.0, 0, 1, "a"), (3.0, 1, 1, "a")])
+        submits = {"a": 0.5}
+        assert commit_latencies(trace, submits, scope="first")["a"] == pytest.approx(0.5)
+        assert commit_latencies(trace, submits, scope="all")["a"] == pytest.approx(2.5)
+
+    def test_uncommitted_commands_omitted(self):
+        trace = _trace(commits=[(1.0, 0, 1, "a")])
+        latencies = commit_latencies(trace, {"a": 0.5, "ghost": 0.1})
+        assert "ghost" not in latencies
+
+    def test_unknown_scope(self):
+        with pytest.raises(InvalidConfigurationError):
+            commit_latencies(_trace(), {}, scope="median")
+
+    def test_summary_statistics(self):
+        trace = _trace(
+            commits=[(1.0 + i * 0.1, 0, i, f"c{i}") for i in range(10)]
+        )
+        submits = {f"c{i}": 1.0 for i in range(10)}
+        summary = latency_summary(trace, submits)
+        assert summary.count == 10
+        assert summary.p50 <= summary.p99 <= summary.maximum
+        assert summary.maximum == pytest.approx(0.9)
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            LatencySummary.from_samples([])
+
+
+class TestLeadership:
+    def test_counts(self):
+        trace = _trace(
+            events=[(0.2, 0, "election"), (0.3, 0, "leader"), (2.0, 1, "election"), (2.1, 1, "leader")]
+        )
+        stats = leadership_stats(trace)
+        assert stats.elections == 2
+        assert stats.leaders_elected == 2
+        assert stats.distinct_leaders == 2
+        assert stats.final_leader == 1
+
+    def test_empty_trace(self):
+        stats = leadership_stats(_trace())
+        assert stats.final_leader is None
+        assert stats.elections == 0
+
+
+class TestUnavailableWindows:
+    def test_detects_gap(self):
+        trace = _trace(commits=[(1.0, 0, 1, "a"), (6.0, 0, 2, "b")])
+        gaps = unavailable_windows(trace, horizon=7.0, gap_threshold=2.0)
+        assert gaps == [(1.0, 6.0)]
+
+    def test_leading_and_trailing_gaps(self):
+        trace = _trace(commits=[(5.0, 0, 1, "a")])
+        gaps = unavailable_windows(trace, horizon=12.0, gap_threshold=3.0)
+        assert gaps == [(0.0, 5.0), (5.0, 12.0)]
+
+    def test_no_gaps_with_steady_commits(self):
+        trace = _trace(commits=[(float(t), 0, t, f"c{t}") for t in range(1, 10)])
+        assert unavailable_windows(trace, horizon=10.0, gap_threshold=2.0) == []
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            unavailable_windows(_trace(), horizon=0.0, gap_threshold=1.0)
+
+
+class TestEndToEndWithSimulator:
+    def test_latency_from_real_run(self):
+        from repro.sim import Cluster, run_scenario
+        from repro.sim.raft import raft_node_factory
+
+        cluster = Cluster(5, raft_node_factory(), seed=3)
+        commands = [f"m{i}" for i in range(10)]
+        submits = {}
+        cluster.start()
+        cluster.run_until(1.0)
+        at = 1.0
+        for command in commands:
+            submits[command] = at
+            cluster.submit(command, at=at)
+            at += 0.05
+        cluster.run_until(10.0)
+        summary = latency_summary(cluster.trace, submits)
+        assert summary.count == 10
+        assert 0.0 < summary.p50 < 1.0  # commits land within a second
+
+    def test_leader_crash_creates_unavailability(self):
+        from repro.sim import Cluster
+        from repro.sim.raft import raft_node_factory
+        from repro.sim.stats import leadership_stats as stats_fn
+
+        cluster = Cluster(3, raft_node_factory(), seed=4)
+        cluster.start()
+        cluster.run_until(1.0)
+        leader = stats_fn(cluster.trace).final_leader
+        assert leader is not None
+        cluster.crash_at(leader, 1.5)
+        at = 1.0
+        for i in range(30):
+            cluster.submit(f"x{i}", at=at)
+            at += 0.2
+        cluster.run_until(8.0)
+        gaps = unavailable_windows(cluster.trace, horizon=8.0, gap_threshold=0.3)
+        assert gaps  # the election window shows up as a commit gap

@@ -1,0 +1,110 @@
+"""Unit tests for workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.sim.workloads import (
+    apply_workload,
+    bursty_workload,
+    interleave,
+    poisson_workload,
+    steady_workload,
+    workload_values,
+)
+
+
+class TestGenerators:
+    def test_steady_cadence(self):
+        events = steady_workload(5, start=1.0, interval=0.5)
+        times = [e.at for e in events]
+        assert times == [1.0, 1.5, 2.0, 2.5, 3.0]
+        assert len({e.value for e in events}) == 5
+
+    def test_poisson_rate(self):
+        events = poisson_workload(rate_per_second=50.0, duration=20.0, seed=0)
+        assert len(events) == pytest.approx(1000, rel=0.15)
+        assert all(0.5 <= e.at < 20.5 for e in events)
+
+    def test_poisson_deterministic_seed(self):
+        a = poisson_workload(rate_per_second=10.0, duration=5.0, seed=3)
+        b = poisson_workload(rate_per_second=10.0, duration=5.0, seed=3)
+        assert [e.at for e in a] == [e.at for e in b]
+
+    def test_bursty_structure(self):
+        events = bursty_workload(bursts=3, burst_size=4, burst_interval=1.0)
+        assert len(events) == 12
+        gaps = [b.at - a.at for a, b in zip(events, events[1:])]
+        assert max(gaps) > 0.9  # inter-burst gap
+        assert min(gaps) < 0.01  # intra-burst spacing
+
+    def test_interleave_sorted(self):
+        merged = interleave(
+            steady_workload(3, start=0.5, interval=1.0, prefix="a"),
+            steady_workload(3, start=0.7, interval=1.0, prefix="b"),
+        )
+        times = [e.at for e in merged]
+        assert times == sorted(times)
+        assert len(merged) == 6
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            steady_workload(-1)
+        with pytest.raises(InvalidConfigurationError):
+            poisson_workload(rate_per_second=0.0, duration=1.0)
+        with pytest.raises(InvalidConfigurationError):
+            bursty_workload(bursts=0, burst_size=1, burst_interval=1.0)
+
+
+class TestApplication:
+    def test_apply_and_measure(self):
+        from repro.sim import Cluster
+        from repro.sim.raft import raft_node_factory
+        from repro.sim.stats import latency_summary
+
+        cluster = Cluster(3, raft_node_factory(), seed=0)
+        events = steady_workload(8, start=1.0, interval=0.1)
+        cluster.start()
+        submits = apply_workload(cluster, events)
+        cluster.run_until(6.0)
+        summary = latency_summary(cluster.trace, submits)
+        assert summary.count == 8
+        assert summary.p50 < 0.5
+
+    def test_duplicate_values_rejected(self):
+        from repro.sim import Cluster
+        from repro.sim.raft import raft_node_factory
+
+        cluster = Cluster(3, raft_node_factory(), seed=0)
+        events = steady_workload(2, prefix="x") + steady_workload(1, prefix="x")
+        with pytest.raises(InvalidConfigurationError):
+            apply_workload(cluster, events)
+
+    def test_workload_values_order(self):
+        events = bursty_workload(bursts=2, burst_size=2, burst_interval=1.0)
+        values = workload_values(events)
+        assert values == [e.value for e in events]
+
+    def test_bursty_load_stresses_latency_tail(self):
+        """Bursts produce a worse p99 than the same load spread steadily."""
+        from repro.sim import Cluster
+        from repro.sim.network import FixedLatency
+        from repro.sim.raft import raft_node_factory
+        from repro.sim.stats import latency_summary
+
+        def run(events):
+            cluster = Cluster(3, raft_node_factory(), latency=FixedLatency(0.004), seed=5)
+            cluster.start()
+            cluster.run_until(0.9)
+            submits = apply_workload(cluster, events)
+            cluster.run_until(30.0)
+            return latency_summary(cluster.trace, submits)
+
+        steady = run(steady_workload(40, start=1.0, interval=0.1))
+        bursty = run(
+            bursty_workload(bursts=2, burst_size=20, burst_interval=2.0, start=1.0)
+        )
+        assert steady.count == bursty.count == 40
+        # Queueing in the burst inflates the median wait for batched commits.
+        assert bursty.p99 >= steady.p50

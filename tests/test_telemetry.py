@@ -1,0 +1,143 @@
+"""Tests for the synthetic telemetry substrate and ingest pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.telemetry.datasets import (
+    HARDWARE_CATALOG,
+    model_by_name,
+    rollout_risk_curve,
+    spot_eviction_curve,
+)
+from repro.telemetry.fleet import generate_fleet_telemetry
+from repro.telemetry.ingest import (
+    empirical_hazard,
+    fit_model_curves,
+    fleet_from_telemetry,
+)
+
+
+@pytest.fixture(scope="module")
+def telemetry():
+    return generate_fleet_telemetry(machines_per_model=150, seed=7)
+
+
+class TestCatalog:
+    def test_lookup(self):
+        model = model_by_name("SRV-STD")
+        assert model.afr == pytest.approx(0.04)
+        assert model.byzantine_afr == pytest.approx(0.0001)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            model_by_name("nope")
+
+    def test_afr_spread_matches_literature(self):
+        afrs = [m.afr for m in HARDWARE_CATALOG]
+        assert min(afrs) < 0.01
+        assert max(afrs) >= 0.08
+
+    def test_crash_curve_useful_life_near_nameplate(self):
+        model = model_by_name("HMS-D14")
+        curve = model.crash_curve()
+        # Year 2 AFR should be within a factor of ~3 of the nameplate
+        # (wear-out and infancy contribute at the edges).
+        afr = curve.failure_probability(8766.0, 2 * 8766.0)
+        assert 0.5 * model.afr < afr < 4 * model.afr
+
+    def test_spot_curve_default_eight_percent_window(self):
+        curve = spot_eviction_curve()
+        assert curve.failure_probability(0, 1000.0) == pytest.approx(0.095, abs=0.02)
+
+    def test_rollout_risk_scales_hazard(self):
+        base = model_by_name("SRV-STD").crash_curve()
+        spiked = rollout_risk_curve(base, spike_factor=50.0)
+        assert spiked.hazard(10_000.0) == pytest.approx(50.0 * base.hazard(10_000.0))
+
+
+class TestGenerator:
+    def test_every_machine_has_a_record(self, telemetry):
+        assert len(telemetry.records) == 150 * len(HARDWARE_CATALOG)
+
+    def test_lifetimes_within_window(self, telemetry):
+        assert all(0.0 <= r.lifetime_hours <= telemetry.window_hours for r in telemetry.records)
+
+    def test_censored_records_at_window_end(self, telemetry):
+        alive = [r for r in telemetry.records if not r.failed]
+        assert alive
+        assert all(r.lifetime_hours == telemetry.window_hours for r in alive)
+
+    def test_flakier_models_fail_more(self, telemetry):
+        assert telemetry.observed_afr("ECO-R2") > telemetry.observed_afr("HMS-D14")
+
+    def test_shock_casualties_recorded(self):
+        telemetry = generate_fleet_telemetry(
+            machines_per_model=80,
+            rollout_probability_per_month=1.0,
+            rollout_lethality=0.05,
+            seed=11,
+        )
+        assert telemetry.shocks
+        rollout_deaths = [r for r in telemetry.records if r.cause.startswith("rollout")]
+        assert rollout_deaths
+
+    def test_deterministic_under_seed(self):
+        a = generate_fleet_telemetry(machines_per_model=20, seed=3)
+        b = generate_fleet_telemetry(machines_per_model=20, seed=3)
+        assert [(r.machine_id, r.lifetime_hours) for r in a.records] == [
+            (r.machine_id, r.lifetime_hours) for r in b.records
+        ]
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            generate_fleet_telemetry(machines_per_model=0)
+        with pytest.raises(InvalidConfigurationError):
+            generate_fleet_telemetry(rollout_lethality=2.0)
+
+
+class TestIngest:
+    def test_empirical_hazard_flat_for_memoryless_data(self):
+        from repro.faults.curves import ConstantHazard
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        true = ConstantHazard(1e-3)
+        durations, observed = [], []
+        for _ in range(4000):
+            t = true.sample_failure_time(rng, horizon=2000.0)
+            failed = np.isfinite(t) and t < 2000.0
+            durations.append(float(t) if failed else 2000.0)
+            observed.append(bool(failed))
+        curve = empirical_hazard(durations, observed, n_bins=6)
+        mid_hazard = curve.hazard(1000.0)
+        assert mid_hazard == pytest.approx(1e-3, rel=0.3)
+
+    def test_fit_model_curves_covers_all_models(self, telemetry):
+        fits = fit_model_curves(telemetry)
+        assert set(fits) == set(telemetry.models_present())
+
+    def test_fitted_curves_rank_models_correctly(self, telemetry):
+        fits = fit_model_curves(telemetry)
+        window = (8766.0, 8766.0 + 720.0)
+        p_good = fits["HMS-D14"].curve.failure_probability(*window)
+        p_bad = fits["ECO-R2"].curve.failure_probability(*window)
+        assert p_bad > p_good
+
+    def test_fleet_from_telemetry_end_to_end(self, telemetry):
+        fleet = fleet_from_telemetry(telemetry, [("SRV-STD", 3), ("ECO-R2", 2)])
+        assert fleet.n == 5
+        assert fleet[0].label == "SRV-STD"
+        assert 0.0 < fleet[0].p_fail < 0.2
+        assert fleet[3].p_fail > fleet[0].p_fail
+
+    def test_unknown_composition_model(self, telemetry):
+        with pytest.raises(InvalidConfigurationError):
+            fleet_from_telemetry(telemetry, [("quantum-drive", 3)])
+
+    def test_empirical_hazard_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            empirical_hazard([], [])
+        with pytest.raises(InvalidConfigurationError):
+            empirical_hazard([1.0], [True], n_bins=1)
