@@ -1,0 +1,206 @@
+"""K1 — vectorized kernel speedups: trials/sec and tables/sec, before vs after.
+
+Times the pre-kernel per-trial Monte-Carlo loop (kept here as a reference
+implementation) against the batched verdict-mask sampler, the 2n-pass
+Birnbaum conditioning against the one-pass leave-one-out kernel, and the
+paper Table 1/2 regeneration wall-time.  Emits a machine-readable
+``BENCH_kernels.json`` at the repo root for the perf trajectory.
+
+Run as pytest (``pytest benchmarks/bench_kernels.py -s``) or directly
+(``python benchmarks/bench_kernels.py``); both write the JSON.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import time
+from pathlib import Path
+
+from repro._rng import as_generator
+from repro.analysis.config import FailureConfig
+from repro.analysis.montecarlo import monte_carlo_reliability, sample_configuration
+from repro.analysis.sensitivity import birnbaum_importance, importance_ranking
+from repro.faults.mixture import uniform_fleet
+from repro.protocols.raft import RaftSpec
+
+from conftest import print_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_kernels.json"
+
+MC_N = 25
+MC_P = 0.05
+MC_TRIALS_LOOP = 20_000
+MC_TRIALS_BATCHED = 400_000
+
+RANKING_N = 40
+RANKING_P = 0.05
+
+
+def _reference_run_trials(spec, fleet, trials: int, rng) -> tuple[int, int, int]:
+    """The seed per-trial Monte-Carlo loop (with its verdict memo dict)."""
+    safe_count = live_count = both_count = 0
+    cache: dict[FailureConfig, tuple[bool, bool]] = {}
+    for _ in range(trials):
+        config = sample_configuration(fleet, rng)
+        verdict = cache.get(config)
+        if verdict is None:
+            verdict = (spec.is_safe(config), spec.is_live(config))
+            if len(cache) < 200_000:
+                cache[config] = verdict
+        safe, live = verdict
+        safe_count += safe
+        live_count += live
+        both_count += safe and live
+    return safe_count, live_count, both_count
+
+
+def _merge_json(section: str, payload: dict) -> None:
+    data = {}
+    if JSON_PATH.exists():
+        data = json.loads(JSON_PATH.read_text())
+    data[section] = payload
+    JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def measure_monte_carlo() -> dict:
+    spec = RaftSpec(MC_N)
+    fleet = uniform_fleet(MC_N, MC_P)
+
+    start = time.perf_counter()
+    _reference_run_trials(spec, fleet, MC_TRIALS_LOOP, as_generator(0))
+    loop_seconds = time.perf_counter() - start
+    loop_rate = MC_TRIALS_LOOP / loop_seconds
+
+    monte_carlo_reliability(spec, fleet, trials=1_000, seed=0)  # warm masks/caches
+    start = time.perf_counter()
+    monte_carlo_reliability(spec, fleet, trials=MC_TRIALS_BATCHED, seed=0)
+    batched_seconds = time.perf_counter() - start
+    batched_rate = MC_TRIALS_BATCHED / batched_seconds
+
+    return {
+        "n": MC_N,
+        "p_fail": MC_P,
+        "loop_trials": MC_TRIALS_LOOP,
+        "loop_seconds": loop_seconds,
+        "loop_trials_per_sec": loop_rate,
+        "batched_trials": MC_TRIALS_BATCHED,
+        "batched_seconds": batched_seconds,
+        "batched_trials_per_sec": batched_rate,
+        "speedup": batched_rate / loop_rate,
+    }
+
+
+def measure_importance_ranking() -> dict:
+    spec = RaftSpec(RANKING_N)
+    fleet = uniform_fleet(RANKING_N, RANKING_P)
+    importance_ranking(spec, fleet)  # warm masks
+
+    start = time.perf_counter()
+    importance_ranking(spec, fleet)
+    one_pass_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    # The pre-kernel algorithm: condition the counting DP twice per node.
+    per_node = [birnbaum_importance(spec, fleet, node) for node in range(RANKING_N)]
+    per_node_seconds = time.perf_counter() - start
+    assert len(per_node) == RANKING_N
+
+    # O(n^3)-vs-O(n^4) scaling evidence: one-pass cost across sizes.
+    scaling = {}
+    for n in (15, 25, 40, 60):
+        spec_n = RaftSpec(n)
+        fleet_n = uniform_fleet(n, RANKING_P)
+        importance_ranking(spec_n, fleet_n)  # warm masks
+        start = time.perf_counter()
+        importance_ranking(spec_n, fleet_n)
+        scaling[n] = time.perf_counter() - start
+
+    return {
+        "n": RANKING_N,
+        "one_pass_seconds": one_pass_seconds,
+        "per_node_conditioning_seconds": per_node_seconds,
+        "speedup": per_node_seconds / one_pass_seconds,
+        "one_pass_seconds_by_n": scaling,
+    }
+
+
+def measure_tables() -> dict:
+    from repro.cli import main as cli_main
+
+    timings = {}
+    for table in ("table1", "table2"):
+        start = time.perf_counter()
+        with contextlib.redirect_stdout(io.StringIO()):
+            cli_main([table])
+        timings[table] = time.perf_counter() - start
+    total = sum(timings.values())
+    return {
+        "table_seconds": timings,
+        "tables_per_sec": len(timings) / total,
+    }
+
+
+def test_batched_monte_carlo_speedup():
+    result = measure_monte_carlo()
+    _merge_json("monte_carlo", result)
+    print_table(
+        f"K1: Monte-Carlo trials/sec, Raft n={MC_N} p={MC_P:.0%}",
+        ["path", "trials/sec"],
+        [
+            ["per-trial loop (seed)", f"{result['loop_trials_per_sec']:,.0f}"],
+            ["batched kernel", f"{result['batched_trials_per_sec']:,.0f}"],
+            ["speedup", f"{result['speedup']:.1f}x"],
+        ],
+    )
+    assert result["speedup"] >= 20.0, (
+        f"batched Monte-Carlo only {result['speedup']:.1f}x over the per-trial loop"
+    )
+
+
+def test_one_pass_importance_speedup():
+    result = measure_importance_ranking()
+    _merge_json("importance_ranking", result)
+    print_table(
+        f"K1: importance_ranking, Raft n={RANKING_N}",
+        ["algorithm", "seconds"],
+        [
+            ["2n-pass conditioning (seed)", f"{result['per_node_conditioning_seconds']:.3f}"],
+            ["one-pass kernel", f"{result['one_pass_seconds']:.3f}"],
+            ["speedup", f"{result['speedup']:.1f}x"],
+        ],
+    )
+    # The one-pass kernel must clearly beat re-conditioning the DP per node
+    # (the seed algorithm's O(n^4) total); anything near parity means the
+    # kernel regressed to per-node work.
+    assert result["speedup"] >= 5.0
+
+
+def test_table_regeneration_wall_time():
+    result = measure_tables()
+    _merge_json("paper_tables", result)
+    print_table(
+        "K1: paper table regeneration",
+        ["table", "seconds"],
+        [[name, f"{secs:.4f}"] for name, secs in result["table_seconds"].items()],
+    )
+    assert result["tables_per_sec"] > 1.0
+
+
+def main() -> None:
+    mc = measure_monte_carlo()
+    ranking = measure_importance_ranking()
+    tables = measure_tables()
+    for section, payload in (
+        ("monte_carlo", mc),
+        ("importance_ranking", ranking),
+        ("paper_tables", tables),
+    ):
+        _merge_json(section, payload)
+    print(json.dumps(json.loads(JSON_PATH.read_text()), indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,24 @@ Four estimators with one façade:
 * :func:`repro.analysis.importance.importance_sample_violation` — tilted
   sampling for many-nines rare events.
 
-:func:`analyze` picks the best applicable estimator automatically.
+:func:`analyze` picks the best applicable estimator automatically:
+
+1. **symmetric spec** → counting DP.  Exact, ``O(n^3)``, and on the fast
+   path: predicates come from the spec's cached verdict masks and the
+   aggregation is a masked array reduction (:mod:`repro.analysis.kernels`).
+2. **asymmetric spec, small fleet** → exact enumeration (≤ ``2^20``
+   positive-probability configurations).
+3. **otherwise** → Monte-Carlo, which also runs on the kernel layer:
+   chunked uniform draws, vectorized classification, and per-distinct-row
+   predicate calls.
+
+The kernel layer is the hot path shared by everything above: verdict
+masks turn per-(spec, fleet) predicate sweeps into one-time per-spec
+tables; the batched count DP evaluates whole fleets-of-fleets sweeps
+(:func:`analyze_batch`, horizon series, CLI tables) in single NumPy
+passes; and the one-pass leave-one-out kernel powers Birnbaum importance,
+gradients and upgrade planning at ``O(n^3)`` total instead of ``O(n^4)``.
+Exact numbers are bit-identical whichever path computes them.
 """
 
 from __future__ import annotations
@@ -35,6 +52,14 @@ from repro.analysis.importance import (
     importance_sample_violation,
     minimal_violating_failures,
     quorum_wipeout_probability,
+)
+from repro.analysis.kernels import (
+    BatchTally,
+    VerdictMasks,
+    birnbaum_importances,
+    counting_reliability_batch,
+    joint_count_pmf_batch,
+    verdict_masks,
 )
 from repro.analysis.predicates import monte_carlo_predicate, predicate_probability
 from repro.analysis.horizon import (
@@ -69,7 +94,7 @@ from repro.analysis.result import (
 )
 from repro.errors import EstimationError
 from repro.faults.mixture import Fleet
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.protocols.base import ProtocolSpec
@@ -108,13 +133,47 @@ def analyze(
     raise EstimationError(f"unknown analysis method {method!r}")
 
 
+def analyze_batch(
+    spec: "ProtocolSpec",
+    fleets: "Sequence[Fleet]",
+    *,
+    method: str = "auto",
+    trials: int = 100_000,
+    seed: SeedLike = None,
+) -> list[ReliabilityResult]:
+    """Reliability for many same-size fleets against one spec, batched.
+
+    The sweep primitive behind horizon series, what-if grids and the CLI
+    tables.  Symmetric specs run the whole batch through one vectorized
+    counting-DP sweep (per-fleet values bit-identical to
+    :func:`analyze`); other spec/method combinations fall back to
+    per-fleet :func:`analyze` calls.
+    """
+    fleets = list(fleets)
+    if not fleets:
+        return []
+    if method in ("auto", "counting") and spec.symmetric:
+        return counting_reliability_batch(spec, fleets)
+    return [
+        analyze(spec, fleet, method=method, trials=trials, seed=seed)
+        for fleet in fleets
+    ]
+
+
 __all__ = [
     "analyze",
+    "analyze_batch",
     "FailureConfig",
     "FaultKind",
     "config_probability",
     "counting_reliability",
+    "counting_reliability_batch",
     "joint_count_pmf",
+    "joint_count_pmf_batch",
+    "verdict_masks",
+    "VerdictMasks",
+    "BatchTally",
+    "birnbaum_importances",
     "poisson_binomial_pmf",
     "aggregate_counts",
     "exact_reliability",

@@ -71,16 +71,19 @@ def joint_count_pmf(fleet: Fleet) -> np.ndarray:
 def aggregate_counts(
     fleet: Fleet, predicate: Callable[[int, int], bool]
 ) -> float:
-    """Total probability of configurations whose counts satisfy ``predicate``."""
+    """Total probability of configurations whose counts satisfy ``predicate``.
+
+    The predicate is evaluated only on count pairs carrying probability
+    mass; the reduction itself is the ordered masked sum from
+    :mod:`repro.analysis.kernels`, bit-identical to the historical loop.
+    """
+    from repro.analysis.kernels import masked_sum
+
     pmf = joint_count_pmf(fleet)
-    n = fleet.n
-    total = 0.0
-    for crash in range(n + 1):
-        for byz in range(n + 1 - crash):
-            mass = pmf[crash, byz]
-            if mass > 0.0 and predicate(crash, byz):
-                total += mass
-    return float(min(total, 1.0))
+    mask = pmf > 0.0
+    for crash, byz in np.argwhere(mask):
+        mask[crash, byz] = predicate(int(crash), int(byz))
+    return float(min(masked_sum(pmf, mask), 1.0))
 
 
 def counting_reliability(spec: "ProtocolSpec", fleet: Fleet) -> ReliabilityResult:
@@ -88,8 +91,13 @@ def counting_reliability(spec: "ProtocolSpec", fleet: Fleet) -> ReliabilityResul
 
     Requires a symmetric spec; raises :class:`InvalidConfigurationError`
     otherwise (use the exact enumerator or Monte-Carlo for asymmetric
-    protocols).
+    protocols).  Predicates are read from the spec's cached verdict masks
+    (:mod:`repro.analysis.kernels`), so repeated evaluations — horizon
+    sweeps, what-if batches, importance conditioning — pay zero predicate
+    calls; values are bit-identical to the historical predicate loop.
     """
+    from repro.analysis.kernels import reliability_values, verdict_masks
+
     if not spec.symmetric:
         raise InvalidConfigurationError(
             f"{spec.name} is not symmetric; the counting estimator does not apply"
@@ -100,26 +108,13 @@ def counting_reliability(spec: "ProtocolSpec", fleet: Fleet) -> ReliabilityResul
         )
     pmf = joint_count_pmf(fleet)
     n = fleet.n
-    p_safe = p_live = p_both = 0.0
-    for crash in range(n + 1):
-        for byz in range(n + 1 - crash):
-            mass = pmf[crash, byz]
-            if mass == 0.0:
-                continue
-            safe = spec.is_safe_counts(crash, byz)
-            live = spec.is_live_counts(crash, byz)
-            if safe:
-                p_safe += mass
-            if live:
-                p_live += mass
-            if safe and live:
-                p_both += mass
+    p_safe, p_live, p_both = reliability_values(pmf, verdict_masks(spec))
     return ReliabilityResult(
         protocol=spec.name,
         n=n,
-        safe=Estimate.exact(float(min(p_safe, 1.0))),
-        live=Estimate.exact(float(min(p_live, 1.0))),
-        safe_and_live=Estimate.exact(float(min(p_both, 1.0))),
+        safe=Estimate.exact(p_safe),
+        live=Estimate.exact(p_live),
+        safe_and_live=Estimate.exact(p_both),
         method="counting",
         detail=f"joint count DP over {(n + 1) * (n + 2) // 2} count pairs",
     )

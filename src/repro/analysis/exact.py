@@ -10,6 +10,7 @@ it exists to (a) handle *asymmetric* predicates exactly at small N and
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterator
 
 from repro.analysis.config import FailureConfig, FaultKind
@@ -124,6 +125,10 @@ def worst_configurations(
     Useful for explaining a reliability number: "your top risk is these two
     specific nodes failing together".  ``predicate`` is ``"safe"``,
     ``"live"`` or ``"safe_and_live"``.
+
+    Violations are streamed through a bounded ``heapq.nlargest`` selection,
+    so memory stays O(limit) instead of materialising (and fully sorting)
+    every violating configuration.
     """
     checks = {
         "safe": spec.is_safe,
@@ -132,11 +137,17 @@ def worst_configurations(
     }
     if predicate not in checks:
         raise InvalidConfigurationError(f"unknown predicate {predicate!r}")
+    if limit <= 0:
+        return []
     check = checks[predicate]
-    violations = [
-        (config, probability)
-        for config, probability in enumerate_configurations(fleet, max_configs=max_configs)
-        if probability > 0.0 and not check(config)
-    ]
-    violations.sort(key=lambda pair: pair[1], reverse=True)
-    return violations[:limit]
+    return heapq.nlargest(
+        limit,
+        (
+            (config, probability)
+            for config, probability in enumerate_configurations(
+                fleet, max_configs=max_configs
+            )
+            if probability > 0.0 and not check(config)
+        ),
+        key=lambda pair: pair[1],
+    )

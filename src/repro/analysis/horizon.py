@@ -67,23 +67,27 @@ def reliability_over_horizon(
     Each point conditions on the fleet having been kept at full strength
     (failures repaired with like-for-like hardware of the same age) — the
     standard rolling-window view an SRE dashboard would show.
+
+    All windows are evaluated in one batched counting-DP sweep
+    (:func:`repro.analysis.kernels.counting_reliability_batch`); per-window
+    values are bit-identical to evaluating each window separately.
     """
+    from repro.analysis.kernels import counting_reliability_batch
+
     if n_windows <= 0:
         raise InvalidConfigurationError("n_windows must be positive")
     spec = spec_factory(len(curves))
-    points = []
-    for index in range(n_windows):
-        start = index * window_hours
-        fleet = fleet_for_window(curves, start, window_hours)
-        result = counting_reliability(spec, fleet)
-        points.append(
-            WindowPoint(
-                window_index=index,
-                start_hours=start,
-                safe_and_live=result.safe_and_live.value,
-            )
+    starts = [index * window_hours for index in range(n_windows)]
+    fleets = [fleet_for_window(curves, start, window_hours) for start in starts]
+    results = counting_reliability_batch(spec, fleets)
+    return [
+        WindowPoint(
+            window_index=index,
+            start_hours=start,
+            safe_and_live=result.safe_and_live.value,
         )
-    return points
+        for index, (start, result) in enumerate(zip(starts, results))
+    ]
 
 
 def horizon_survival(

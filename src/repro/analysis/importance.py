@@ -166,15 +166,17 @@ def importance_sample_violation(
     log_ratio_fail = np.log(np.maximum(p, 1e-300)) - np.log(tilt_arr)
     log_ratio_ok = np.log1p(-p) - np.log1p(-tilt_arr)
 
-    weights = np.zeros(trials)
-    for t in range(trials):
-        failed = rng.random(fleet.n) < tilt_arr
-        config = FailureConfig(
-            tuple(failure_kind if f else FaultKind.CORRECT for f in failed)
-        )
-        if not check(config):
-            log_weight = float(np.where(failed, log_ratio_fail, log_ratio_ok).sum())
-            weights[t] = math.exp(log_weight)
+    weights = _tilted_violation_weights(
+        spec,
+        predicate,
+        check,
+        tilt_arr,
+        log_ratio_fail,
+        log_ratio_ok,
+        trials,
+        rng,
+        failure_kind,
+    )
 
     mean = float(weights.mean())
     stderr = float(weights.std(ddof=1) / math.sqrt(trials)) if trials > 1 else float("nan")
@@ -194,6 +196,60 @@ def importance_sample_violation(
         ci_high=min(1.0, mean + 1.96 * stderr),
     )
     return ImportanceResult(estimate, trials, tuple(tilt_arr), ess)
+
+
+def _tilted_violation_weights(
+    spec: "ProtocolSpec",
+    predicate: str,
+    check: Callable[[FailureConfig], bool],
+    tilt_arr: np.ndarray,
+    log_ratio_fail: np.ndarray,
+    log_ratio_ok: np.ndarray,
+    trials: int,
+    rng: np.random.Generator,
+    failure_kind: FaultKind,
+) -> np.ndarray:
+    """Per-trial likelihood-ratio weights of violating tilted samples.
+
+    Batched: failure vectors are drawn as chunked ``(m, n)`` blocks (same
+    generator stream as a per-trial loop), violations are decided by
+    verdict-mask lookup for symmetric specs or unique-row dedup otherwise,
+    and log-weights are row-summed vectorially.
+    """
+    from repro.analysis.kernels import _chunk_sizes, verdict_masks
+
+    mask = verdict_masks(spec).for_metric(predicate) if spec.symmetric else None
+    weights = np.zeros(trials)
+    offset = 0
+    for size in _chunk_sizes(trials, spec.n):
+        failed = rng.random((size, spec.n)) < tilt_arr
+        if mask is not None:
+            k = failed.sum(axis=1)
+            zeros = np.zeros_like(k)
+            holds = mask[k, zeros] if failure_kind is FaultKind.CRASH else mask[zeros, k]
+        else:
+            rows, inverse = np.unique(failed, axis=0, return_inverse=True)
+            verdicts = np.fromiter(
+                (
+                    check(
+                        FailureConfig(
+                            tuple(failure_kind if f else FaultKind.CORRECT for f in row)
+                        )
+                    )
+                    for row in rows
+                ),
+                dtype=bool,
+                count=len(rows),
+            )
+            holds = verdicts[inverse]
+        violating = ~holds
+        if violating.any():
+            log_weights = np.where(
+                failed[violating], log_ratio_fail, log_ratio_ok
+            ).sum(axis=1)
+            weights[offset : offset + size][violating] = np.exp(log_weights)
+        offset += size
+    return weights
 
 
 def quorum_wipeout_probability(

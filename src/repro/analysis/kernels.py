@@ -1,0 +1,521 @@
+"""Vectorized estimation kernels: the array-level hot path of the engine.
+
+The paper's pitch is that probability-native reliability analysis should be
+cheap enough to run continuously — per deployment, per window, per what-if.
+This module provides the batched linear-algebra primitives that make the
+flexible estimator APIs in :mod:`repro.analysis` run at NumPy speed:
+
+* **Verdict masks** — for symmetric specs, the ``(n+1) x (n+1)`` boolean
+  arrays ``safe[c, b]`` / ``live[c, b]`` over crash/Byzantine count pairs.
+  Computed once per spec (cached via :meth:`ProtocolSpec.verdict_masks`),
+  they turn every counting aggregation into a ``(pmf * mask).sum()``
+  reduction and every symmetric Monte-Carlo tally into a fancy-indexed
+  lookup — predicates run ``O(n^2)`` times per *spec*, not per evaluation.
+
+* **Batched joint-count DP** — :func:`joint_count_pmf_batch` runs the
+  trinomial Poisson-binomial dynamic program for ``F`` fleets at once.
+  Its elementwise update sequence is identical to the single-fleet DP in
+  :func:`repro.analysis.counting.joint_count_pmf`, so per-fleet results are
+  bit-identical to the scalar path.
+
+* **Batched Monte-Carlo** — :func:`monte_carlo_tally` and friends draw
+  chunked ``(trials, n)`` uniforms and classify them vectorially.  The
+  uniform stream is consumed in the same (trial, node) order as the
+  historical per-trial loop, so seeded tallies are unchanged.  Asymmetric
+  specs get ``np.unique`` row dedup: Python predicates run once per
+  *distinct* configuration, not per trial.
+
+* **One-pass Birnbaum** — :func:`loo_weighted_products` combines prefix
+  count-DPs with a backward weight recursion to produce all ``n``
+  leave-one-out inner products ``<pmf without node u, W>`` in a single
+  ``O(n^3)`` sweep, which is what makes :func:`birnbaum_importances`
+  (and the ranking / gradient / upgrade-planner APIs built on it) ~2n
+  times cheaper than re-running the counting DP per node.
+
+Ordering note: every reduction that feeds an *exact* estimator uses
+:func:`masked_sum`, a sequential row-major accumulation reproducing the
+historical nested-loop summation order, so exact results stay bit-identical
+across the scalar, batched, and masked paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.config import FailureConfig, FaultKind
+from repro.analysis.result import Estimate, ReliabilityResult
+from repro.errors import InvalidConfigurationError
+from repro.faults.mixture import Fleet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.protocols.base import ProtocolSpec
+
+#: Target number of uniform draws per Monte-Carlo chunk (~8 MB of float64).
+_CHUNK_DRAWS = 1 << 20
+
+#: Outcome codes used by the vectorized trinomial classifier.
+_CODE_CORRECT, _CODE_CRASH, _CODE_BYZANTINE = 0, 1, 2
+_CODE_TO_KIND = {
+    _CODE_CORRECT: FaultKind.CORRECT,
+    _CODE_CRASH: FaultKind.CRASH,
+    _CODE_BYZANTINE: FaultKind.BYZANTINE,
+}
+
+
+# ---------------------------------------------------------------------------
+# Verdict masks
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class VerdictMasks:
+    """Count-pair truth tables of one symmetric spec's predicates.
+
+    ``safe[c, b]`` / ``live[c, b]`` hold the predicate verdicts for ``c``
+    crashes and ``b`` Byzantine nodes; entries outside the valid triangle
+    ``c + b <= n`` are ``False``.  ``both`` is the elementwise AND.
+    """
+
+    n: int
+    safe: np.ndarray
+    live: np.ndarray
+    both: np.ndarray
+    valid: np.ndarray
+
+    def for_metric(self, metric: str) -> np.ndarray:
+        """The boolean mask backing one reliability metric."""
+        if metric == "safe":
+            return self.safe
+        if metric == "live":
+            return self.live
+        if metric == "safe_and_live":
+            return self.both
+        raise InvalidConfigurationError(f"unknown metric {metric!r}")
+
+
+def compute_verdict_masks(spec: "ProtocolSpec") -> VerdictMasks:
+    """Evaluate a symmetric spec's count predicates over every (c, b) pair.
+
+    ``O(n^2)`` predicate calls — done once per spec and cached by
+    :func:`verdict_masks`.
+    """
+    if not spec.symmetric:
+        raise InvalidConfigurationError(
+            f"{spec.name} is not symmetric; verdict masks do not apply"
+        )
+    n = spec.n
+    safe = np.zeros((n + 1, n + 1), dtype=bool)
+    live = np.zeros((n + 1, n + 1), dtype=bool)
+    valid = np.zeros((n + 1, n + 1), dtype=bool)
+    for crash in range(n + 1):
+        for byz in range(n + 1 - crash):
+            valid[crash, byz] = True
+            safe[crash, byz] = spec.is_safe_counts(crash, byz)
+            live[crash, byz] = spec.is_live_counts(crash, byz)
+    for mask in (safe, live, valid):
+        mask.setflags(write=False)
+    both = safe & live
+    both.setflags(write=False)
+    return VerdictMasks(n=n, safe=safe, live=live, both=both, valid=valid)
+
+
+def verdict_masks(spec: "ProtocolSpec") -> VerdictMasks:
+    """Cached accessor for a spec's verdict masks.
+
+    Specs are immutable after construction, so the masks are computed once
+    and stashed on the instance (``_verdict_masks_cache``).
+    """
+    cached = getattr(spec, "_verdict_masks_cache", None)
+    if cached is None:
+        cached = compute_verdict_masks(spec)
+        spec._verdict_masks_cache = cached  # type: ignore[attr-defined]
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# Ordered reductions (bit-identical to the historical nested loops)
+# ---------------------------------------------------------------------------
+def masked_sum(pmf: np.ndarray, mask: np.ndarray) -> float:
+    """Sum ``pmf`` where ``mask`` holds, in row-major sequential order.
+
+    Reproduces the historical ``for c: for b: total += mass`` accumulation
+    exactly (IEEE addition is order-sensitive), which is what keeps the
+    exact estimators bit-identical to their pre-kernel values.
+    """
+    return float(sum(pmf[mask].tolist()))
+
+
+def reliability_values(pmf: np.ndarray, masks: VerdictMasks) -> tuple[float, float, float]:
+    """(P[safe], P[live], P[safe&live]) of a joint count PMF, clamped to 1."""
+    return (
+        min(masked_sum(pmf, masks.safe), 1.0),
+        min(masked_sum(pmf, masks.live), 1.0),
+        min(masked_sum(pmf, masks.both), 1.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched joint-count DP
+# ---------------------------------------------------------------------------
+def fleet_probability_matrix(fleets: Sequence[Fleet]) -> tuple[np.ndarray, np.ndarray]:
+    """Stack per-node crash/Byzantine probabilities into (F, n) arrays."""
+    if not fleets:
+        raise InvalidConfigurationError("need at least one fleet")
+    n = fleets[0].n
+    if any(fleet.n != n for fleet in fleets):
+        raise InvalidConfigurationError("all fleets in a batch must have the same size")
+    crash = np.array([fleet.crash_probabilities for fleet in fleets], dtype=float)
+    byz = np.array([fleet.byzantine_probabilities for fleet in fleets], dtype=float)
+    return crash, byz
+
+
+def joint_count_pmf_batch(crash: np.ndarray, byz: np.ndarray) -> np.ndarray:
+    """Joint crash/Byzantine count PMFs for ``F`` fleets at once.
+
+    ``crash`` and ``byz`` are ``(F, n)`` probability arrays; the result is
+    ``(F, n+1, n+1)`` with ``out[f, c, b] = P[c crashes, b byz]`` for fleet
+    ``f``.  The update sequence per fleet matches the scalar DP in
+    :func:`repro.analysis.counting.joint_count_pmf` operation-for-operation
+    (adding a zero-probability branch is an exact no-op), so each slice is
+    bit-identical to the single-fleet result.
+    """
+    crash = np.asarray(crash, dtype=float)
+    byz = np.asarray(byz, dtype=float)
+    if crash.shape != byz.shape or crash.ndim != 2:
+        raise InvalidConfigurationError("crash/byzantine arrays must share an (F, n) shape")
+    fleets, n = crash.shape
+    ok = np.maximum(0.0, 1.0 - crash - byz)
+    pmf = np.zeros((fleets, n + 1, n + 1))
+    pmf[:, 0, 0] = 1.0
+    for node in range(n):
+        updated = pmf * ok[:, node, None, None]
+        updated[:, 1:, :] += pmf[:, :-1, :] * crash[:, node, None, None]
+        updated[:, :, 1:] += pmf[:, :, :-1] * byz[:, node, None, None]
+        pmf = updated
+    return pmf
+
+
+def counting_reliability_batch(
+    spec: "ProtocolSpec", fleets: Sequence[Fleet]
+) -> list[ReliabilityResult]:
+    """Exact counting reliability for many same-size fleets in one DP sweep.
+
+    The batched analogue of
+    :func:`repro.analysis.counting.counting_reliability`; per-fleet values
+    are bit-identical to the scalar path.
+    """
+    if not spec.symmetric:
+        raise InvalidConfigurationError(
+            f"{spec.name} is not symmetric; the counting estimator does not apply"
+        )
+    crash, byz = fleet_probability_matrix(list(fleets))
+    if crash.shape[1] != spec.n:
+        raise InvalidConfigurationError(
+            f"fleets have {crash.shape[1]} nodes but spec expects {spec.n}"
+        )
+    masks = verdict_masks(spec)
+    pmfs = joint_count_pmf_batch(crash, byz)
+    results = []
+    for pmf in pmfs:
+        p_safe, p_live, p_both = reliability_values(pmf, masks)
+        results.append(
+            ReliabilityResult(
+                protocol=spec.name,
+                n=spec.n,
+                safe=Estimate.exact(p_safe),
+                live=Estimate.exact(p_live),
+                safe_and_live=Estimate.exact(p_both),
+                method="counting",
+                detail=(
+                    f"verdict-mask kernel, batch of {len(pmfs)} fleets over "
+                    f"{(spec.n + 1) * (spec.n + 2) // 2} count pairs"
+                ),
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Batched Monte-Carlo
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchTally:
+    """Safe/live/both hit counts accumulated over a batched sampling run."""
+
+    trials: int
+    safe: int
+    live: int
+    both: int
+
+
+def _chunk_sizes(trials: int, n: int) -> list[int]:
+    chunk = max(1, _CHUNK_DRAWS // max(n, 1))
+    full, rest = divmod(trials, chunk)
+    return [chunk] * full + ([rest] if rest else [])
+
+
+def classify_uniforms(
+    uniforms: np.ndarray, crash_p: np.ndarray, byz_p: np.ndarray
+) -> np.ndarray:
+    """Trinomial classification of a ``(m, n)`` uniform block.
+
+    Matches the scalar sampler: ``u < p_crash`` is a crash,
+    ``p_crash <= u < p_crash + p_byzantine`` is Byzantine, else correct.
+    Returns ``int8`` outcome codes.
+    """
+    codes = np.zeros(uniforms.shape, dtype=np.int8)
+    crash = uniforms < crash_p
+    byz = ~crash & (uniforms < crash_p + byz_p)
+    codes[crash] = _CODE_CRASH
+    codes[byz] = _CODE_BYZANTINE
+    return codes
+
+
+def _config_from_codes(row: np.ndarray) -> FailureConfig:
+    return FailureConfig(tuple(_CODE_TO_KIND[int(code)] for code in row))
+
+
+def _tally_symmetric(
+    masks: VerdictMasks, crash_counts: np.ndarray, byz_counts: np.ndarray
+) -> tuple[int, int, int]:
+    safe = int(masks.safe[crash_counts, byz_counts].sum())
+    live = int(masks.live[crash_counts, byz_counts].sum())
+    both = int(masks.both[crash_counts, byz_counts].sum())
+    return safe, live, both
+
+
+def _tally_asymmetric(
+    spec: "ProtocolSpec", codes: np.ndarray
+) -> tuple[int, int, int]:
+    """Dedup configurations so predicates run once per distinct row."""
+    unique_rows, counts = np.unique(codes, axis=0, return_counts=True)
+    safe = live = both = 0
+    for row, count in zip(unique_rows, counts.tolist()):
+        config = _config_from_codes(row)
+        row_safe = spec.is_safe(config)
+        row_live = spec.is_live(config)
+        if row_safe:
+            safe += count
+        if row_live:
+            live += count
+        if row_safe and row_live:
+            both += count
+    return safe, live, both
+
+
+def monte_carlo_tally(
+    spec: "ProtocolSpec",
+    fleet: Fleet,
+    trials: int,
+    rng: np.random.Generator,
+) -> BatchTally:
+    """Batched independent-trinomial Monte-Carlo tally.
+
+    Draws chunked ``(m, n)`` uniforms — consuming the generator stream in
+    the same (trial, node) order as a per-trial loop, so seeded tallies are
+    reproducible and match the historical sampler exactly.  Symmetric specs
+    are tallied by verdict-mask lookup on row counts; asymmetric specs go
+    through :func:`np.unique` row dedup.
+    """
+    crash_p = np.array(fleet.crash_probabilities)
+    byz_p = np.array(fleet.byzantine_probabilities)
+    masks = verdict_masks(spec) if spec.symmetric else None
+    safe = live = both = 0
+    for size in _chunk_sizes(trials, fleet.n):
+        uniforms = rng.random((size, fleet.n))
+        codes = classify_uniforms(uniforms, crash_p, byz_p)
+        if masks is not None:
+            crash_counts = (codes == _CODE_CRASH).sum(axis=1)
+            byz_counts = (codes == _CODE_BYZANTINE).sum(axis=1)
+            s, l, b = _tally_symmetric(masks, crash_counts, byz_counts)
+        else:
+            s, l, b = _tally_asymmetric(spec, codes)
+        safe += s
+        live += l
+        both += b
+    return BatchTally(trials=trials, safe=safe, live=live, both=both)
+
+
+def correlated_tally(
+    spec: "ProtocolSpec",
+    model,
+    trials: int,
+    rng: np.random.Generator,
+    failure_kind: FaultKind,
+) -> BatchTally:
+    """Batched tally under a correlated failure model.
+
+    ``model.sample_many`` draws each trial with the same generator calls as
+    the historical one-at-a-time loop, so seeded tallies are unchanged.
+    """
+    masks = verdict_masks(spec) if spec.symmetric else None
+    code = _CODE_CRASH if failure_kind is FaultKind.CRASH else _CODE_BYZANTINE
+    safe = live = both = 0
+    for size in _chunk_sizes(trials, spec.n):
+        failed = np.asarray(model.sample_many(size, rng), dtype=bool)
+        if masks is not None:
+            fail_counts = failed.sum(axis=1)
+            zeros = np.zeros_like(fail_counts)
+            if failure_kind is FaultKind.CRASH:
+                s, l, b = _tally_symmetric(masks, fail_counts, zeros)
+            else:
+                s, l, b = _tally_symmetric(masks, zeros, fail_counts)
+        else:
+            codes = np.where(failed, np.int8(code), np.int8(_CODE_CORRECT))
+            s, l, b = _tally_asymmetric(spec, codes)
+        safe += s
+        live += l
+        both += b
+    return BatchTally(trials=trials, safe=safe, live=live, both=both)
+
+
+def predicate_tally(
+    fleet: Fleet,
+    predicate: Callable[[FailureConfig], bool],
+    trials: int,
+    rng: np.random.Generator,
+) -> int:
+    """Hits of an arbitrary configuration predicate over batched trials.
+
+    Python predicates are opaque, so every chunk is deduped with
+    :func:`np.unique` and the predicate runs once per distinct
+    configuration.
+    """
+    crash_p = np.array(fleet.crash_probabilities)
+    byz_p = np.array(fleet.byzantine_probabilities)
+    hits = 0
+    for size in _chunk_sizes(trials, fleet.n):
+        uniforms = rng.random((size, fleet.n))
+        codes = classify_uniforms(uniforms, crash_p, byz_p)
+        unique_rows, counts = np.unique(codes, axis=0, return_counts=True)
+        for row, count in zip(unique_rows, counts.tolist()):
+            if predicate(_config_from_codes(row)):
+                hits += count
+    return hits
+
+
+# ---------------------------------------------------------------------------
+# One-pass leave-one-out products (Birnbaum importance et al.)
+# ---------------------------------------------------------------------------
+def loo_weighted_products(
+    crash_p: np.ndarray, byz_p: np.ndarray, weights: Sequence[np.ndarray]
+) -> np.ndarray:
+    """All-nodes leave-one-out inner products in one O(n^3) sweep per weight.
+
+    For each node ``u`` and weight matrix ``W`` this returns
+
+        ``S[w, u] = sum_{c,b} P[counts over fleet \\ {u} = (c, b)] * W[c, b]``
+
+    without ever materialising the ``n`` leave-one-out PMFs.  Forward pass:
+    prefix count-DPs over nodes ``[0, u)``.  Backward pass: the weight
+    recursion ``G_i = p_ok_i G_{i+1} + p_crash_i shift_c(G_{i+1}) +
+    p_byz_i shift_b(G_{i+1})``, which folds nodes ``[u+1, n)`` *and* the
+    weight into one array.  Then ``S[w, u] = <prefix_u, G_{u+1}>``.
+    """
+    crash_p = np.asarray(crash_p, dtype=float)
+    byz_p = np.asarray(byz_p, dtype=float)
+    n = crash_p.size
+    if byz_p.shape != (n,):
+        raise InvalidConfigurationError("crash/byzantine vectors must share a length")
+    shape = (n + 1, n + 1)
+    weight_stack = np.array([np.asarray(w, dtype=float) for w in weights])
+    if weight_stack.shape[1:] != shape:
+        raise InvalidConfigurationError(f"weights must each have shape {shape}")
+    ok_p = np.maximum(0.0, 1.0 - crash_p - byz_p)
+
+    # Backward weight recursion: suffix[i] = G_i stacked over all weights.
+    suffix = np.empty((n + 1,) + weight_stack.shape)
+    suffix[n] = weight_stack
+    for i in range(n - 1, -1, -1):
+        nxt = suffix[i + 1]
+        cur = nxt * ok_p[i]
+        cur[:, :-1, :] += nxt[:, 1:, :] * crash_p[i]
+        cur[:, :, :-1] += nxt[:, :, 1:] * byz_p[i]
+        suffix[i] = cur
+
+    # Forward prefix DP, streaming the inner products.
+    out = np.empty((weight_stack.shape[0], n))
+    prefix = np.zeros(shape)
+    prefix[0, 0] = 1.0
+    for u in range(n):
+        out[:, u] = np.tensordot(suffix[u + 1], prefix, axes=([1, 2], [0, 1]))
+        updated = prefix * ok_p[u]
+        updated[1:, :] += prefix[:-1, :] * crash_p[u]
+        updated[:, 1:] += prefix[:, :-1] * byz_p[u]
+        prefix = updated
+    return out
+
+
+def _shift_weight(weight: np.ndarray, kind: FaultKind) -> np.ndarray:
+    """Weight seen by a leave-one-out PMF when the held-out node fails."""
+    shifted = np.zeros_like(weight)
+    if kind is FaultKind.CRASH:
+        shifted[:-1, :] = weight[1:, :]
+    else:
+        shifted[:, :-1] = weight[:, 1:]
+    return shifted
+
+
+def birnbaum_importances(
+    spec: "ProtocolSpec",
+    fleet: Fleet,
+    *,
+    metric: str = "safe_and_live",
+    failure_kind: FaultKind = FaultKind.CRASH,
+) -> np.ndarray:
+    """Birnbaum importance of every node in a single O(n^3) pass.
+
+    ``B_u = P(metric | u correct) - P(metric | u failed)`` for all ``u``,
+    via :func:`loo_weighted_products` with the metric's verdict mask and its
+    failure-shifted companion — ~2n times cheaper than conditioning the
+    counting DP per node.  Symmetric specs only.
+    """
+    if fleet.n != spec.n:
+        raise InvalidConfigurationError(
+            f"fleet has {fleet.n} nodes but spec expects {spec.n}"
+        )
+    if failure_kind is FaultKind.CORRECT:
+        raise InvalidConfigurationError("failure_kind cannot be CORRECT")
+    masks = verdict_masks(spec)
+    weight = masks.for_metric(metric).astype(float)
+    crash_p = np.array(fleet.crash_probabilities)
+    byz_p = np.array(fleet.byzantine_probabilities)
+    products = loo_weighted_products(
+        crash_p, byz_p, (weight, _shift_weight(weight, failure_kind))
+    )
+    correct, failed = products
+    return np.minimum(correct, 1.0) - np.minimum(failed, 1.0)
+
+
+def upgrade_metric_values(
+    spec: "ProtocolSpec",
+    fleet: Fleet,
+    replacement_crash: float,
+    replacement_byz: float,
+    *,
+    metric: str = "safe_and_live",
+) -> np.ndarray:
+    """Metric value after swapping each node for a replacement, one pass.
+
+    ``out[u]`` is the exact metric of ``fleet.replace(u, replacement)``:
+    the leave-one-out PMF of node ``u`` combined with the replacement's
+    trinomial step, evaluated against the metric mask — all ``n`` what-ifs
+    in O(n^3) instead of n separate counting DPs.
+    """
+    masks = verdict_masks(spec)
+    weight = masks.for_metric(metric).astype(float)
+    crash_p = np.array(fleet.crash_probabilities)
+    byz_p = np.array(fleet.byzantine_probabilities)
+    products = loo_weighted_products(
+        crash_p,
+        byz_p,
+        (
+            weight,
+            _shift_weight(weight, FaultKind.CRASH),
+            _shift_weight(weight, FaultKind.BYZANTINE),
+        ),
+    )
+    ok = max(0.0, 1.0 - replacement_crash - replacement_byz)
+    values = ok * products[0] + replacement_crash * products[1] + replacement_byz * products[2]
+    return np.minimum(values, 1.0)

@@ -5,6 +5,13 @@ models where no polynomial exact method exists — we estimate Safe/Live
 probabilities by sampling failure configurations.  Estimates carry Wilson
 score confidence intervals, which behave sensibly even when the observed
 violation count is zero (common when probing many-nines systems).
+
+Sampling itself is delegated to the vectorized kernels in
+:mod:`repro.analysis.kernels`: trials are drawn as chunked ``(m, n)``
+uniform blocks and classified with array ops.  Because the blocks consume
+the generator stream in the same (trial, node) order as the historical
+per-trial loop, seeded runs reproduce the exact tallies of earlier
+releases; only the wall-clock changed.
 """
 
 from __future__ import annotations
@@ -84,7 +91,15 @@ def monte_carlo_reliability(
     trials: int = 100_000,
     seed: SeedLike = None,
 ) -> ReliabilityResult:
-    """Estimate Safe/Live/Safe&Live by sampling independent configurations."""
+    """Estimate Safe/Live/Safe&Live by sampling independent configurations.
+
+    Sampling runs on the batched kernel (:mod:`repro.analysis.kernels`):
+    chunked ``(trials, n)`` uniform draws, vectorized trinomial
+    classification, verdict-mask tallies for symmetric specs and
+    unique-row dedup for asymmetric ones.  The uniform stream is consumed
+    in the same (trial, node) order as the historical per-trial loop, so a
+    given seed produces exactly the tallies it always did.
+    """
     if fleet.n != spec.n:
         raise InvalidConfigurationError(f"fleet has {fleet.n} nodes but spec expects {spec.n}")
     if trials <= 0:
@@ -105,20 +120,17 @@ def monte_carlo_reliability(
 def _run_trials(
     spec: "ProtocolSpec", fleet: Fleet, trials: int, rng: np.random.Generator
 ) -> MonteCarloReport:
-    safe_count = live_count = both_count = 0
-    cache: dict[FailureConfig, tuple[bool, bool]] = {}
-    for _ in range(trials):
-        config = sample_configuration(fleet, rng)
-        verdict = cache.get(config)
-        if verdict is None:
-            verdict = (spec.is_safe(config), spec.is_live(config))
-            if len(cache) < 200_000:
-                cache[config] = verdict
-        safe, live = verdict
-        safe_count += safe
-        live_count += live
-        both_count += safe and live
-    return MonteCarloReport(trials, safe_count, live_count, both_count)
+    """Batched trial runner; seeded streams match the old per-trial loop.
+
+    The pre-kernel implementation memoised per-configuration verdicts in an
+    unbounded-until-200k ``dict[FailureConfig, ...]``; the vectorized path
+    obsoletes it — symmetric verdicts are O(1) mask lookups and asymmetric
+    predicates run once per distinct sampled row via ``np.unique``.
+    """
+    from repro.analysis.kernels import monte_carlo_tally
+
+    tally = monte_carlo_tally(spec, fleet, trials, rng)
+    return MonteCarloReport(trials, tally.safe, tally.live, tally.both)
 
 
 def monte_carlo_correlated(
@@ -133,8 +145,13 @@ def monte_carlo_correlated(
 
     The correlation model produces boolean failure vectors; every failure is
     assigned ``failure_kind`` (crash for CFT analysis, Byzantine for the
-    worst-case BFT analysis).
+    worst-case BFT analysis).  Vectors are drawn in chunks through
+    ``model.sample_many`` — which issues the same per-trial generator calls
+    as the historical one-at-a-time loop, so seeded tallies are unchanged —
+    and tallied through the verdict-mask / unique-row kernels.
     """
+    from repro.analysis.kernels import correlated_tally
+
     if model.n != spec.n:
         raise InvalidConfigurationError(f"model has {model.n} nodes but spec expects {spec.n}")
     if failure_kind is FaultKind.CORRECT:
@@ -142,23 +159,13 @@ def monte_carlo_correlated(
     if trials <= 0:
         raise InvalidConfigurationError(f"trials must be positive, got {trials}")
     rng = as_generator(seed)
-    safe_count = live_count = both_count = 0
-    for _ in range(trials):
-        failed = model.sample(rng)
-        config = FailureConfig(
-            tuple(failure_kind if f else FaultKind.CORRECT for f in failed)
-        )
-        safe = spec.is_safe(config)
-        live = spec.is_live(config)
-        safe_count += safe
-        live_count += live
-        both_count += safe and live
+    tally = correlated_tally(spec, model, trials, rng, failure_kind)
     return ReliabilityResult(
         protocol=spec.name,
         n=spec.n,
-        safe=_estimate(safe_count, trials),
-        live=_estimate(live_count, trials),
-        safe_and_live=_estimate(both_count, trials),
+        safe=_estimate(tally.safe, trials),
+        live=_estimate(tally.live, trials),
+        safe_and_live=_estimate(tally.both, trials),
         method="monte-carlo-correlated",
         detail=f"{trials} trials over {type(model).__name__}",
     )

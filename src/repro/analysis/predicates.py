@@ -13,7 +13,7 @@ from typing import Callable
 from repro._rng import SeedLike, as_generator
 from repro.analysis.config import FailureConfig
 from repro.analysis.exact import DEFAULT_MAX_CONFIGS, enumerate_configurations
-from repro.analysis.montecarlo import _estimate, sample_configuration
+from repro.analysis.montecarlo import _estimate
 from repro.analysis.result import Estimate
 from repro.errors import InvalidConfigurationError
 from repro.faults.mixture import Fleet
@@ -42,12 +42,16 @@ def monte_carlo_predicate(
     trials: int = 100_000,
     seed: SeedLike = None,
 ) -> Estimate:
-    """Sampled estimate (with Wilson CI) of a predicate's probability."""
+    """Sampled estimate (with Wilson CI) of a predicate's probability.
+
+    Trials are drawn through the batched sampling kernel (same seeded
+    uniform stream as the historical per-trial loop) and deduped so the
+    Python predicate runs once per distinct configuration.
+    """
+    from repro.analysis.kernels import predicate_tally
+
     if trials <= 0:
         raise InvalidConfigurationError(f"trials must be positive, got {trials}")
     rng = as_generator(seed)
-    hits = 0
-    for _ in range(trials):
-        if predicate(sample_configuration(fleet, rng)):
-            hits += 1
+    hits = predicate_tally(fleet, predicate, trials, rng)
     return _estimate(hits, trials)

@@ -11,6 +11,13 @@ importance** of component ``u``:
 computed here exactly by conditioning the counting DP / enumeration on one
 node's outcome.  The upgrade advisor combines Birnbaum importance with the
 achievable Δp per node to rank concrete actions.
+
+All-node queries (:func:`importance_ranking`, :func:`reliability_gradient`,
+:func:`best_single_upgrade`) run on the one-pass leave-one-out kernel from
+:mod:`repro.analysis.kernels` when the spec is symmetric: one O(n^3)
+prefix/suffix sweep yields every node's conditional reliabilities, ~2n
+times cheaper than re-conditioning the counting DP per node.  Asymmetric
+specs keep the per-node exact-enumeration path.
 """
 
 from __future__ import annotations
@@ -76,6 +83,25 @@ def birnbaum_importance(
     )
 
 
+def _all_birnbaum_scores(
+    spec: "ProtocolSpec",
+    fleet: Fleet,
+    metric: Metric,
+    failure_kind: FaultKind,
+) -> list[float]:
+    """Every node's Birnbaum importance — one kernel pass when symmetric."""
+    if spec.symmetric:
+        from repro.analysis.kernels import birnbaum_importances
+
+        return [float(score) for score in birnbaum_importances(
+            spec, fleet, metric=metric, failure_kind=failure_kind
+        )]
+    return [
+        birnbaum_importance(spec, fleet, node, metric=metric, failure_kind=failure_kind)
+        for node in range(fleet.n)
+    ]
+
+
 def importance_ranking(
     spec: "ProtocolSpec",
     fleet: Fleet,
@@ -84,10 +110,7 @@ def importance_ranking(
     failure_kind: FaultKind = FaultKind.CRASH,
 ) -> list[tuple[int, float]]:
     """All nodes ranked by Birnbaum importance, most critical first."""
-    scores = [
-        (node, birnbaum_importance(spec, fleet, node, metric=metric, failure_kind=failure_kind))
-        for node in range(fleet.n)
-    ]
+    scores = list(enumerate(_all_birnbaum_scores(spec, fleet, metric, failure_kind)))
     scores.sort(key=lambda pair: (-pair[1], pair[0]))
     return scores
 
@@ -121,21 +144,44 @@ def best_single_upgrade(
     e.g. the replacement is no better than the worst node).
     """
     before = _metric_value(spec, fleet, metric)
+    after_values = _replacement_metric_values(spec, fleet, replacement, metric)
     best: UpgradeOption | None = None
     for node in range(fleet.n):
         if replacement.p_fail >= fleet[node].p_fail:
             continue
-        after = _metric_value(spec, fleet.replace(node, replacement), metric)
         option = UpgradeOption(
             node=node,
             old_p_fail=fleet[node].p_fail,
             new_p_fail=replacement.p_fail,
             reliability_before=before,
-            reliability_after=after,
+            reliability_after=after_values(node),
         )
         if option.gain > 0 and (best is None or option.gain > best.gain):
             best = option
     return best
+
+
+def _replacement_metric_values(
+    spec: "ProtocolSpec", fleet: Fleet, replacement: NodeModel, metric: Metric
+) -> Callable[[int], float]:
+    """Lazy per-node "metric after swapping node u for replacement" values.
+
+    Symmetric specs get all n what-ifs from one O(n^3) leave-one-out kernel
+    pass; asymmetric specs fall back to per-node exact evaluation, computed
+    only for the nodes actually inspected.
+    """
+    if spec.symmetric:
+        from repro.analysis.kernels import upgrade_metric_values
+
+        values = upgrade_metric_values(
+            spec,
+            fleet,
+            replacement.p_crash,
+            replacement.p_byzantine,
+            metric=metric,
+        )
+        return lambda node: float(values[node])
+    return lambda node: _metric_value(spec, fleet.replace(node, replacement), metric)
 
 
 def greedy_upgrade_plan(
@@ -178,5 +224,5 @@ def reliability_gradient(
     (preemptive reconfiguration, §4) steers along.
     """
     return tuple(
-        -birnbaum_importance(spec, fleet, node, metric=metric) for node in range(fleet.n)
+        -score for score in _all_birnbaum_scores(spec, fleet, metric, FaultKind.CRASH)
     )

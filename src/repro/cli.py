@@ -7,6 +7,7 @@ Subcommands::
     repro-analyze table1                          # reproduce paper Table 1
     repro-analyze table2                          # reproduce paper Table 2
     repro-analyze plan  --target-nines 3.5        # cheapest plan for a target
+    repro-analyze sweep --n 25 --p 0.01,0.02,0.05 # batched what-if sweep
     repro-analyze sensitivity --n 7 --p 0.08,0.08,0.08,0.08,0.01,0.01,0.01
     repro-analyze committee --n 100 --p 0.01 --target-nines 4
     repro-analyze mttf --n 5 --afr 0.08 --mttr-hours 24
@@ -20,7 +21,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.analysis import analyze, format_probability
+from repro.analysis import analyze, analyze_batch, format_probability
 from repro.faults.mixture import byzantine_fleet, uniform_fleet
 from repro.protocols.pbft import PBFTSpec
 from repro.protocols.raft import RaftSpec
@@ -101,9 +102,9 @@ def _cmd_table2(_args: argparse.Namespace) -> int:
     for n in (3, 5, 7, 9):
         spec = RaftSpec(n)
         cells = [str(n), str(spec.q_per), str(spec.q_vc)]
-        for p in probabilities:
-            result = analyze(spec, uniform_fleet(n, p))
-            cells.append(format_probability(result.safe_and_live.value))
+        # One batched counting-DP sweep per row instead of a fleet at a time.
+        results = analyze_batch(spec, [uniform_fleet(n, p) for p in probabilities])
+        cells.extend(format_probability(r.safe_and_live.value) for r in results)
         rows.append(cells)
     print("Table 2: Raft reliability for uniform node failure p_u")
     _print_table(
@@ -137,6 +138,33 @@ def _parse_probabilities(raw: str, n: int) -> list[float]:
     if len(parts) != n:
         raise SystemExit(f"expected 1 or {n} probabilities, got {len(parts)}")
     return parts
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """What-if grid over per-node failure probabilities, one batched sweep."""
+    try:
+        probabilities = [float(piece) for piece in args.p.split(",")]
+    except ValueError:
+        raise SystemExit(f"--p must be comma-separated floats, got {args.p!r}")
+    if args.protocol == "raft":
+        spec = RaftSpec(args.n)
+        fleets = [uniform_fleet(args.n, p) for p in probabilities]
+    else:
+        spec = PBFTSpec(args.n)
+        fleets = [byzantine_fleet(args.n, p) for p in probabilities]
+    results = analyze_batch(spec, fleets)
+    rows = [
+        [
+            f"{p:.4f}",
+            format_probability(result.safe.value),
+            format_probability(result.live.value),
+            format_probability(result.safe_and_live.value),
+        ]
+        for p, result in zip(probabilities, results)
+    ]
+    print(f"Sweep: {spec.name} n={args.n}, {len(fleets)} fleets in one kernel batch")
+    _print_table(["p_fail", "Safe %", "Live %", "Safe and Live %"], rows)
+    return 0
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
@@ -234,6 +262,24 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--target-nines", type=float, required=True)
     plan.add_argument("--max-size", type=int, default=15)
     plan.set_defaults(func=_cmd_plan)
+
+    sweep = sub.add_parser(
+        "sweep", help="batched what-if sweep over failure probabilities"
+    )
+    sweep.add_argument("--n", type=int, required=True, help="cluster size")
+    sweep.add_argument(
+        "--p",
+        type=str,
+        required=True,
+        help="comma-separated per-node failure probabilities to sweep",
+    )
+    sweep.add_argument(
+        "--protocol",
+        choices=("raft", "pbft"),
+        default="raft",
+        help="protocol family (pbft uses the worst-case Byzantine fleet)",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     sensitivity = sub.add_parser(
         "sensitivity", help="rank nodes by Birnbaum importance (liveness)"

@@ -61,6 +61,20 @@ class ProtocolSpec(ABC):
         """Count-based liveness predicate (symmetric protocols only)."""
         raise NotImplementedError(f"{type(self).__name__} has no count-based liveness predicate")
 
+    def verdict_masks(self):
+        """Cached ``(n+1) x (n+1)`` safe/live truth tables over count pairs.
+
+        The hook the vectorized kernels build on: predicates are evaluated
+        once per spec instance and every estimator afterwards reduces
+        against the boolean arrays.  Specs are immutable after
+        construction, so the cache never invalidates.  Symmetric specs
+        only; raises :class:`~repro.errors.InvalidConfigurationError`
+        otherwise.
+        """
+        from repro.analysis.kernels import verdict_masks
+
+        return verdict_masks(self)
+
     # ------------------------------------------------------------------
     # Configuration-based predicates.  Default to the count-based ones;
     # asymmetric protocols override these directly.

@@ -24,19 +24,24 @@ class _ScheduledEvent:
     seq: int
     action: Action = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Cancellation token for a scheduled event."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_scheduler")
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, event: _ScheduledEvent, scheduler: "EventScheduler"):
         self._event = event
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
-        self._event.cancelled = True
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            if not self._event.executed:
+                self._scheduler._pending -= 1
 
     @property
     def cancelled(self) -> bool:
@@ -55,6 +60,7 @@ class EventScheduler:
         self._sequence = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -68,7 +74,12 @@ class EventScheduler:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Live (scheduled, not cancelled, not yet run) events — O(1).
+
+        Maintained as a counter on schedule/cancel/execute rather than
+        scanned from the queue, so busy simulations can poll it per step.
+        """
+        return self._pending
 
     def schedule_at(self, time: float, action: Action) -> EventHandle:
         """Schedule ``action`` at absolute virtual time ``time``."""
@@ -76,7 +87,8 @@ class EventScheduler:
             raise SimulationError(f"cannot schedule at {time} before now={self._now}")
         event = _ScheduledEvent(time=time, seq=next(self._sequence), action=action)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._pending += 1
+        return EventHandle(event, self)
 
     def schedule_after(self, delay: float, action: Action) -> EventHandle:
         """Schedule ``action`` after a non-negative ``delay``."""
@@ -90,6 +102,8 @@ class EventScheduler:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            event.executed = True
+            self._pending -= 1
             self._now = event.time
             self._processed += 1
             event.action()

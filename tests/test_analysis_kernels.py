@@ -1,0 +1,458 @@
+"""Equivalence tests pinning the vectorized kernels to the seed estimators.
+
+Every kernel path is checked against a *reference implementation* — a copy
+of the pre-kernel per-trial / per-count-pair loops — across the protocol
+zoo (Raft, PBFT, Ben-Or, hybrid Upright, reliability-aware).  Exact
+estimators must be bit-identical; seeded Monte-Carlo paths must produce
+the exact tallies the historical loops produced for the same seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._rng import as_generator
+from repro.analysis import analyze, analyze_batch
+from repro.analysis.config import FailureConfig, FaultKind
+from repro.analysis.counting import counting_reliability, joint_count_pmf
+from repro.analysis.exact import enumerate_configurations, worst_configurations
+from repro.analysis.horizon import reliability_over_horizon
+from repro.analysis.importance import importance_sample_violation
+from repro.analysis.kernels import (
+    VerdictMasks,
+    birnbaum_importances,
+    compute_verdict_masks,
+    correlated_tally,
+    counting_reliability_batch,
+    joint_count_pmf_batch,
+    loo_weighted_products,
+    monte_carlo_tally,
+    predicate_tally,
+    upgrade_metric_values,
+    verdict_masks,
+)
+from repro.analysis.montecarlo import (
+    monte_carlo_correlated,
+    monte_carlo_reliability,
+    sample_configuration,
+)
+from repro.analysis.predicates import monte_carlo_predicate
+from repro.analysis.sensitivity import (
+    best_single_upgrade,
+    birnbaum_importance,
+    importance_ranking,
+    reliability_gradient,
+)
+from repro.errors import InvalidConfigurationError
+from repro.faults.correlation import CommonShockModel, rollout_shock
+from repro.faults.curves import ConstantHazard
+from repro.faults.mixture import Fleet, NodeModel, heterogeneous_fleet, uniform_fleet
+from repro.protocols.benor import BenOrSpec, ByzantineBenOrSpec
+from repro.protocols.hybrid import UprightSpec
+from repro.protocols.pbft import PBFTSpec
+from repro.protocols.raft import RaftSpec
+from repro.protocols.reliability_aware import ReliabilityAwareRaftSpec
+
+
+def _mixed_fleet(n: int) -> Fleet:
+    return Fleet(
+        tuple(
+            NodeModel(p_crash=0.02 + 0.01 * (i % 4), p_byzantine=0.003 * (i % 3))
+            for i in range(n)
+        )
+    )
+
+
+#: (spec, fleet) pairs covering the symmetric protocol zoo.
+SYMMETRIC_ZOO = [
+    (RaftSpec(7), _mixed_fleet(7)),
+    (RaftSpec(5), uniform_fleet(5, 0.08)),
+    (PBFTSpec(7), uniform_fleet(7, 0.03, byzantine_fraction=1.0)),
+    (PBFTSpec(4), _mixed_fleet(4)),
+    (BenOrSpec(7), uniform_fleet(7, 0.05)),
+    (ByzantineBenOrSpec(11), _mixed_fleet(11)),
+    (UprightSpec(2, 1), _mixed_fleet(6)),
+]
+
+#: Symmetric spec factories for the property test.
+SPEC_FACTORIES = [
+    RaftSpec,
+    PBFTSpec,
+    BenOrSpec,
+    ByzantineBenOrSpec,
+    lambda n: UprightSpec.for_cluster(n, 0) if n % 2 == 1 else RaftSpec(n),
+]
+
+
+def _asymmetric_pair() -> tuple[ReliabilityAwareRaftSpec, Fleet]:
+    spec = ReliabilityAwareRaftSpec(6, pinned=(0, 1))
+    fleet = Fleet(tuple(NodeModel(0.04 + 0.01 * i, 0.004) for i in range(6)))
+    return spec, fleet
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations (copies of the pre-kernel algorithms)
+# ---------------------------------------------------------------------------
+def _ref_counting(spec, fleet) -> tuple[float, float, float]:
+    pmf = joint_count_pmf(fleet)
+    n = fleet.n
+    p_safe = p_live = p_both = 0.0
+    for crash in range(n + 1):
+        for byz in range(n + 1 - crash):
+            mass = pmf[crash, byz]
+            if mass == 0.0:
+                continue
+            safe = spec.is_safe_counts(crash, byz)
+            live = spec.is_live_counts(crash, byz)
+            if safe:
+                p_safe += mass
+            if live:
+                p_live += mass
+            if safe and live:
+                p_both += mass
+    return min(p_safe, 1.0), min(p_live, 1.0), min(p_both, 1.0)
+
+
+def _ref_trials(spec, fleet, trials: int, rng) -> tuple[int, int, int]:
+    safe = live = both = 0
+    for _ in range(trials):
+        config = sample_configuration(fleet, rng)
+        s, l = spec.is_safe(config), spec.is_live(config)
+        safe += s
+        live += l
+        both += s and l
+    return safe, live, both
+
+
+def _ref_correlated(spec, model, trials: int, rng, kind) -> tuple[int, int, int]:
+    safe = live = both = 0
+    for _ in range(trials):
+        failed = model.sample(rng)
+        config = FailureConfig(
+            tuple(kind if f else FaultKind.CORRECT for f in failed)
+        )
+        s, l = spec.is_safe(config), spec.is_live(config)
+        safe += s
+        live += l
+        both += s and l
+    return safe, live, both
+
+
+# ---------------------------------------------------------------------------
+# Verdict masks
+# ---------------------------------------------------------------------------
+class TestVerdictMasks:
+    @pytest.mark.parametrize("spec,fleet", SYMMETRIC_ZOO, ids=lambda v: repr(v))
+    def test_masks_agree_with_count_predicates(self, spec, fleet):
+        masks = verdict_masks(spec)
+        for crash in range(spec.n + 1):
+            for byz in range(spec.n + 1 - crash):
+                assert masks.safe[crash, byz] == spec.is_safe_counts(crash, byz)
+                assert masks.live[crash, byz] == spec.is_live_counts(crash, byz)
+                assert masks.both[crash, byz] == (
+                    spec.is_safe_counts(crash, byz) and spec.is_live_counts(crash, byz)
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=13),
+        factory_index=st.integers(min_value=0, max_value=len(SPEC_FACTORIES) - 1),
+    )
+    def test_property_masks_match_predicates_on_every_pair(self, n, factory_index):
+        """Property: masks agree with is_safe_counts/is_live_counts ∀ (c, b)."""
+        try:
+            spec = SPEC_FACTORIES[factory_index](n)
+        except InvalidConfigurationError:
+            return  # factory rejects this n (e.g. Upright parity); nothing to check
+        masks = compute_verdict_masks(spec)
+        for crash in range(n + 1):
+            for byz in range(n + 1 - crash):
+                assert masks.valid[crash, byz]
+                assert bool(masks.safe[crash, byz]) == bool(
+                    spec.is_safe_counts(crash, byz)
+                )
+                assert bool(masks.live[crash, byz]) == bool(
+                    spec.is_live_counts(crash, byz)
+                )
+
+    def test_masks_false_outside_valid_triangle(self):
+        masks = verdict_masks(RaftSpec(5))
+        for crash in range(6):
+            for byz in range(6):
+                if crash + byz > 5:
+                    assert not masks.valid[crash, byz]
+                    assert not masks.safe[crash, byz]
+                    assert not masks.live[crash, byz]
+
+    def test_masks_cached_per_spec_instance(self):
+        spec = RaftSpec(9)
+        assert verdict_masks(spec) is verdict_masks(spec)
+        assert spec.verdict_masks() is verdict_masks(spec)
+
+    def test_masks_rejected_for_asymmetric_spec(self):
+        spec, _ = _asymmetric_pair()
+        with pytest.raises(InvalidConfigurationError):
+            verdict_masks(spec)
+
+    def test_masks_are_readonly(self):
+        masks = verdict_masks(RaftSpec(3))
+        with pytest.raises(ValueError):
+            masks.safe[0, 0] = False
+
+
+# ---------------------------------------------------------------------------
+# Counting: scalar and batched, bit-identical to the seed loop
+# ---------------------------------------------------------------------------
+class TestCountingKernel:
+    @pytest.mark.parametrize("spec,fleet", SYMMETRIC_ZOO, ids=lambda v: repr(v))
+    def test_counting_reliability_bit_identical(self, spec, fleet):
+        result = counting_reliability(spec, fleet)
+        ref_safe, ref_live, ref_both = _ref_counting(spec, fleet)
+        assert result.safe.value == ref_safe
+        assert result.live.value == ref_live
+        assert result.safe_and_live.value == ref_both
+
+    def test_joint_count_pmf_batch_bit_identical(self):
+        fleets = [fleet for _, fleet in SYMMETRIC_ZOO if fleet.n == 7]
+        crash = np.array([f.crash_probabilities for f in fleets])
+        byz = np.array([f.byzantine_probabilities for f in fleets])
+        batched = joint_count_pmf_batch(crash, byz)
+        for fleet, pmf in zip(fleets, batched):
+            assert np.array_equal(pmf, joint_count_pmf(fleet))
+
+    def test_counting_batch_bit_identical_to_scalar(self):
+        spec = RaftSpec(7)
+        fleets = [
+            _mixed_fleet(7),
+            uniform_fleet(7, 0.02),
+            uniform_fleet(7, 0.3, byzantine_fraction=0.5),
+        ]
+        for single, batched in zip(
+            [counting_reliability(spec, f) for f in fleets],
+            counting_reliability_batch(spec, fleets),
+        ):
+            assert batched.safe.value == single.safe.value
+            assert batched.live.value == single.live.value
+            assert batched.safe_and_live.value == single.safe_and_live.value
+
+    def test_analyze_batch_matches_analyze(self):
+        spec = PBFTSpec(7)
+        fleets = [uniform_fleet(7, p, byzantine_fraction=1.0) for p in (0.01, 0.05, 0.1)]
+        batch = analyze_batch(spec, fleets)
+        for fleet, batched in zip(fleets, batch):
+            assert batched.safe_and_live.value == analyze(spec, fleet).safe_and_live.value
+
+    def test_analyze_batch_asymmetric_falls_back(self):
+        spec, fleet = _asymmetric_pair()
+        batch = analyze_batch(spec, [fleet])
+        assert batch[0].safe_and_live.value == analyze(spec, fleet).safe_and_live.value
+
+    def test_analyze_batch_empty(self):
+        assert analyze_batch(RaftSpec(3), []) == []
+
+    def test_batch_rejects_mismatched_sizes(self):
+        with pytest.raises(InvalidConfigurationError):
+            counting_reliability_batch(
+                RaftSpec(5), [uniform_fleet(5, 0.1), uniform_fleet(3, 0.1)]
+            )
+
+    def test_horizon_sweep_bit_identical_to_per_window(self):
+        curves = [ConstantHazard(1e-4 * (i + 1)) for i in range(5)]
+        points = reliability_over_horizon(
+            RaftSpec, curves, window_hours=24.0, n_windows=6
+        )
+        from repro.analysis.horizon import fleet_for_window
+
+        spec = RaftSpec(5)
+        for point in points:
+            fleet = fleet_for_window(curves, point.start_hours, 24.0)
+            assert point.safe_and_live == counting_reliability(spec, fleet).safe_and_live.value
+
+
+# ---------------------------------------------------------------------------
+# Monte-Carlo: seeded tallies identical to the historical per-trial loops
+# ---------------------------------------------------------------------------
+class TestMonteCarloKernel:
+    @pytest.mark.parametrize("spec,fleet", SYMMETRIC_ZOO[:4], ids=lambda v: repr(v))
+    def test_symmetric_tally_matches_reference_loop(self, spec, fleet):
+        ref = _ref_trials(spec, fleet, 4_000, as_generator(11))
+        tally = monte_carlo_tally(spec, fleet, 4_000, as_generator(11))
+        assert ref == (tally.safe, tally.live, tally.both)
+
+    def test_asymmetric_tally_matches_reference_loop(self):
+        spec, fleet = _asymmetric_pair()
+        ref = _ref_trials(spec, fleet, 4_000, as_generator(23))
+        tally = monte_carlo_tally(spec, fleet, 4_000, as_generator(23))
+        assert ref == (tally.safe, tally.live, tally.both)
+
+    def test_monte_carlo_reliability_seeded_values_pinned(self):
+        """End-to-end: same seed, same estimates, across chunk boundaries."""
+        spec, fleet = RaftSpec(25), uniform_fleet(25, 0.05)
+        a = monte_carlo_reliability(spec, fleet, trials=50_000, seed=5)
+        b = monte_carlo_reliability(spec, fleet, trials=50_000, seed=5)
+        assert a.safe_and_live.value == b.safe_and_live.value
+        rng = as_generator(5)
+        ref = _ref_trials(spec, fleet, 50_000, rng)
+        assert a.safe_and_live.value == ref[2] / 50_000
+
+    def test_correlated_tally_matches_reference_loop(self):
+        fleet = uniform_fleet(5, 0.05)
+        spec = RaftSpec(5)
+        model = CommonShockModel(fleet, (rollout_shock(fleet, 0.02),))
+        ref = _ref_correlated(spec, model, 3_000, as_generator(7), FaultKind.CRASH)
+        tally = correlated_tally(spec, model, 3_000, as_generator(7), FaultKind.CRASH)
+        assert ref == (tally.safe, tally.live, tally.both)
+
+    def test_correlated_byzantine_kind_matches_reference_loop(self):
+        fleet = uniform_fleet(4, 0.1)
+        spec = PBFTSpec(4)
+        model = CommonShockModel(fleet, ())
+        ref = _ref_correlated(spec, model, 2_000, as_generator(13), FaultKind.BYZANTINE)
+        result = monte_carlo_correlated(
+            spec, model, trials=2_000, seed=13, failure_kind=FaultKind.BYZANTINE
+        )
+        assert result.safe.value == ref[0] / 2_000
+        assert result.live.value == ref[1] / 2_000
+
+    def test_predicate_tally_matches_reference_loop(self):
+        fleet = _mixed_fleet(6)
+        predicate = lambda config: config.num_failed <= 1  # noqa: E731
+        rng = as_generator(3)
+        hits = sum(
+            predicate(sample_configuration(fleet, rng)) for _ in range(3_000)
+        )
+        assert predicate_tally(fleet, predicate, 3_000, as_generator(3)) == hits
+        estimate = monte_carlo_predicate(fleet, predicate, trials=3_000, seed=3)
+        assert estimate.value == hits / 3_000
+
+    def test_importance_sampling_matches_reference_loop(self):
+        """Batched tilted sampler reproduces the per-trial loop's estimate."""
+        spec, fleet = RaftSpec(9), uniform_fleet(9, 0.01)
+        result = importance_sample_violation(
+            spec, fleet, predicate="live", trials=20_000, seed=1
+        )
+        # Reference: per-trial tilted loop (seed implementation).
+        import math
+
+        p = np.array(fleet.failure_probabilities)
+        tilt = np.array(result.tilt)
+        lrf = np.log(np.maximum(p, 1e-300)) - np.log(tilt)
+        lro = np.log1p(-p) - np.log1p(-tilt)
+        rng = as_generator(1)
+        weights = np.zeros(20_000)
+        for t in range(20_000):
+            failed = rng.random(9) < tilt
+            config = FailureConfig(
+                tuple(FaultKind.CRASH if f else FaultKind.CORRECT for f in failed)
+            )
+            if not spec.is_live(config):
+                weights[t] = math.exp(float(np.where(failed, lrf, lro).sum()))
+        assert result.violation.value == pytest.approx(float(weights.mean()), rel=1e-9)
+
+    def test_importance_sampling_asymmetric_spec(self):
+        spec, fleet = _asymmetric_pair()
+        result = importance_sample_violation(
+            spec, fleet, predicate="live", trials=5_000, seed=2
+        )
+        assert 0.0 < result.violation.value < 1.0
+
+
+# ---------------------------------------------------------------------------
+# One-pass Birnbaum / leave-one-out products
+# ---------------------------------------------------------------------------
+class TestOnePassImportance:
+    @pytest.mark.parametrize("metric", ["safe", "live", "safe_and_live"])
+    @pytest.mark.parametrize(
+        "failure_kind", [FaultKind.CRASH, FaultKind.BYZANTINE], ids=["crash", "byz"]
+    )
+    def test_matches_per_node_conditioning(self, metric, failure_kind):
+        spec, fleet = PBFTSpec(7), _mixed_fleet(7)
+        one_pass = birnbaum_importances(
+            spec, fleet, metric=metric, failure_kind=failure_kind
+        )
+        for node in range(fleet.n):
+            conditioned = birnbaum_importance(
+                spec, fleet, node, metric=metric, failure_kind=failure_kind
+            )
+            assert one_pass[node] == pytest.approx(conditioned, abs=1e-12)
+
+    @pytest.mark.parametrize("spec,fleet", SYMMETRIC_ZOO, ids=lambda v: repr(v))
+    def test_zoo_ranking_matches_per_node_scores(self, spec, fleet):
+        ranking = importance_ranking(spec, fleet, metric="safe_and_live")
+        assert [node for node, _ in ranking] == sorted(
+            range(fleet.n),
+            key=lambda u: (-dict(ranking)[u], u),
+        )
+        for node, score in ranking:
+            assert score == pytest.approx(
+                birnbaum_importance(spec, fleet, node), abs=1e-12
+            )
+
+    def test_gradient_matches_per_node_conditioning(self):
+        spec, fleet = RaftSpec(7), _mixed_fleet(7)
+        gradient = reliability_gradient(spec, fleet, metric="live")
+        for node, value in enumerate(gradient):
+            assert value == pytest.approx(
+                -birnbaum_importance(spec, fleet, node, metric="live"), abs=1e-12
+            )
+
+    def test_loo_products_match_explicit_leave_one_out(self):
+        fleet = _mixed_fleet(5)
+        spec = RaftSpec(5)
+        weight = verdict_masks(spec).both.astype(float)
+        crash = np.array(fleet.crash_probabilities)
+        byz = np.array(fleet.byzantine_probabilities)
+        products = loo_weighted_products(crash, byz, (weight,))[0]
+        for u in range(5):
+            others = Fleet(tuple(fleet[i] for i in range(5) if i != u))
+            loo_pmf = joint_count_pmf(others)  # (5, 5) over the 4 remaining nodes
+            expected = float((loo_pmf * weight[:5, :5]).sum())
+            assert products[u] == pytest.approx(expected, abs=1e-14)
+
+    def test_upgrade_values_match_explicit_replacement(self):
+        spec, fleet = RaftSpec(7), _mixed_fleet(7)
+        replacement = NodeModel(0.001, 0.0005)
+        values = upgrade_metric_values(
+            spec, fleet, replacement.p_crash, replacement.p_byzantine
+        )
+        for node in range(fleet.n):
+            swapped = counting_reliability(spec, fleet.replace(node, replacement))
+            assert values[node] == pytest.approx(swapped.safe_and_live.value, abs=1e-12)
+
+    def test_best_single_upgrade_matches_explicit_scan(self):
+        spec, fleet = RaftSpec(7), _mixed_fleet(7)
+        replacement = NodeModel(0.001)
+        option = best_single_upgrade(spec, fleet, replacement, metric="live")
+        assert option is not None
+        explicit_gains = {
+            node: counting_reliability(spec, fleet.replace(node, replacement)).live.value
+            - counting_reliability(spec, fleet).live.value
+            for node in range(fleet.n)
+            if replacement.p_fail < fleet[node].p_fail
+        }
+        best_node = max(explicit_gains, key=lambda u: (explicit_gains[u], -u))
+        assert option.node == best_node
+        assert option.gain == pytest.approx(explicit_gains[best_node], abs=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Bounded worst-configuration selection
+# ---------------------------------------------------------------------------
+class TestWorstConfigurations:
+    def test_matches_full_sort(self):
+        spec, fleet = RaftSpec(5), _mixed_fleet(5)
+        top = worst_configurations(spec, fleet, predicate="live", limit=5)
+        reference = [
+            (config, probability)
+            for config, probability in enumerate_configurations(fleet)
+            if probability > 0.0 and not spec.is_live(config)
+        ]
+        reference.sort(key=lambda pair: pair[1], reverse=True)
+        assert top == reference[:5]
+
+    def test_zero_limit(self):
+        spec, fleet = RaftSpec(3), uniform_fleet(3, 0.2)
+        assert worst_configurations(spec, fleet, limit=0) == []

@@ -100,3 +100,38 @@ class TestScheduling:
         scheduler.run_until(1.5)
         assert scheduler.processed_events == 1
         assert scheduler.pending_events == 1
+
+    def test_pending_counter_tracks_cancellation(self):
+        scheduler = EventScheduler()
+        keep = scheduler.schedule_at(1.0, lambda: None)
+        drop = scheduler.schedule_at(2.0, lambda: None)
+        assert scheduler.pending_events == 2
+        drop.cancel()
+        assert scheduler.pending_events == 1
+        drop.cancel()  # idempotent: no double decrement
+        assert scheduler.pending_events == 1
+        scheduler.run_to_completion()
+        assert scheduler.pending_events == 0
+        assert scheduler.processed_events == 1
+        assert not keep.cancelled
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self):
+        scheduler = EventScheduler()
+        handle = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        scheduler.run_until(1.5)
+        assert scheduler.pending_events == 1
+        handle.cancel()  # event already executed; counter must not drift
+        assert scheduler.pending_events == 1
+        scheduler.run_to_completion()
+        assert scheduler.pending_events == 0
+
+    def test_pending_counter_with_cancelled_head(self):
+        scheduler = EventScheduler()
+        head = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        head.cancel()
+        assert scheduler.pending_events == 1
+        assert scheduler.step()  # skips the cancelled head, runs the live event
+        assert scheduler.pending_events == 0
+        assert scheduler.processed_events == 1
