@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: probabilistic reliability of a consensus deployment.
 
-Reproduces the paper's headline numbers in a dozen lines: consensus is
-probabilistic whether you like it or not, and knowing the probabilities
-lets you buy the same nines for a third of the price.
+Reproduces the paper's headline numbers in a dozen lines, using the
+Scenario/Engine front door: every reliability question is a `Scenario`,
+batches of questions are a `ScenarioSet`, and the `ReliabilityEngine`
+picks estimators, shares DP sweeps across same-size scenarios, and caches
+repeated questions.
 
 Run:  python examples/quickstart.py
 """
@@ -11,8 +13,10 @@ Run:  python examples/quickstart.py
 from repro import (
     PBFTSpec,
     RaftSpec,
-    analyze,
+    Scenario,
+    ScenarioSet,
     byzantine_fleet,
+    default_engine,
     format_probability,
     nines,
     uniform_fleet,
@@ -20,8 +24,11 @@ from repro import (
 
 
 def main() -> None:
+    engine = default_engine()
+
     # -- 1. "Raft with N=3 is only 3 nines safe and live" (§1) ----------
-    result = analyze(RaftSpec(3), uniform_fleet(3, p_fail=0.01))
+    question = Scenario(spec=RaftSpec(3), fleet=uniform_fleet(3, p_fail=0.01))
+    result = engine.run_one(question).result
     print("3-node Raft, 1% node failure probability:")
     print(f"  safe:          {format_probability(result.safe.value)}")
     print(f"  live:          {format_probability(result.live.value)}")
@@ -29,17 +36,24 @@ def main() -> None:
           f"  ({nines(result.safe_and_live.value):.2f} nines)")
 
     # -- 2. Nine flaky nodes buy the same guarantee (§3) ----------------
-    cheap = analyze(RaftSpec(9), uniform_fleet(9, p_fail=0.08))
+    cheap = engine.run_one(
+        Scenario(spec=RaftSpec(9), fleet=uniform_fleet(9, p_fail=0.08))
+    ).result
     print("\n9-node Raft on 8%-failure spot instances:")
     print(f"  safe & live:   {format_probability(cheap.safe_and_live.value)}")
     print("  -> same nines; at 10x cheaper nodes this is a ~3.3x cost cut")
 
     # -- 3. PBFT's quorum sizes hide a safety/liveness dial (§3) --------
+    # A ScenarioSet runs the whole sweep in one engine submission.
+    sweep = ScenarioSet.build(
+        Scenario(spec=PBFTSpec(n), fleet=byzantine_fleet(n, 0.01), label=f"N={n}")
+        for n in (4, 5, 7)
+    )
     print("\nPBFT at p=1% (every failure Byzantine):")
-    for n in (4, 5, 7):
-        r = analyze(PBFTSpec(n), byzantine_fleet(n, 0.01))
+    for outcome in engine.run(sweep):
+        r = outcome.result
         print(
-            f"  N={n}: safe {format_probability(r.safe.value):>12}  "
+            f"  {outcome.scenario.label}: safe {format_probability(r.safe.value):>12}  "
             f"live {format_probability(r.live.value):>9}"
         )
     print("  -> 5 nodes are dramatically safer than 4, and safer than 7")

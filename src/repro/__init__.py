@@ -8,12 +8,32 @@ consensus simulator for empirical validation.
 
 Quickstart
 ----------
->>> from repro import RaftSpec, uniform_fleet, analyze
+The front door is the Scenario/Engine API: describe each reliability
+question as a :class:`Scenario`, submit batches as a :class:`ScenarioSet`,
+and let the :class:`ReliabilityEngine` pick estimators, share DP sweeps
+and cache repeats:
+
+>>> from repro import RaftSpec, Scenario, default_engine, uniform_fleet
+>>> scenario = Scenario(spec=RaftSpec(3), fleet=uniform_fleet(3, 0.01))
+>>> round(default_engine().run_one(scenario).result.safe_and_live.value, 6)
+0.999702
+
+The classic one-shot helper is a shim over the same engine:
+
+>>> from repro import analyze
 >>> result = analyze(RaftSpec(3), uniform_fleet(3, 0.01))
 >>> round(result.safe_and_live.value, 6)
 0.999702
 """
 
+from repro.engine import (
+    EngineResult,
+    ReliabilityEngine,
+    Scenario,
+    ScenarioSet,
+    default_engine,
+    register_estimator,
+)
 from repro.analysis import (
     Estimate,
     FailureConfig,
@@ -51,6 +71,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # engine
+    "Scenario",
+    "ScenarioSet",
+    "ReliabilityEngine",
+    "EngineResult",
+    "default_engine",
+    "register_estimator",
     # analysis
     "analyze",
     "counting_reliability",

@@ -1,34 +1,44 @@
-"""Probability engine: Safe/Live aggregation over failure configurations (§3).
+"""Probability estimators: Safe/Live aggregation over configurations (§3).
 
-Four estimators with one façade:
+**The front door is the Scenario/Engine API** (:mod:`repro.engine`): build
+a :class:`~repro.engine.Scenario` per reliability question, submit a
+:class:`~repro.engine.ScenarioSet` to a
+:class:`~repro.engine.ReliabilityEngine`, and the engine picks estimators,
+deduplicates repeated questions through its memo cache, and batches
+same-size symmetric scenarios into shared counting-DP sweeps::
+
+    from repro.engine import Scenario, ScenarioSet, default_engine
+
+    grid = ScenarioSet.grid(protocols=("raft", "pbft"),
+                            sizes=(3, 5, 7), probabilities=(0.01, 0.05))
+    for outcome in default_engine().run(grid):
+        print(outcome.scenario.label, outcome.result, outcome.provenance)
+
+This package provides the estimators the engine's registry plugs in:
 
 * :func:`repro.analysis.counting.counting_reliability` — exact, polynomial,
   for symmetric predicates (the paper's tables);
 * :func:`repro.analysis.exact.exact_reliability` — exact enumeration, any
-  predicate, exponential (small N);
+  predicate, exponential (small N), vectorized over the cached
+  per-(n, support) configuration matrix;
 * :func:`repro.analysis.montecarlo.monte_carlo_reliability` — sampling with
   Wilson CIs, any predicate, any N, plus correlated-failure variants;
 * :func:`repro.analysis.importance.importance_sample_violation` — tilted
   sampling for many-nines rare events.
 
-:func:`analyze` picks the best applicable estimator automatically:
+:func:`analyze` and :func:`analyze_batch` remain as thin shims over the
+default engine (same signatures, bit-identical outputs): auto selection
+still prefers exact answers — counting DP for symmetric specs, enumeration
+for small asymmetric fleets (≤ ``2^20`` positive-probability
+configurations), Monte-Carlo otherwise.
 
-1. **symmetric spec** → counting DP.  Exact, ``O(n^3)``, and on the fast
-   path: predicates come from the spec's cached verdict masks and the
-   aggregation is a masked array reduction (:mod:`repro.analysis.kernels`).
-2. **asymmetric spec, small fleet** → exact enumeration (≤ ``2^20``
-   positive-probability configurations).
-3. **otherwise** → Monte-Carlo, which also runs on the kernel layer:
-   chunked uniform draws, vectorized classification, and per-distinct-row
-   predicate calls.
-
-The kernel layer is the hot path shared by everything above: verdict
-masks turn per-(spec, fleet) predicate sweeps into one-time per-spec
-tables; the batched count DP evaluates whole fleets-of-fleets sweeps
-(:func:`analyze_batch`, horizon series, CLI tables) in single NumPy
-passes; and the one-pass leave-one-out kernel powers Birnbaum importance,
-gradients and upgrade planning at ``O(n^3)`` total instead of ``O(n^4)``.
-Exact numbers are bit-identical whichever path computes them.
+The kernel layer (:mod:`repro.analysis.kernels`) stays the shared hot
+path: verdict masks turn per-(spec, fleet) predicate sweeps into one-time
+per-spec tables; the batched count DP evaluates whole fleets-of-fleets
+sweeps in single NumPy passes; and the one-pass leave-one-out kernel
+powers Birnbaum importance, gradients and upgrade planning at ``O(n^3)``
+total instead of ``O(n^4)``.  Exact numbers are bit-identical whichever
+path computes them.
 """
 
 from __future__ import annotations
@@ -100,6 +110,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.protocols.base import ProtocolSpec
 
 #: Above this configuration count, `analyze` stops considering enumeration.
+#: (Kept in sync with :data:`repro.engine.engine.EXACT_BUDGET`.)
 _EXACT_BUDGET = 1 << 20
 
 
@@ -113,24 +124,21 @@ def analyze(
 ) -> ReliabilityResult:
     """Compute Safe/Live/Safe&Live reliability for a deployment.
 
-    ``method`` is one of ``"auto"`` (default), ``"counting"``, ``"exact"``
-    or ``"monte-carlo"``.  Auto selection prefers exact answers: counting DP
-    for symmetric specs, enumeration for small asymmetric ones, Monte-Carlo
-    otherwise.
+    .. deprecated:: prefer the Scenario/Engine API —
+       ``default_engine().run_one(Scenario(spec=spec, fleet=fleet))`` —
+       which adds batching, caching and provenance.  This shim submits a
+       single scenario to the default engine and stays for compatibility;
+       outputs are bit-identical to the historical estimator dispatch.
+
+    ``method`` is one of ``"auto"`` (default), ``"counting"``, ``"exact"``,
+    ``"monte-carlo"`` or any estimator registered with the engine.  Auto
+    selection prefers exact answers: counting DP for symmetric specs,
+    enumeration for small asymmetric ones, Monte-Carlo otherwise.
     """
-    if method == "auto":
-        if spec.symmetric:
-            return counting_reliability(spec, fleet)
-        if configuration_count(fleet) <= _EXACT_BUDGET:
-            return exact_reliability(spec, fleet)
-        return monte_carlo_reliability(spec, fleet, trials=trials, seed=seed)
-    if method == "counting":
-        return counting_reliability(spec, fleet)
-    if method == "exact":
-        return exact_reliability(spec, fleet)
-    if method == "monte-carlo":
-        return monte_carlo_reliability(spec, fleet, trials=trials, seed=seed)
-    raise EstimationError(f"unknown analysis method {method!r}")
+    from repro.engine import Scenario, default_engine
+
+    scenario = Scenario(spec=spec, fleet=fleet, method=method, trials=trials, seed=seed)
+    return default_engine().run_one(scenario).result
 
 
 def analyze_batch(
@@ -143,21 +151,27 @@ def analyze_batch(
 ) -> list[ReliabilityResult]:
     """Reliability for many same-size fleets against one spec, batched.
 
+    .. deprecated:: prefer the Scenario/Engine API —
+       ``default_engine().run(ScenarioSet(...))`` — which batches across
+       *specs* as well as fleets and reports provenance.  This shim wraps
+       the fleets into one scenario set; per-fleet values are bit-identical
+       to :func:`analyze`.
+
     The sweep primitive behind horizon series, what-if grids and the CLI
-    tables.  Symmetric specs run the whole batch through one vectorized
-    counting-DP sweep (per-fleet values bit-identical to
-    :func:`analyze`); other spec/method combinations fall back to
-    per-fleet :func:`analyze` calls.
+    tables.  Symmetric specs run the whole batch through one shared
+    counting-DP sweep; other spec/method combinations fall back to
+    per-scenario estimation inside the engine.
     """
+    from repro.engine import Scenario, default_engine
+
     fleets = list(fleets)
     if not fleets:
         return []
-    if method in ("auto", "counting") and spec.symmetric:
-        return counting_reliability_batch(spec, fleets)
-    return [
-        analyze(spec, fleet, method=method, trials=trials, seed=seed)
+    scenarios = [
+        Scenario(spec=spec, fleet=fleet, method=method, trials=trials, seed=seed)
         for fleet in fleets
     ]
+    return default_engine().run(scenarios).results
 
 
 __all__ = [

@@ -6,12 +6,22 @@ pruned), evaluate the protocol predicates, and sum the probabilities of the
 safe / live configurations.  Exponential, so guarded by a state budget —
 it exists to (a) handle *asymmetric* predicates exactly at small N and
 (b) cross-validate the polynomial counting estimator.
+
+:func:`exact_reliability` runs on a vectorized path (the engine's
+``exact`` estimator): the configuration code matrix is enumerated once per
+(fleet size, per-node outcome support) pattern and memoised, per-config
+probabilities are NumPy products accumulated in node order, and symmetric
+specs read verdicts from their cached count masks.  The multiplication and
+summation orders reproduce the historical recursive walk exactly, so
+results are bit-identical to the pre-vectorized estimator.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Iterator
+
+import numpy as np
 
 from repro.analysis.config import FailureConfig, FaultKind
 from repro.analysis.result import Estimate, ReliabilityResult
@@ -24,6 +34,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Refuse enumerations beyond this many configurations (≈ 4 million).
 DEFAULT_MAX_CONFIGS = 1 << 22
+
+#: FaultKind outcome codes in the historical enumeration order.
+_KIND_ORDER = (FaultKind.CORRECT, FaultKind.CRASH, FaultKind.BYZANTINE)
+
+#: Memoised configuration matrices, keyed by per-node outcome support.
+#: Bounded: entries are evicted oldest-first beyond this count, and
+#: matrices larger than ``_ENUM_CACHE_MAX_ELEMENTS`` are never cached.
+_ENUM_CACHE: dict[tuple, np.ndarray] = {}
+_ENUM_CACHE_MAX_ENTRIES = 16
+_ENUM_CACHE_MAX_ELEMENTS = 1 << 24
 
 
 def _outcome_choices(fleet: Fleet) -> list[list[tuple[FaultKind, float]]]:
@@ -78,29 +98,115 @@ def enumerate_configurations(
     yield from recurse(0, [], 1.0)
 
 
+def _support_signature(fleet: Fleet) -> tuple:
+    """Per-node tuple of the outcome codes carrying positive probability.
+
+    Two fleets with the same signature induce the *same* configuration
+    matrix (only the probabilities differ), which is what lets the
+    enumeration be computed once per (n, support) and shared.
+    """
+    signature = []
+    for node in fleet:
+        codes = []
+        if node.p_correct > 0.0:
+            codes.append(0)
+        if node.p_crash > 0.0:
+            codes.append(1)
+        if node.p_byzantine > 0.0:
+            codes.append(2)
+        if not codes:
+            raise InvalidConfigurationError("node has no outcome with positive probability")
+        signature.append(tuple(codes))
+    return tuple(signature)
+
+
+def _configuration_codes(signature: tuple) -> np.ndarray:
+    """All positive-support configurations as a ``(K, n)`` int8 code matrix.
+
+    Rows appear in the historical recursion order (node 0's outcome varies
+    slowest), so ordered reductions over the rows reproduce the generator
+    walk of :func:`enumerate_configurations` exactly.
+    """
+    cached = _ENUM_CACHE.get(signature)
+    if cached is not None:
+        return cached
+    axes = [np.array(codes, dtype=np.int8) for codes in signature]
+    if axes:
+        mesh = np.meshgrid(*axes, indexing="ij")
+        codes = np.stack([m.reshape(-1) for m in mesh], axis=1)
+    else:
+        codes = np.zeros((1, 0), dtype=np.int8)
+    codes.setflags(write=False)
+    if codes.size <= _ENUM_CACHE_MAX_ELEMENTS:
+        while len(_ENUM_CACHE) >= _ENUM_CACHE_MAX_ENTRIES:
+            _ENUM_CACHE.pop(next(iter(_ENUM_CACHE)))
+        _ENUM_CACHE[signature] = codes
+    return codes
+
+
+def _configuration_probabilities(fleet: Fleet, codes: np.ndarray) -> np.ndarray:
+    """Per-configuration probability products, accumulated in node order.
+
+    Multiplies one node at a time (vectorized across configurations), the
+    same operation sequence as the recursive enumeration, so each entry is
+    bit-identical to the probability the generator yields for that row.
+    """
+    outcome_p = np.array(
+        [(node.p_correct, node.p_crash, node.p_byzantine) for node in fleet]
+    )
+    probabilities = np.ones(codes.shape[0])
+    for node_index in range(codes.shape[1]):
+        probabilities *= outcome_p[node_index, codes[:, node_index]]
+    return probabilities
+
+
+def _exact_verdicts(
+    spec: "ProtocolSpec", codes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(safe, live) boolean vectors for every configuration row."""
+    if spec.symmetric:
+        from repro.analysis.kernels import verdict_masks
+
+        masks = verdict_masks(spec)
+        crash_counts = (codes == 1).sum(axis=1)
+        byz_counts = (codes == 2).sum(axis=1)
+        return masks.safe[crash_counts, byz_counts], masks.live[crash_counts, byz_counts]
+    safe = np.empty(codes.shape[0], dtype=bool)
+    live = np.empty(codes.shape[0], dtype=bool)
+    for row_index, row in enumerate(codes):
+        config = FailureConfig(tuple(_KIND_ORDER[code] for code in row))
+        safe[row_index] = spec.is_safe(config)
+        live[row_index] = spec.is_live(config)
+    return safe, live
+
+
 def exact_reliability(
     spec: "ProtocolSpec", fleet: Fleet, *, max_configs: int = DEFAULT_MAX_CONFIGS
 ) -> ReliabilityResult:
     """Safe/Live/Safe&Live probabilities by full enumeration.
 
     Works for any spec — symmetric or not — but is exponential in ``n``.
+    Vectorized: the configuration matrix comes from the per-(n, support)
+    enumeration cache, probabilities are NumPy products, and verdicts are
+    count-mask lookups for symmetric specs (per-configuration predicate
+    calls otherwise).  Values are bit-identical to the historical
+    per-configuration walk.
     """
     if fleet.n != spec.n:
         raise InvalidConfigurationError(f"fleet has {fleet.n} nodes but spec expects {spec.n}")
-    p_safe = p_live = p_both = 0.0
-    states = 0
-    for config, probability in enumerate_configurations(fleet, max_configs=max_configs):
-        states += 1
-        if probability == 0.0:
-            continue
-        safe = spec.is_safe(config)
-        live = spec.is_live(config)
-        if safe:
-            p_safe += probability
-        if live:
-            p_live += probability
-        if safe and live:
-            p_both += probability
+    total = configuration_count(fleet)
+    if total > max_configs:
+        raise EstimationError(
+            f"{total} configurations exceed the exact-enumeration budget of {max_configs}"
+        )
+    from repro.analysis.kernels import masked_sum
+
+    codes = _configuration_codes(_support_signature(fleet))
+    probabilities = _configuration_probabilities(fleet, codes)
+    safe, live = _exact_verdicts(spec, codes)
+    p_safe = masked_sum(probabilities, safe)
+    p_live = masked_sum(probabilities, live)
+    p_both = masked_sum(probabilities, safe & live)
     return ReliabilityResult(
         protocol=spec.name,
         n=fleet.n,
@@ -108,7 +214,7 @@ def exact_reliability(
         live=Estimate.exact(min(p_live, 1.0)),
         safe_and_live=Estimate.exact(min(p_both, 1.0)),
         method="exact",
-        detail=f"enumerated {states} configurations",
+        detail=f"enumerated {codes.shape[0]} configurations",
     )
 
 

@@ -68,18 +68,29 @@ def reliability_over_horizon(
     (failures repaired with like-for-like hardware of the same age) — the
     standard rolling-window view an SRE dashboard would show.
 
-    All windows are evaluated in one batched counting-DP sweep
-    (:func:`repro.analysis.kernels.counting_reliability_batch`); per-window
+    The whole horizon is submitted to the reliability engine as one
+    :class:`~repro.engine.ScenarioSet` (each scenario stamped with its
+    window), landing in a single shared counting-DP sweep; per-window
     values are bit-identical to evaluating each window separately.
     """
-    from repro.analysis.kernels import counting_reliability_batch
+    from repro.engine import Scenario, default_engine
 
     if n_windows <= 0:
         raise InvalidConfigurationError("n_windows must be positive")
     spec = spec_factory(len(curves))
     starts = [index * window_hours for index in range(n_windows)]
     fleets = [fleet_for_window(curves, start, window_hours) for start in starts]
-    results = counting_reliability_batch(spec, fleets)
+    scenarios = [
+        Scenario(
+            spec=spec,
+            fleet=fleet,
+            method="counting",
+            window_hours=window_hours,
+            label=f"window[{index}] @ {start:g}h",
+        )
+        for index, (start, fleet) in enumerate(zip(starts, fleets))
+    ]
+    results = default_engine().run(scenarios).results
     return [
         WindowPoint(
             window_index=index,

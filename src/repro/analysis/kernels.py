@@ -146,12 +146,39 @@ def masked_sum(pmf: np.ndarray, mask: np.ndarray) -> float:
     return float(sum(pmf[mask].tolist()))
 
 
+def masked_sum_batch(pmfs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Per-PMF masked sums for a ``(F, n+1, n+1)`` stack, order-preserving.
+
+    Boolean indexing selects each PMF's masked entries in row-major scan
+    order and the cumulative sum accumulates them strictly left to right
+    (``out[i] = out[i-1] + x[i]``), so every row reproduces the exact IEEE
+    addition sequence of :func:`masked_sum` — bit-identical per fleet,
+    one NumPy pass for the whole batch.
+    """
+    selected = pmfs[:, mask]
+    if selected.shape[1] == 0:
+        return np.zeros(selected.shape[0])
+    return np.cumsum(selected, axis=1)[:, -1]
+
+
 def reliability_values(pmf: np.ndarray, masks: VerdictMasks) -> tuple[float, float, float]:
     """(P[safe], P[live], P[safe&live]) of a joint count PMF, clamped to 1."""
     return (
         min(masked_sum(pmf, masks.safe), 1.0),
         min(masked_sum(pmf, masks.live), 1.0),
         min(masked_sum(pmf, masks.both), 1.0),
+    )
+
+
+def reliability_values_batch(
+    pmfs: np.ndarray, masks: VerdictMasks
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched :func:`reliability_values`: three clamped vectors over ``F``
+    PMFs, each entry bit-identical to the scalar reduction."""
+    return (
+        np.minimum(masked_sum_batch(pmfs, masks.safe), 1.0),
+        np.minimum(masked_sum_batch(pmfs, masks.live), 1.0),
+        np.minimum(masked_sum_batch(pmfs, masks.both), 1.0),
     )
 
 
@@ -186,13 +213,26 @@ def joint_count_pmf_batch(crash: np.ndarray, byz: np.ndarray) -> np.ndarray:
         raise InvalidConfigurationError("crash/byzantine arrays must share an (F, n) shape")
     fleets, n = crash.shape
     ok = np.maximum(0.0, 1.0 - crash - byz)
+    # Grow the active window with the node count: after k nodes only counts
+    # in [0, k] x [0, k] carry mass, so the update runs on a (k+1)^2 view
+    # instead of the full (n+1)^2 grid — a ~3x flop saving at large n.
+    # Outside the window every operation would produce exact zeros, so the
+    # restriction leaves each entry bit-identical to the full-grid update.
+    # Two ping-pong buffers avoid per-node allocation; only the window's
+    # new border row/column needs zeroing each step.
     pmf = np.zeros((fleets, n + 1, n + 1))
     pmf[:, 0, 0] = 1.0
+    scratch = np.empty_like(pmf)
     for node in range(n):
-        updated = pmf * ok[:, node, None, None]
-        updated[:, 1:, :] += pmf[:, :-1, :] * crash[:, node, None, None]
-        updated[:, :, 1:] += pmf[:, :, :-1] * byz[:, node, None, None]
-        pmf = updated
+        k = node + 1  # entries [0, k) x [0, k) may be nonzero pre-update
+        src = pmf[:, :k, :k]
+        dst = scratch[:, : k + 1, : k + 1]
+        dst[:, k, :] = 0.0
+        dst[:, :k, k] = 0.0
+        np.multiply(src, ok[:, node, None, None], out=dst[:, :k, :k])
+        dst[:, 1 : k + 1, :k] += src * crash[:, node, None, None]
+        dst[:, :k, 1 : k + 1] += src * byz[:, node, None, None]
+        pmf, scratch = scratch, pmf
     return pmf
 
 
@@ -346,8 +386,9 @@ def correlated_tally(
 ) -> BatchTally:
     """Batched tally under a correlated failure model.
 
-    ``model.sample_many`` draws each trial with the same generator calls as
-    the historical one-at-a-time loop, so seeded tallies are unchanged.
+    ``model.sample_many`` draws whole arrays per chunk (the built-in models
+    vectorize it one-pass; see :mod:`repro.faults.correlation` for each
+    model's documented seeded-stream behaviour).
     """
     masks = verdict_masks(spec) if spec.symmetric else None
     code = _CODE_CRASH if failure_kind is FaultKind.CRASH else _CODE_BYZANTINE

@@ -146,9 +146,11 @@ def monte_carlo_correlated(
     The correlation model produces boolean failure vectors; every failure is
     assigned ``failure_kind`` (crash for CFT analysis, Byzantine for the
     worst-case BFT analysis).  Vectors are drawn in chunks through
-    ``model.sample_many`` — which issues the same per-trial generator calls
-    as the historical one-at-a-time loop, so seeded tallies are unchanged —
-    and tallied through the verdict-mask / unique-row kernels.
+    ``model.sample_many`` (one-pass vectorized for the built-in models;
+    each documents whether its seeded stream matches the historical
+    per-trial loop — independent draws do, shock/contagion models draw in
+    blocked order) and tallied through the verdict-mask / unique-row
+    kernels.
     """
     from repro.analysis.kernels import correlated_tally
 

@@ -1,0 +1,56 @@
+"""Scenario/Engine API: the batched front door to reliability analysis.
+
+The paper's pitch is that consensus deployments should report guarantees
+the way S3 reports durability — nines computed from explicit failure
+scenarios.  This package makes the *scenario* the first-class object:
+
+>>> from repro.engine import Scenario, ScenarioSet, default_engine
+>>> from repro import RaftSpec, uniform_fleet
+>>> outcome = default_engine().run_one(
+...     Scenario(spec=RaftSpec(3), fleet=uniform_fleet(3, 0.01)))
+>>> round(outcome.result.safe_and_live.value, 6)
+0.999702
+
+Sweeps submit a :class:`ScenarioSet` — built by hand, from the
+:meth:`ScenarioSet.grid` builder, or from a JSON scenario file — and the
+:class:`ReliabilityEngine` plans the execution: shared counting-DP sweeps
+for same-size symmetric scenarios, a bounded memo cache for repeated
+questions, and the pluggable estimator registry for everything else.
+Every consumer in this repository (``analyze``/``analyze_batch``, the
+planner, committee search, horizon sweeps, the CLI) now routes through
+here, so batch execution is the default path, not something each caller
+reinvents.
+"""
+
+from repro.engine.engine import ReliabilityEngine, default_engine
+from repro.engine.registry import (
+    get_estimator,
+    register_estimator,
+    registered_estimators,
+)
+from repro.engine.result import EngineResult, Provenance, ScenarioOutcome
+from repro.engine.scenario import (
+    Scenario,
+    ScenarioSet,
+    SpecCodec,
+    register_spec_codec,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioSet",
+    "ReliabilityEngine",
+    "EngineResult",
+    "ScenarioOutcome",
+    "Provenance",
+    "default_engine",
+    "register_estimator",
+    "get_estimator",
+    "registered_estimators",
+    "SpecCodec",
+    "register_spec_codec",
+    "spec_to_dict",
+    "spec_from_dict",
+]

@@ -1,0 +1,338 @@
+"""ReliabilityEngine: one batched front door for every reliability question.
+
+Consumers used to wire the estimators together by hand — the planner
+looped ``counting_reliability`` over candidate plans, the horizon module
+looped windows, the CLI looped table cells.  The engine replaces those
+loops with a planner of its own: submit a :class:`ScenarioSet` and it
+
+1. **deduplicates** — identical (spec, fleet, estimator) questions are
+   answered once, both within a run and across runs via a bounded
+   LRU memo;
+2. **batches** — symmetric counting scenarios of the same fleet size share
+   one vectorized joint-count DP sweep (one DP per *fleet*, reused across
+   every spec of that size), the multi-spec batching the kernel layer was
+   built for;
+3. **falls back** — everything else routes through the estimator registry
+   one scenario at a time.
+
+Results are bit-identical to calling the scalar estimators directly: the
+batched DP reproduces :func:`repro.analysis.counting.joint_count_pmf`
+operation-for-operation and the reductions use the ordered
+:func:`repro.analysis.kernels.masked_sum`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.result import Estimate, ReliabilityResult
+from repro.engine.registry import BUILTIN_COUNTING, EstimatorFn, get_estimator
+from repro.engine.result import EngineResult, Provenance, ScenarioOutcome
+from repro.engine.scenario import Scenario, ScenarioSet
+
+#: Above this configuration count, auto selection stops considering
+#: enumeration (mirrors the historical ``analyze`` threshold).
+EXACT_BUDGET = 1 << 20
+
+#: Cap on floats materialised per batched-DP chunk (~32 MB of float64).
+_BATCH_CHUNK_FLOATS = 1 << 22
+
+
+def _resolve_method(scenario: Scenario) -> str:
+    """Auto estimator selection — the exact policy ``analyze`` always used."""
+    if scenario.method != "auto":
+        return scenario.method
+    if scenario.correlation is not None:
+        return "monte-carlo"
+    if scenario.spec.symmetric:
+        return "counting"
+    from repro.analysis.exact import configuration_count
+
+    if configuration_count(scenario.fleet) <= EXACT_BUDGET:
+        return "exact"
+    return "monte-carlo"
+
+
+class ReliabilityEngine:
+    """Batching, caching facade over the estimator registry.
+
+    Parameters
+    ----------
+    estimators:
+        Optional per-engine estimator overrides (name → callable); names
+        not present fall back to the global registry, so a custom engine
+        still sees late third-party registrations.
+    cache_size:
+        Bound on the memo cache (least-recently-used eviction).  ``0``
+        disables cross-run caching; in-run deduplication still applies.
+    """
+
+    def __init__(
+        self,
+        *,
+        estimators: Mapping[str, EstimatorFn] | None = None,
+        cache_size: int = 1024,
+    ):
+        self._overrides: dict[str, EstimatorFn] = dict(estimators or {})
+        self._cache_size = max(0, int(cache_size))
+        self._memo: OrderedDict[tuple, ReliabilityResult] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- estimator resolution ---------------------------------------------
+    def estimator(self, name: str) -> EstimatorFn:
+        override = self._overrides.get(name)
+        return override if override is not None else get_estimator(name)
+
+    def register(self, name: str, fn: EstimatorFn) -> None:
+        """Install a per-engine estimator override."""
+        self._overrides[name] = fn
+
+    # -- memo cache --------------------------------------------------------
+    def cache_clear(self) -> None:
+        self._memo.clear()
+
+    def _cache_get(self, key: tuple | None) -> ReliabilityResult | None:
+        if key is None or self._cache_size == 0:
+            return None
+        result = self._memo.get(key)
+        if result is not None:
+            self._memo.move_to_end(key)
+        return result
+
+    def _cache_put(self, key: tuple | None, result: ReliabilityResult) -> None:
+        if key is None or self._cache_size == 0:
+            return
+        # Fresh keys land at the end (insertion order); _cache_get already
+        # refreshes recency on hits, so no extra move is needed here.
+        self._memo[key] = result
+        while len(self._memo) > self._cache_size:
+            self._memo.popitem(last=False)
+
+    # -- execution ---------------------------------------------------------
+    def run_one(self, scenario: Scenario) -> ScenarioOutcome:
+        """Answer a single scenario (cache-aware, no batching)."""
+        return self.run([scenario])[0]
+
+    def run(self, scenarios: ScenarioSet | Iterable[Scenario]) -> EngineResult:
+        """Plan and execute a whole scenario set.
+
+        Outcomes come back in submission order.  Counting scenarios are
+        grouped by fleet size into shared DP sweeps over the *unique*
+        fleets of each group; every other scenario runs through its
+        estimator individually.  Identical questions — within the set or
+        remembered from earlier runs — are answered from cache.
+        """
+        items = list(scenarios)
+        outcomes: list[ScenarioOutcome | None] = [None] * len(items)
+        groups: dict[int, list[tuple[int, Scenario, tuple | None, tuple]]] = {}
+        singles: list[tuple[int, Scenario, str, EstimatorFn, tuple | None]] = []
+        inflight: dict[tuple, int] = {}
+        aliases: list[tuple[int, int]] = []  # (duplicate index, first index)
+        memo = self._memo if self._cache_size else None
+
+        # Hot loop: the per-scenario planning below inlines
+        # Scenario.cache_key / the auto-method policy to keep facade
+        # overhead a small fraction of even the cheapest estimation.
+        for index, scenario in enumerate(items):
+            spec = scenario.spec
+            correlation = scenario.correlation
+            method = scenario.method
+            if method == "auto":
+                if correlation is not None:
+                    method = "monte-carlo"
+                elif spec.symmetric:
+                    method = "counting"
+                else:
+                    method = _resolve_method(scenario)
+            estimator_fn = self._overrides.get(method)
+            if estimator_fn is None:
+                estimator_fn = get_estimator(method)
+            fleet = scenario.fleet
+            fleet_key = tuple(
+                (node.p_crash, node.p_byzantine) for node in fleet.nodes
+            )
+            # Cache keys carry the estimator *function*, not its name, so
+            # re-registering an estimator naturally invalidates its cached
+            # answers.  Generator seeds are stateful — each historical call
+            # advanced the stream — so only value seeds are reusable.
+            key = None
+            if correlation is None:
+                if method == "counting" or method == "exact":
+                    key = (spec.grouping_key(), fleet_key, estimator_fn)
+                elif isinstance(scenario.seed, (int, np.integer)):
+                    key = (
+                        spec.grouping_key(),
+                        fleet_key,
+                        estimator_fn,
+                        scenario.trials,
+                        int(scenario.seed),
+                        scenario.failure_kind,
+                    )
+                if memo is not None and key is not None:
+                    cached = memo.get(key)
+                    if cached is not None:
+                        memo.move_to_end(key)
+                        self.cache_hits += 1
+                        outcomes[index] = ScenarioOutcome(
+                            scenario,
+                            cached,
+                            Provenance(estimator=method, cache_hit=True),
+                        )
+                        continue
+                if key is not None:
+                    first = inflight.get(key)
+                    if first is not None:
+                        aliases.append((index, first))
+                        continue
+                    inflight[key] = index
+            self.cache_misses += 1
+            # Invalid counting combinations (asymmetric spec, size
+            # mismatch) fall through to the scalar estimator so they raise
+            # the exact errors counting_reliability always raised.  The
+            # shared DP sweep only substitutes for the *built-in* counting
+            # estimator; an override takes the per-scenario path.
+            if (
+                method == "counting"
+                and estimator_fn is BUILTIN_COUNTING
+                and correlation is None
+                and fleet.n == spec.n
+                and spec.symmetric
+            ):
+                groups.setdefault(fleet.n, []).append(
+                    (index, scenario, key, fleet_key)
+                )
+            else:
+                singles.append((index, scenario, method, estimator_fn, key))
+
+        for group in groups.values():
+            if len(group) == 1:
+                index, scenario, key, _ = group[0]
+                singles.append((index, scenario, "counting", BUILTIN_COUNTING, key))
+            else:
+                self._run_counting_group(group, outcomes)
+
+        for index, scenario, method, estimator_fn, key in singles:
+            start = time.perf_counter()
+            result = estimator_fn(scenario)
+            seconds = time.perf_counter() - start
+            self._cache_put(key, result)
+            outcomes[index] = ScenarioOutcome(
+                scenario, result, Provenance(estimator=method, seconds=seconds)
+            )
+
+        for index, first in aliases:
+            source = outcomes[first]
+            assert source is not None
+            outcomes[index] = ScenarioOutcome(
+                items[index],
+                source.result,
+                Provenance(
+                    estimator=source.provenance.estimator,
+                    cache_hit=True,
+                    batched=source.provenance.batched,
+                    batch_size=source.provenance.batch_size,
+                ),
+            )
+            self.cache_hits += 1
+
+        assert all(outcome is not None for outcome in outcomes)
+        return EngineResult(tuple(outcomes))  # type: ignore[arg-type]
+
+    def _run_counting_group(
+        self,
+        group: Sequence[tuple[int, Scenario, tuple | None, tuple]],
+        outcomes: list[ScenarioOutcome | None],
+    ) -> None:
+        """One shared joint-count DP sweep for same-size counting scenarios.
+
+        The DP depends only on the fleet, so each *unique* fleet is swept
+        once and its PMF reused by every spec asking about it — the
+        "multi-spec batches" execution plan.  The reductions are batched
+        per spec through the order-preserving cumulative masked sum.
+        Per-scenario values are bit-identical to scalar
+        :func:`counting_reliability` (same DP update sequence, same
+        left-to-right masked accumulation, same detail string).
+        """
+        from repro.analysis.kernels import (
+            joint_count_pmf_batch,
+            reliability_values_batch,
+            verdict_masks,
+        )
+
+        start = time.perf_counter()
+        n = group[0][1].fleet.n
+        unique_index: dict[tuple, int] = {}
+        unique_fleets: list = []
+        # Scenarios sharing a spec (by grouping key) reduce together.
+        by_spec: dict[tuple, list[tuple[int, Scenario, tuple | None, int]]] = {}
+        for index, scenario, key, fleet_key in group:
+            slot = unique_index.get(fleet_key)
+            if slot is None:
+                slot = len(unique_fleets)
+                unique_index[fleet_key] = slot
+                unique_fleets.append(scenario.fleet)
+            by_spec.setdefault(scenario.spec.grouping_key(), []).append(
+                (index, scenario, key, slot)
+            )
+
+        crash = np.array([fleet.crash_probabilities for fleet in unique_fleets])
+        byz = np.array([fleet.byzantine_probabilities for fleet in unique_fleets])
+        chunk = max(1, _BATCH_CHUNK_FLOATS // ((n + 1) * (n + 1)))
+        total = crash.shape[0]
+
+        detail = f"joint count DP over {(n + 1) * (n + 2) // 2} count pairs"
+        batch_size = len(group)
+        computed: list[tuple[int, Scenario, ReliabilityResult]] = []
+        # Sweep and reduce one fleet-chunk at a time so peak memory stays at
+        # the chunk cap: only the chunk's PMFs are live, never the whole
+        # group's.  Per-fleet values are chunk-independent, so the split
+        # changes nothing bit-wise.
+        for lo in range(0, total, chunk):
+            hi = min(lo + chunk, total)
+            pmfs = joint_count_pmf_batch(crash[lo:hi], byz[lo:hi])
+            for members in by_spec.values():
+                selected = [entry for entry in members if lo <= entry[3] < hi]
+                if not selected:
+                    continue
+                masks = verdict_masks(selected[0][1].spec)
+                local_slots = [slot - lo for _, _, _, slot in selected]
+                safe_v, live_v, both_v = reliability_values_batch(
+                    pmfs[local_slots], masks
+                )
+                for position, (index, scenario, key, _) in enumerate(selected):
+                    result = ReliabilityResult(
+                        protocol=scenario.spec.name,
+                        n=n,
+                        safe=Estimate.exact(float(safe_v[position])),
+                        live=Estimate.exact(float(live_v[position])),
+                        safe_and_live=Estimate.exact(float(both_v[position])),
+                        method="counting",
+                        detail=detail,
+                    )
+                    self._cache_put(key, result)
+                    computed.append((index, scenario, result))
+        share = (time.perf_counter() - start) / batch_size
+        provenance = Provenance(
+            estimator="counting", batched=True, batch_size=batch_size, seconds=share
+        )
+        for index, scenario, result in computed:
+            outcomes[index] = ScenarioOutcome(scenario, result, provenance)
+
+
+_DEFAULT_ENGINE: ReliabilityEngine | None = None
+
+
+def default_engine() -> ReliabilityEngine:
+    """The process-wide engine behind ``analyze``/``analyze_batch`` and the
+    planner/horizon/CLI consumers.  Sharing one instance is what makes the
+    memo cache pay off across layers (a planner sweep warms the cache the
+    CLI then hits)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ReliabilityEngine()
+    return _DEFAULT_ENGINE

@@ -1,0 +1,90 @@
+"""Engine results: per-scenario reliability plus execution provenance.
+
+An :class:`EngineResult` answers two questions at once: *what are the
+numbers* (the per-scenario :class:`~repro.analysis.result.ReliabilityResult`
+values, in submission order, bit-identical to the scalar estimators) and
+*how were they produced* (which estimator ran, whether the memo cache or a
+shared DP batch served the scenario, and how long it took) — the
+provenance an operator needs to trust a wall of nines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.result import ReliabilityResult, format_probability
+from repro.engine.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How one scenario's numbers were obtained."""
+
+    estimator: str
+    cache_hit: bool = False
+    batched: bool = False
+    batch_size: int = 1
+    seconds: float = 0.0
+
+    def describe(self) -> str:
+        source = "cache" if self.cache_hit else (
+            f"batch[{self.batch_size}]" if self.batched else "solo"
+        )
+        return f"{self.estimator}/{source}"
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One scenario, its reliability result, and how it was computed."""
+
+    scenario: Scenario
+    result: ReliabilityResult
+    provenance: Provenance
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Ordered outcomes of one :meth:`ReliabilityEngine.run` call."""
+
+    outcomes: tuple[ScenarioOutcome, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[ScenarioOutcome]:
+        return iter(self.outcomes)
+
+    def __getitem__(self, index: int) -> ScenarioOutcome:
+        return self.outcomes[index]
+
+    @property
+    def results(self) -> list[ReliabilityResult]:
+        """Per-scenario reliability results in submission order."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.provenance.cache_hit)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(outcome.provenance.seconds for outcome in self.outcomes)
+
+    def table(self) -> list[dict[str, str]]:
+        """Paper-style rows with a provenance column for CLI rendering."""
+        rows = []
+        for outcome in self.outcomes:
+            scenario, result = outcome.scenario, outcome.result
+            rows.append(
+                {
+                    "label": scenario.label or f"{result.protocol}/n={result.n}",
+                    "protocol": result.protocol,
+                    "N": str(result.n),
+                    "Safe %": format_probability(result.safe.value),
+                    "Live %": format_probability(result.live.value),
+                    "Safe and Live %": format_probability(result.safe_and_live.value),
+                    "via": outcome.provenance.describe(),
+                }
+            )
+        return rows

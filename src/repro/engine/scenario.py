@@ -1,0 +1,449 @@
+"""Scenario objects: one reliability question, fully specified.
+
+The paper's front door is a question of the form *"what Safe/Live nines
+does this deployment give me?"*.  A :class:`Scenario` pins everything that
+question needs — protocol spec, fleet, estimator choice and budget, and
+optionally a correlated-failure model or the horizon window the fleet was
+projected for — into one frozen value that can be hashed (for the engine's
+memo cache), grouped (for batched execution) and serialized (for the CLI's
+JSON scenario files).
+
+:class:`ScenarioSet` is the unit of work submitted to
+:class:`repro.engine.ReliabilityEngine`: an ordered collection of
+scenarios, with a :meth:`ScenarioSet.grid` builder for the
+sizes × probabilities × protocols sweeps every consumer of this library
+ends up writing.
+
+Serialization covers the protocol-zoo specs registered via
+:func:`register_spec_codec` (Raft, FlexRaft, PBFT out of the box; third
+parties can register their own).  Scenarios carrying a live
+:class:`~repro.faults.correlation.CorrelationModel` are *not*
+serializable — correlation structures are process-local objects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike
+from repro.analysis.config import FaultKind
+from repro.errors import InvalidConfigurationError
+from repro.faults.correlation import CorrelationModel
+from repro.faults.mixture import Fleet, NodeModel, byzantine_fleet, uniform_fleet
+from repro.protocols.base import ProtocolSpec
+from repro.protocols.benor import BenOrSpec, ByzantineBenOrSpec
+from repro.protocols.pbft import PBFTSpec
+from repro.protocols.raft import FlexibleRaftSpec, RaftSpec
+
+#: Estimator names the default registry provides (see repro.engine.registry).
+KNOWN_METHODS = ("auto", "counting", "exact", "monte-carlo", "importance")
+
+
+# ---------------------------------------------------------------------------
+# Spec codecs: (de)serialization of the protocol zoo
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpecCodec:
+    """How one protocol family round-trips through dicts/JSON."""
+
+    name: str
+    spec_type: type
+    build: Callable[..., ProtocolSpec]
+    params: Callable[[ProtocolSpec], dict]
+
+
+_SPEC_CODECS: dict[str, SpecCodec] = {}
+_SPEC_CODECS_BY_TYPE: dict[type, SpecCodec] = {}
+
+
+def register_spec_codec(
+    name: str,
+    spec_type: type,
+    build: Callable[..., ProtocolSpec],
+    params: Callable[[ProtocolSpec], dict],
+) -> SpecCodec:
+    """Register a protocol family for scenario (de)serialization.
+
+    ``build(**params)`` must reconstruct a spec whose predicates are
+    identical to the one ``params`` was read from.  Registration is
+    idempotent per name (last registration wins), so downstream packages
+    can override the built-ins.
+    """
+    codec = SpecCodec(name=name, spec_type=spec_type, build=build, params=params)
+    _SPEC_CODECS[name] = codec
+    _SPEC_CODECS_BY_TYPE[spec_type] = codec
+    return codec
+
+
+register_spec_codec(
+    "raft",
+    RaftSpec,
+    lambda n, q_per=None, q_vc=None: RaftSpec(n, q_per=q_per, q_vc=q_vc),
+    lambda spec: {"n": spec.n, "q_per": spec.q_per, "q_vc": spec.q_vc},
+)
+register_spec_codec(
+    "flexraft",
+    FlexibleRaftSpec,
+    lambda n, q_per, q_vc: FlexibleRaftSpec(n, q_per, q_vc),
+    lambda spec: {"n": spec.n, "q_per": spec.q_per, "q_vc": spec.q_vc},
+)
+register_spec_codec(
+    "benor",
+    BenOrSpec,
+    lambda n: BenOrSpec(n),
+    lambda spec: {"n": spec.n},
+)
+register_spec_codec(
+    "byz-benor",
+    ByzantineBenOrSpec,
+    lambda n: ByzantineBenOrSpec(n),
+    lambda spec: {"n": spec.n},
+)
+register_spec_codec(
+    "pbft",
+    PBFTSpec,
+    lambda n, q_eq=None, q_per=None, q_vc=None, q_vc_t=None: PBFTSpec(
+        n, q_eq=q_eq, q_per=q_per, q_vc=q_vc, q_vc_t=q_vc_t
+    ),
+    lambda spec: {
+        "n": spec.n,
+        "q_eq": spec.q_eq,
+        "q_per": spec.q_per,
+        "q_vc": spec.q_vc,
+        "q_vc_t": spec.q_vc_t,
+    },
+)
+
+
+def spec_to_dict(spec: ProtocolSpec) -> dict:
+    """Serializable form of a registered protocol spec."""
+    codec = _SPEC_CODECS_BY_TYPE.get(type(spec))
+    if codec is None:
+        raise InvalidConfigurationError(
+            f"no scenario codec registered for {type(spec).__qualname__}; "
+            "use register_spec_codec() to add one"
+        )
+    return {"protocol": codec.name, **codec.params(spec)}
+
+
+def spec_from_dict(data: Mapping) -> ProtocolSpec:
+    """Rebuild a protocol spec from its dict form."""
+    payload = dict(data)
+    name = payload.pop("protocol", None)
+    if name is None:
+        raise InvalidConfigurationError("spec dict needs a 'protocol' field")
+    codec = _SPEC_CODECS.get(name)
+    if codec is None:
+        raise InvalidConfigurationError(
+            f"unknown protocol {name!r}; registered: {sorted(_SPEC_CODECS)}"
+        )
+    return codec.build(**payload)
+
+
+def _fleet_to_dict(fleet: Fleet) -> dict:
+    return {
+        "nodes": [
+            {"p_crash": node.p_crash, "p_byzantine": node.p_byzantine}
+            for node in fleet
+        ]
+    }
+
+
+def _fleet_from_dict(data: Mapping) -> Fleet:
+    if "nodes" in data:
+        return Fleet(
+            tuple(
+                NodeModel(
+                    p_crash=float(node.get("p_crash", 0.0)),
+                    p_byzantine=float(node.get("p_byzantine", 0.0)),
+                )
+                for node in data["nodes"]
+            )
+        )
+    if "uniform" in data:
+        spec = dict(data["uniform"])
+        return uniform_fleet(
+            int(spec["n"]),
+            float(spec["p_fail"]),
+            byzantine_fraction=float(spec.get("byzantine_fraction", 0.0)),
+        )
+    raise InvalidConfigurationError("fleet dict needs a 'nodes' list or a 'uniform' spec")
+
+
+# ---------------------------------------------------------------------------
+# Scenario
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One reliability question: a (spec, fleet) pair plus estimator budget.
+
+    ``method`` is an estimator name from the engine registry (``"auto"``
+    resolves exactly like :func:`repro.analysis.analyze` always has:
+    counting DP for symmetric specs, exact enumeration for small
+    asymmetric fleets, Monte-Carlo otherwise).  ``trials``/``seed`` budget
+    the sampling estimators.  ``correlation`` switches Monte-Carlo to the
+    correlated sampler with ``failure_kind`` outcomes.  ``window_hours``
+    and ``label`` are provenance-only metadata (horizon sweeps stamp the
+    window each scenario was projected for).
+    """
+
+    spec: ProtocolSpec
+    fleet: Fleet
+    method: str = "auto"
+    trials: int = 100_000
+    seed: SeedLike = None
+    correlation: CorrelationModel | None = None
+    failure_kind: FaultKind = FaultKind.CRASH
+    window_hours: float | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        # trials is deliberately not validated here: only the sampling
+        # estimators read it, and they raise at estimation time exactly as
+        # the pre-engine free functions did (exact paths ignore it).
+        if self.correlation is not None and self.correlation.n != self.spec.n:
+            raise InvalidConfigurationError(
+                f"correlation model has {self.correlation.n} nodes "
+                f"but spec expects {self.spec.n}"
+            )
+
+    @property
+    def n(self) -> int:
+        return self.fleet.n
+
+    def fleet_key(self) -> tuple:
+        """Hashable identity of the fleet's failure probabilities.
+
+        A tuple of primitive ``(p_crash, p_byzantine)`` pairs: node labels
+        and costs do not participate (they never influence estimator
+        output), and primitive tuples hash at C speed — this key sits on
+        the engine's per-scenario hot path.
+        """
+        return tuple((node.p_crash, node.p_byzantine) for node in self.fleet.nodes)
+
+    def cache_key(
+        self, resolved_method: str, *, fleet_key: tuple | None = None
+    ) -> tuple | None:
+        """Memo-cache key, or ``None`` when the outcome is not reusable.
+
+        Deterministic estimations (counting/exact, and sampling runs with
+        an explicit *value* seed) are cacheable.  Unseeded sampling,
+        generator-object seeds (stateful: every historical call advanced
+        the stream) and correlated scenarios are not.  ``resolved_method``
+        is the concrete estimator the engine picked after ``"auto"``
+        resolution; pass ``fleet_key`` when already computed to avoid
+        rebuilding it.  (The engine inlines this logic on its hot path,
+        keying on the estimator function rather than the name; this method
+        is the readable reference.)
+        """
+        if self.correlation is not None:
+            return None
+        if fleet_key is None:
+            fleet_key = self.fleet_key()
+        base = (self.spec.grouping_key(), fleet_key, resolved_method)
+        if resolved_method in ("counting", "exact"):
+            # Exact answers are budget-independent: any trials/seed hits.
+            return base
+        if not isinstance(self.seed, (int, np.integer)):
+            return None
+        return base + (self.trials, int(self.seed), self.failure_kind)
+
+    def with_label(self, label: str) -> "Scenario":
+        return replace(self, label=label)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form; raises for process-local correlation models."""
+        if self.correlation is not None:
+            raise InvalidConfigurationError(
+                "scenarios with a live correlation model are not serializable"
+            )
+        data: dict = {
+            "spec": spec_to_dict(self.spec),
+            "fleet": _fleet_to_dict(self.fleet),
+            "method": self.method,
+        }
+        if self.trials != 100_000:
+            data["trials"] = self.trials
+        if self.seed is not None:
+            data["seed"] = self.seed
+        if self.failure_kind is not FaultKind.CRASH:
+            data["failure_kind"] = self.failure_kind.name.lower()
+        if self.window_hours is not None:
+            data["window_hours"] = self.window_hours
+        if self.label:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Scenario":
+        kind_name = str(data.get("failure_kind", "crash")).upper()
+        try:
+            kind = FaultKind[kind_name]
+        except KeyError:
+            raise InvalidConfigurationError(f"unknown failure_kind {kind_name!r}")
+        return cls(
+            spec=spec_from_dict(data["spec"]),
+            fleet=_fleet_from_dict(data["fleet"]),
+            method=str(data.get("method", "auto")),
+            trials=int(data.get("trials", 100_000)),
+            seed=data.get("seed"),
+            failure_kind=kind,
+            window_hours=data.get("window_hours"),
+            label=str(data.get("label", "")),
+        )
+
+
+# ---------------------------------------------------------------------------
+# ScenarioSet
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSet:
+    """An ordered batch of scenarios — the engine's unit of work."""
+
+    scenarios: tuple[Scenario, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not all(isinstance(s, Scenario) for s in self.scenarios):
+            raise InvalidConfigurationError("ScenarioSet entries must be Scenario instances")
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __getitem__(self, index: int) -> Scenario:
+        return self.scenarios[index]
+
+    def extend(self, extra: Iterable[Scenario]) -> "ScenarioSet":
+        return ScenarioSet(self.scenarios + tuple(extra))
+
+    # -- builders ----------------------------------------------------------
+    @classmethod
+    def build(cls, scenarios: Iterable[Scenario]) -> "ScenarioSet":
+        return cls(tuple(scenarios))
+
+    @classmethod
+    def grid(
+        cls,
+        protocols: Sequence[str] = ("raft",),
+        sizes: Iterable[int] = (3, 5, 7),
+        probabilities: Iterable[float] = (0.01,),
+        *,
+        byzantine_fraction: float | None = None,
+        method: str = "auto",
+        trials: int = 100_000,
+        seed: SeedLike = None,
+    ) -> "ScenarioSet":
+        """Cross-product builder: protocols × sizes × probabilities.
+
+        Protocol names resolve through the spec-codec registry with default
+        quorum parameters.  With ``byzantine_fraction`` unset, each
+        protocol gets its conventional fleet: PBFT the paper's Table-1
+        worst case (every failure Byzantine), everything else a crash-only
+        uniform fleet.  Setting ``byzantine_fraction`` gives **every
+        protocol the same mixed-fault fleet** per grid cell — the "same
+        deployment, every protocol" question — which lets the engine share
+        one joint-count DP per fleet across all protocols of that size.
+        Scenario labels encode the grid cell.
+        """
+        scenarios = []
+        sizes = tuple(sizes)
+        probabilities = tuple(probabilities)
+        codecs = []
+        for name in protocols:
+            codec = _SPEC_CODECS.get(name)
+            if codec is None:
+                raise InvalidConfigurationError(
+                    f"unknown protocol {name!r}; registered: {sorted(_SPEC_CODECS)}"
+                )
+            codecs.append((name, codec))
+        for n in sizes:
+            specs = [(name, codec.build(n)) for name, codec in codecs]
+            for p in probabilities:
+                shared = (
+                    uniform_fleet(n, p, byzantine_fraction=byzantine_fraction)
+                    if byzantine_fraction is not None
+                    else None
+                )
+                for name, spec in specs:
+                    if shared is not None:
+                        fleet = shared
+                    elif isinstance(spec, PBFTSpec):
+                        fleet = byzantine_fleet(n, p)
+                    else:
+                        fleet = uniform_fleet(n, p)
+                    scenarios.append(
+                        Scenario(
+                            spec=spec,
+                            fleet=fleet,
+                            method=method,
+                            trials=trials,
+                            seed=seed,
+                            label=f"{name}/n={n}/p={p:g}",
+                        )
+                    )
+        return cls(tuple(scenarios))
+
+    # -- serialization -----------------------------------------------------
+    def to_dicts(self) -> list[dict]:
+        return [scenario.to_dict() for scenario in self.scenarios]
+
+    @classmethod
+    def from_dicts(cls, rows: Iterable[Mapping]) -> "ScenarioSet":
+        return cls(tuple(Scenario.from_dict(row) for row in rows))
+
+    def to_json(self) -> str:
+        return json.dumps({"scenarios": self.to_dicts()}, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSet":
+        """Parse a scenario file: a grid description or explicit scenarios.
+
+        Accepted shapes::
+
+            {"scenarios": [{...}, {...}]}
+            [{...}, {...}]
+            {"grid": {"protocols": ["raft", "pbft"], "sizes": [3, 5],
+                      "probabilities": [0.01, 0.05]}}
+        """
+        data = json.loads(text)
+        if isinstance(data, list):
+            return cls.from_dicts(data)
+        if isinstance(data, Mapping):
+            if "grid" in data:
+                grid = dict(data["grid"])
+                known = {
+                    "protocols",
+                    "sizes",
+                    "probabilities",
+                    "byzantine_fraction",
+                    "method",
+                    "trials",
+                    "seed",
+                }
+                unknown = sorted(set(grid) - known)
+                if unknown:
+                    raise InvalidConfigurationError(
+                        f"unknown grid fields {unknown}; expected a subset of {sorted(known)}"
+                    )
+                fraction = grid.get("byzantine_fraction")
+                return cls.grid(
+                    protocols=tuple(grid.get("protocols", ("raft",))),
+                    sizes=tuple(grid.get("sizes", (3, 5, 7))),
+                    probabilities=tuple(grid.get("probabilities", (0.01,))),
+                    byzantine_fraction=None if fraction is None else float(fraction),
+                    method=str(grid.get("method", "auto")),
+                    trials=int(grid.get("trials", 100_000)),
+                    seed=grid.get("seed"),
+                )
+            if "scenarios" in data:
+                return cls.from_dicts(data["scenarios"])
+        raise InvalidConfigurationError(
+            "scenario JSON must be a list, {'scenarios': [...]} or {'grid': {...}}"
+        )

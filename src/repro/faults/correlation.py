@@ -51,7 +51,17 @@ class CorrelationModel(ABC):
         """Per-node failure probability (length-:attr:`n` float vector)."""
 
     def sample_many(self, trials: int, seed: SeedLike = None) -> np.ndarray:
-        """Draw ``trials`` failure vectors as a (trials, n) boolean matrix."""
+        """Draw ``trials`` failure vectors as a (trials, n) boolean matrix.
+
+        The base implementation stacks per-trial :meth:`sample` calls; the
+        built-in models override it with one-pass vectorized draws (whole
+        arrays per model, no per-trial Python loop).  Each override
+        documents its seeded stream: :class:`IndependentFailures` consumes
+        the generator exactly as the per-trial loop did, while
+        :class:`CommonShockModel` and :class:`BetaBinomialContagion` draw
+        in blocked order, so their seeded samples differ from (but are
+        distributed identically to) the historical stacked loop.
+        """
         rng = as_generator(seed)
         return np.stack([self.sample(rng) for _ in range(trials)])
 
@@ -81,6 +91,17 @@ class IndependentFailures(CorrelationModel):
         rng = as_generator(seed)
         p = np.array(self.fleet.failure_probabilities)
         return rng.random(self.n) < p
+
+    def sample_many(self, trials: int, seed: SeedLike = None) -> np.ndarray:
+        """One-pass vectorized draws.
+
+        A single ``(trials, n)`` uniform block consumes the generator in
+        the same (trial, node) order as per-trial :meth:`sample` calls, so
+        seeded samples are unchanged from the stacked loop.
+        """
+        rng = as_generator(seed)
+        p = np.array(self.fleet.failure_probabilities)
+        return rng.random((trials, self.n)) < p
 
     def marginal_probabilities(self) -> np.ndarray:
         return np.array(self.fleet.failure_probabilities)
@@ -142,6 +163,26 @@ class CommonShockModel(CorrelationModel):
                 members = np.array(shock.members, dtype=int)
                 hit = rng.random(members.size) < shock.lethality
                 failed[members[hit]] = True
+        return failed
+
+    def sample_many(self, trials: int, seed: SeedLike = None) -> np.ndarray:
+        """One-pass vectorized draws: whole arrays per model, no trial loop.
+
+        Draw order is *blocked* — one ``(trials, n)`` background block,
+        then per shock one ``(trials,)`` firing block and one
+        ``(trials, |members|)`` lethality block (drawn unconditionally,
+        where the scalar :meth:`sample` draws lethality only when the
+        shock fires).  The joint distribution is identical, but seeded
+        samples differ from the historical stacked per-trial loop.
+        """
+        rng = as_generator(seed)
+        p = np.array(self.fleet.failure_probabilities)
+        failed = rng.random((trials, self.n)) < p
+        for shock in self.shocks:
+            fires = rng.random(trials) < shock.probability
+            members = np.array(shock.members, dtype=int)
+            hits = rng.random((trials, members.size)) < shock.lethality
+            failed[:, members] |= fires[:, None] & hits
         return failed
 
     def marginal_probabilities(self) -> np.ndarray:
@@ -233,6 +274,18 @@ class BetaBinomialContagion(CorrelationModel):
         rng = as_generator(seed)
         q = rng.beta(self.alpha, self.beta)
         return rng.random(self.n_nodes) < q
+
+    def sample_many(self, trials: int, seed: SeedLike = None) -> np.ndarray:
+        """One-pass vectorized draws: all intensities, then all uniforms.
+
+        Draw order is blocked (``trials`` Beta intensities followed by one
+        ``(trials, n)`` uniform block) instead of the scalar loop's
+        interleaved beta/uniform pairs, so seeded samples differ from the
+        historical stacked loop; the joint distribution is identical.
+        """
+        rng = as_generator(seed)
+        q = rng.beta(self.alpha, self.beta, size=trials)
+        return rng.random((trials, self.n_nodes)) < q[:, None]
 
     def marginal_probabilities(self) -> np.ndarray:
         return np.full(self.n_nodes, self.marginal)

@@ -5,6 +5,12 @@ affordable, and/or performant hardware with no reliability trade-off."
 The optimizer scans (SKU, cluster size) combinations, computes exact
 reliability with the counting estimator, and minimises cost (or power, or
 embodied carbon) subject to the reliability target.
+
+Candidate evaluation goes through the reliability engine
+(:mod:`repro.engine`): the whole (SKU × size) grid is submitted as one
+:class:`~repro.engine.ScenarioSet`, so every size shares a single batched
+counting-DP sweep across SKUs and repeated candidates hit the engine's
+memo cache.  Values are bit-identical to per-candidate evaluation.
 """
 
 from __future__ import annotations
@@ -12,8 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from repro.analysis.counting import counting_reliability
 from repro.analysis.result import ReliabilityResult, from_nines
+from repro.engine import Scenario, default_engine
 from repro.errors import InvalidConfigurationError
 from repro.planner.cost import DeploymentPlan, NodeSKU
 from repro.protocols.base import ProtocolSpec
@@ -61,6 +67,19 @@ class OptimizationOutcome:
         return rows
 
 
+def _plan_scenario(
+    plan: DeploymentPlan,
+    spec_factory: SpecFactory,
+    byzantine_fraction: float,
+) -> Scenario:
+    return Scenario(
+        spec=spec_factory(plan.count),
+        fleet=plan.fleet(byzantine_fraction=byzantine_fraction),
+        method="counting",
+        label=plan.describe(),
+    )
+
+
 def evaluate_plan(
     plan: DeploymentPlan,
     *,
@@ -68,9 +87,31 @@ def evaluate_plan(
     byzantine_fraction: float = 0.0,
 ) -> PlanEvaluation:
     """Exact reliability of one deployment plan under the given protocol."""
-    spec = spec_factory(plan.count)
-    fleet = plan.fleet(byzantine_fraction=byzantine_fraction)
-    return PlanEvaluation(plan, counting_reliability(spec, fleet))
+    outcome = default_engine().run_one(
+        _plan_scenario(plan, spec_factory, byzantine_fraction)
+    )
+    return PlanEvaluation(plan, outcome.result)
+
+
+def evaluate_plans(
+    plans: Sequence[DeploymentPlan],
+    *,
+    spec_factory: SpecFactory = RaftSpec,
+    byzantine_fraction: float = 0.0,
+) -> list[PlanEvaluation]:
+    """Exact reliability of many plans, batched through the engine.
+
+    Same-size plans share one counting-DP sweep regardless of SKU; values
+    are bit-identical to calling :func:`evaluate_plan` per plan.
+    """
+    scenarios = [
+        _plan_scenario(plan, spec_factory, byzantine_fraction) for plan in plans
+    ]
+    engine_result = default_engine().run(scenarios)
+    return [
+        PlanEvaluation(plan, result)
+        for plan, result in zip(plans, engine_result.results)
+    ]
 
 
 def find_cheapest_plan(
@@ -100,17 +141,17 @@ def find_cheapest_plan(
     metric = objectives[objective]
     target_probability = from_nines(target_nines)
 
-    candidates = []
+    plans = []
     for sku in skus:
         for size in sizes:
             if size <= 0:
                 raise InvalidConfigurationError(f"cluster size must be positive, got {size}")
-            evaluation = evaluate_plan(
-                DeploymentPlan(sku, size),
-                spec_factory=spec_factory,
-                byzantine_fraction=byzantine_fraction,
-            )
-            candidates.append(evaluation)
+            plans.append(DeploymentPlan(sku, size))
+    # One engine submission for the whole grid: each cluster size becomes a
+    # single DP sweep shared by every SKU.
+    candidates = evaluate_plans(
+        plans, spec_factory=spec_factory, byzantine_fraction=byzantine_fraction
+    )
     candidates.sort(key=lambda c: (metric(c.plan), -c.reliability))
     feasible = [c for c in candidates if c.meets(target_probability)]
     return OptimizationOutcome(
@@ -142,12 +183,18 @@ def equivalent_reliability_size(
     reference = evaluate_plan(
         reference_plan, spec_factory=spec_factory, byzantine_fraction=byzantine_fraction
     )
-    for size in range(1, max_size + 1, 2):  # odd sizes: even ones waste a vote
-        candidate = evaluate_plan(
-            DeploymentPlan(candidate_sku, size),
+    # Submit candidate sizes to the engine in chunks: batched evaluation
+    # without computing the whole range when a small cluster already
+    # matches (the common case: the paper's E2 match is found at size 9).
+    sizes = list(range(1, max_size + 1, 2))  # odd sizes: even ones waste a vote
+    chunk = 8
+    for start in range(0, len(sizes), chunk):
+        candidates = evaluate_plans(
+            [DeploymentPlan(candidate_sku, size) for size in sizes[start : start + chunk]],
             spec_factory=spec_factory,
             byzantine_fraction=byzantine_fraction,
         )
-        if candidate.reliability >= reference.reliability - tolerance:
-            return candidate
+        for candidate in candidates:
+            if candidate.reliability >= reference.reliability - tolerance:
+                return candidate
     return None

@@ -24,6 +24,30 @@ from repro.analysis.config import FailureConfig
 from repro.errors import InvalidConfigurationError
 
 
+class _IdentityKey:
+    """Hashable stand-in for an unhashable spec attribute.
+
+    Hashes/compares by object identity *while holding a reference*, so the
+    id can never be recycled for as long as any cache key embedding this
+    wrapper is alive — unlike a bare ``id()`` integer.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: object):
+        self.obj = obj
+
+    def __hash__(self) -> int:
+        # Stable while self.obj is referenced — which this wrapper ensures.
+        return id(self.obj)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _IdentityKey) and self.obj is other.obj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_IdentityKey({self.obj!r})"
+
+
 class ProtocolSpec(ABC):
     """Safety/liveness predicates of one consensus protocol deployment.
 
@@ -60,6 +84,38 @@ class ProtocolSpec(ABC):
     def is_live_counts(self, num_crashed: int, num_byzantine: int) -> bool:
         """Count-based liveness predicate (symmetric protocols only)."""
         raise NotImplementedError(f"{type(self).__name__} has no count-based liveness predicate")
+
+    def grouping_key(self) -> tuple:
+        """Hashable identity used by the engine for dedup and batching.
+
+        Two specs with equal keys evaluate every configuration identically,
+        so :class:`repro.engine.ReliabilityEngine` may share cached results
+        between them.  The default key is the concrete class plus every
+        public constructor-derived attribute; unhashable attributes fall
+        back to object identity, which disables sharing (never incorrectly
+        enables it) for exotic specs.  Specs are immutable after
+        construction, so the key is computed once and stashed.
+        """
+        cached = getattr(self, "_grouping_key_cache", None)
+        if cached is not None:
+            return cached
+        params: list[tuple[str, object]] = []
+        for attr in sorted(self.__dict__):
+            if attr.startswith("_"):
+                continue
+            value = self.__dict__[attr]
+            try:
+                hash(value)
+            except TypeError:
+                # Identity wrapper keeps the attribute alive, so the id can
+                # never be recycled into a colliding key.
+                value = _IdentityKey(value)
+            params.append((attr, value))
+        # The class object itself anchors the key: same-named classes from
+        # different modules must never share cached results.
+        key = (type(self), self._n, tuple(params))
+        self._grouping_key_cache = key  # type: ignore[attr-defined]
+        return key
 
     def verdict_masks(self):
         """Cached ``(n+1) x (n+1)`` safe/live truth tables over count pairs.

@@ -128,9 +128,11 @@ def _ref_trials(spec, fleet, trials: int, rng) -> tuple[int, int, int]:
 
 
 def _ref_correlated(spec, model, trials: int, rng, kind) -> tuple[int, int, int]:
+    # Draw through sample_many (the models' documented seeded stream) and
+    # tally with a plain per-row loop, so the test pins the tally logic
+    # against the same sampled vectors the kernel sees.
     safe = live = both = 0
-    for _ in range(trials):
-        failed = model.sample(rng)
+    for failed in model.sample_many(trials, rng):
         config = FailureConfig(
             tuple(kind if f else FaultKind.CORRECT for f in failed)
         )

@@ -78,6 +78,51 @@ class TestCommittee:
         assert "no committee" in capsys.readouterr().out
 
 
+class TestScenarios:
+    def test_scenario_file_end_to_end(self, capsys, tmp_path):
+        path = tmp_path / "deployments.json"
+        path.write_text(
+            """
+            {"scenarios": [
+              {"spec": {"protocol": "raft", "n": 3},
+               "fleet": {"uniform": {"n": 3, "p_fail": 0.01}},
+               "label": "headline"},
+              {"spec": {"protocol": "pbft", "n": 4},
+               "fleet": {"uniform": {"n": 4, "p_fail": 0.01,
+                                     "byzantine_fraction": 1.0}}}
+            ]}
+            """
+        )
+        assert main(["scenarios", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "headline" in out
+        assert "99.970%" in out  # the paper's 3-node Raft cell
+        assert "99.941%" in out  # the paper's 4-node PBFT cell
+
+    def test_grid_shorthand_and_json_output(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "grid.json"
+        path.write_text(
+            '{"grid": {"protocols": ["raft"], "sizes": [3, 5],'
+            ' "probabilities": [0.01, 0.05]}}'
+        )
+        assert main(["scenarios", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 4
+        assert all(row["estimator"] == "counting" for row in payload)
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "/nonexistent/scenarios.json"])
+
+    def test_invalid_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"scenarios": [{"spec": {"protocol": "fnord"}}]}')
+        with pytest.raises(SystemExit):
+            main(["scenarios", str(path)])
+
+
 class TestMTTF:
     def test_prints_metrics(self, capsys):
         assert main(["mttf", "--n", "5", "--afr", "0.08", "--mttr-hours", "24"]) == 0

@@ -1,0 +1,484 @@
+"""Tests for the Scenario/Engine API (repro.engine).
+
+The contract under test: the engine is a *planner*, never a different
+estimator — whatever execution plan it picks (shared DP sweep, memo
+cache, per-scenario fallback), every ``ReliabilityResult`` must be
+bit-identical to calling the legacy free functions directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import analyze, analyze_batch
+from repro.analysis.result import Estimate, ReliabilityResult
+from repro.engine import (
+    ReliabilityEngine,
+    Scenario,
+    ScenarioSet,
+    default_engine,
+    register_estimator,
+    registered_estimators,
+)
+from repro.engine.registry import get_estimator
+from repro.errors import EstimationError, InvalidConfigurationError
+from repro.faults.correlation import CommonShockModel, rollout_shock
+from repro.faults.mixture import Fleet, NodeModel, uniform_fleet
+from repro.protocols.benor import BenOrSpec, ByzantineBenOrSpec
+from repro.protocols.hybrid import UprightSpec
+from repro.protocols.pbft import PBFTSpec
+from repro.protocols.raft import FlexibleRaftSpec, RaftSpec
+from repro.protocols.reliability_aware import ReliabilityAwareRaftSpec
+
+
+def _mixed_fleet(n: int) -> Fleet:
+    return Fleet(
+        tuple(
+            NodeModel(p_crash=0.02 + 0.01 * (i % 4), p_byzantine=0.003 * (i % 3))
+            for i in range(n)
+        )
+    )
+
+
+#: (spec, fleet) pairs across the protocol zoo, symmetric and not.
+ZOO = [
+    (RaftSpec(3), uniform_fleet(3, 0.01)),
+    (RaftSpec(7), _mixed_fleet(7)),
+    (FlexibleRaftSpec(5, 2, 4), uniform_fleet(5, 0.05)),
+    (PBFTSpec(4), uniform_fleet(4, 0.01, byzantine_fraction=1.0)),
+    (PBFTSpec(7), _mixed_fleet(7)),
+    (BenOrSpec(7), uniform_fleet(7, 0.05)),
+    (ByzantineBenOrSpec(11), _mixed_fleet(11)),
+    (UprightSpec(2, 1), _mixed_fleet(6)),
+    (ReliabilityAwareRaftSpec(6, pinned=(0, 1)), _mixed_fleet(6)),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("spec,fleet", ZOO, ids=lambda v: repr(v))
+    def test_run_one_matches_analyze(self, spec, fleet):
+        engine = ReliabilityEngine()
+        outcome = engine.run_one(Scenario(spec=spec, fleet=fleet, seed=11))
+        assert outcome.result == analyze(spec, fleet, seed=11)
+
+    def test_batched_counting_bit_identical_to_analyze(self):
+        """Mixed-protocol grid: shared DP sweeps, full dataclass equality."""
+        grid = ScenarioSet.grid(
+            protocols=("raft", "pbft"),
+            sizes=(3, 5, 7),
+            probabilities=(0.01, 0.02, 0.08),
+        )
+        engine = ReliabilityEngine()
+        results = engine.run(grid).results
+        legacy = [analyze(s.spec, s.fleet) for s in grid]
+        assert results == legacy  # Estimate values, method and detail alike
+
+    def test_multi_spec_same_n_share_one_batch(self):
+        """Raft and PBFT scenarios of one size land in the same DP group."""
+        fleet_a = uniform_fleet(5, 0.03)
+        fleet_b = uniform_fleet(5, 0.04, byzantine_fraction=1.0)
+        outcomes = ReliabilityEngine().run(
+            [
+                Scenario(spec=RaftSpec(5), fleet=fleet_a),
+                Scenario(spec=PBFTSpec(5), fleet=fleet_b),
+                Scenario(spec=BenOrSpec(5), fleet=fleet_a),
+            ]
+        )
+        assert all(o.provenance.batched for o in outcomes)
+        assert all(o.provenance.batch_size == 3 for o in outcomes)
+        for outcome in outcomes:
+            assert outcome.result == analyze(outcome.scenario.spec, outcome.scenario.fleet)
+
+    def test_analyze_batch_matches_engine(self):
+        spec = RaftSpec(5)
+        fleets = [uniform_fleet(5, p) for p in (0.01, 0.02, 0.05)]
+        batch = analyze_batch(spec, fleets)
+        engine_results = ReliabilityEngine().run(
+            [Scenario(spec=spec, fleet=fleet) for fleet in fleets]
+        ).results
+        assert batch == engine_results
+
+    def test_explicit_methods_match_legacy(self, mixed_fleet):
+        spec = RaftSpec(7)
+        for method in ("counting", "exact", "monte-carlo"):
+            outcome = ReliabilityEngine().run_one(
+                Scenario(spec=spec, fleet=mixed_fleet, method=method, trials=4_000, seed=5)
+            )
+            assert outcome.result == analyze(
+                spec, mixed_fleet, method=method, trials=4_000, seed=5
+            )
+
+    def test_correlated_scenario_matches_legacy(self):
+        from repro.analysis.montecarlo import monte_carlo_correlated
+
+        fleet = uniform_fleet(5, 0.05)
+        model = CommonShockModel(fleet, (rollout_shock(fleet, 0.02),))
+        spec = RaftSpec(5)
+        outcome = ReliabilityEngine().run_one(
+            Scenario(spec=spec, fleet=fleet, correlation=model, trials=6_000, seed=2)
+        )
+        assert outcome.result == monte_carlo_correlated(spec, model, trials=6_000, seed=2)
+        assert outcome.provenance.estimator == "monte-carlo"
+
+    def test_unknown_method_raises_like_analyze(self, small_cft_fleet):
+        with pytest.raises(EstimationError):
+            ReliabilityEngine().run_one(
+                Scenario(spec=RaftSpec(3), fleet=small_cft_fleet, method="fnord")
+            )
+
+    def test_counting_on_asymmetric_raises_like_legacy(self):
+        spec, fleet = ReliabilityAwareRaftSpec(6, pinned=(0, 1)), _mixed_fleet(6)
+        with pytest.raises(InvalidConfigurationError):
+            ReliabilityEngine().run_one(
+                Scenario(spec=spec, fleet=fleet, method="counting")
+            )
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(InvalidConfigurationError):
+            ReliabilityEngine().run_one(
+                Scenario(spec=RaftSpec(5), fleet=uniform_fleet(3, 0.01))
+            )
+
+
+class TestCache:
+    def test_repeat_run_hits_cache(self):
+        engine = ReliabilityEngine()
+        scenario = Scenario(spec=RaftSpec(5), fleet=uniform_fleet(5, 0.02))
+        first = engine.run_one(scenario)
+        second = engine.run_one(scenario)
+        assert not first.provenance.cache_hit
+        assert second.provenance.cache_hit
+        assert first.result == second.result
+
+    def test_in_run_duplicates_answered_once(self):
+        engine = ReliabilityEngine()
+        scenario = Scenario(spec=RaftSpec(3), fleet=uniform_fleet(3, 0.01))
+        outcomes = engine.run([scenario, scenario, scenario])
+        assert [o.provenance.cache_hit for o in outcomes] == [False, True, True]
+        assert len({id(o.result) for o in outcomes} ) == 1
+        # Counter hygiene: duplicates are hits, never negative misses.
+        assert engine.cache_hits == 2
+        assert engine.cache_misses == 1
+
+    def test_generator_seed_never_cached(self):
+        """Generator seeds are stateful: every call must advance the stream."""
+        import numpy as np
+
+        engine = ReliabilityEngine()
+        spec, fleet = ReliabilityAwareRaftSpec(6, pinned=(0, 1)), _mixed_fleet(6)
+        rng = np.random.default_rng(7)
+        scenario = Scenario(
+            spec=spec, fleet=fleet, method="monte-carlo", trials=400, seed=rng
+        )
+        first = engine.run_one(scenario)
+        state = rng.bit_generator.state["state"]["state"]
+        second = engine.run_one(scenario)
+        assert not second.provenance.cache_hit
+        # The second run consumed the shared stream, as analyze always did.
+        assert rng.bit_generator.state["state"]["state"] != state
+        assert first.result == analyze(
+            spec, fleet, method="monte-carlo", trials=400, seed=np.random.default_rng(7)
+        )
+
+    def test_equal_specs_share_cache_entries(self):
+        """Two distinct spec instances with equal parameters dedup."""
+        engine = ReliabilityEngine()
+        fleet = uniform_fleet(5, 0.02)
+        engine.run_one(Scenario(spec=RaftSpec(5), fleet=fleet))
+        hit = engine.run_one(Scenario(spec=RaftSpec(5), fleet=fleet))
+        assert hit.provenance.cache_hit
+
+    def test_different_quorums_do_not_collide(self):
+        engine = ReliabilityEngine()
+        fleet = uniform_fleet(5, 0.1)
+        default = engine.run_one(Scenario(spec=RaftSpec(5), fleet=fleet))
+        flexible = engine.run_one(
+            Scenario(spec=RaftSpec(5, q_per=2, q_vc=4), fleet=fleet)
+        )
+        assert not flexible.provenance.cache_hit
+        assert flexible.result.live.value != default.result.live.value
+
+    def test_unseeded_monte_carlo_never_cached(self):
+        engine = ReliabilityEngine()
+        spec, fleet = ReliabilityAwareRaftSpec(6, pinned=(0, 1)), _mixed_fleet(6)
+        scenario = Scenario(spec=spec, fleet=fleet, method="monte-carlo", trials=500)
+        assert not engine.run_one(scenario).provenance.cache_hit
+        assert not engine.run_one(scenario).provenance.cache_hit
+
+    def test_seeded_monte_carlo_cached(self):
+        engine = ReliabilityEngine()
+        spec, fleet = ReliabilityAwareRaftSpec(6, pinned=(0, 1)), _mixed_fleet(6)
+        scenario = Scenario(spec=spec, fleet=fleet, method="monte-carlo", trials=500, seed=9)
+        engine.run_one(scenario)
+        assert engine.run_one(scenario).provenance.cache_hit
+
+    def test_cache_bound_evicts_lru(self):
+        engine = ReliabilityEngine(cache_size=2)
+        fleets = [uniform_fleet(3, p) for p in (0.01, 0.02, 0.03)]
+        for fleet in fleets:
+            engine.run_one(Scenario(spec=RaftSpec(3), fleet=fleet))
+        # Oldest entry evicted; newest two still cached.
+        assert not engine.run_one(
+            Scenario(spec=RaftSpec(3), fleet=fleets[0])
+        ).provenance.cache_hit
+        assert engine.run_one(
+            Scenario(spec=RaftSpec(3), fleet=fleets[2])
+        ).provenance.cache_hit
+
+    def test_cache_clear(self):
+        engine = ReliabilityEngine()
+        scenario = Scenario(spec=RaftSpec(3), fleet=uniform_fleet(3, 0.01))
+        engine.run_one(scenario)
+        engine.cache_clear()
+        assert not engine.run_one(scenario).provenance.cache_hit
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = registered_estimators()
+        for name in ("counting", "exact", "monte-carlo", "importance"):
+            assert name in names
+
+    def test_importance_estimator_produces_result(self):
+        outcome = ReliabilityEngine().run_one(
+            Scenario(
+                spec=RaftSpec(5),
+                fleet=uniform_fleet(5, 0.05),
+                method="importance",
+                trials=2_000,
+                seed=1,
+            )
+        )
+        assert outcome.result.method == "importance"
+        assert 0.0 <= outcome.result.safe_and_live.value <= 1.0
+
+    def test_global_registration_reaches_engines(self):
+        calls = []
+
+        @register_estimator("test-constant")
+        def _constant(scenario):
+            calls.append(scenario)
+            value = Estimate.exact(0.5)
+            return ReliabilityResult(
+                protocol=scenario.spec.name,
+                n=scenario.fleet.n,
+                safe=value,
+                live=value,
+                safe_and_live=value,
+                method="test-constant",
+            )
+
+        try:
+            outcome = ReliabilityEngine().run_one(
+                Scenario(
+                    spec=RaftSpec(3),
+                    fleet=uniform_fleet(3, 0.01),
+                    method="test-constant",
+                )
+            )
+            assert outcome.result.safe.value == 0.5
+            assert len(calls) == 1
+        finally:
+            from repro.engine import registry
+
+            registry._ESTIMATORS.pop("test-constant", None)
+
+    def test_reregistration_invalidates_cached_answers(self):
+        """Cache keys carry the estimator function, so shadowing a built-in
+        never serves the replaced implementation's memoized results."""
+        engine = ReliabilityEngine()
+        scenario = Scenario(
+            spec=RaftSpec(3), fleet=uniform_fleet(3, 0.01), method="counting"
+        )
+        warm = engine.run_one(scenario)
+        assert warm.result.method == "counting"
+
+        def stub(s):
+            value = Estimate.exact(0.125)
+            return ReliabilityResult(
+                protocol=s.spec.name,
+                n=s.fleet.n,
+                safe=value,
+                live=value,
+                safe_and_live=value,
+                method="stub",
+            )
+
+        engine.register("counting", stub)
+        shadowed = engine.run_one(scenario)
+        assert not shadowed.provenance.cache_hit
+        assert shadowed.result.method == "stub"
+
+    def test_counting_override_honored_for_batchable_scenarios(self):
+        """The shared DP sweep must not bypass a shadowed counting estimator."""
+
+        def stub(s):
+            value = Estimate.exact(0.25)
+            return ReliabilityResult(
+                protocol=s.spec.name,
+                n=s.fleet.n,
+                safe=value,
+                live=value,
+                safe_and_live=value,
+                method="stub",
+            )
+
+        engine = ReliabilityEngine(estimators={"counting": stub})
+        scenarios = [
+            Scenario(spec=RaftSpec(3), fleet=uniform_fleet(3, p), method="counting")
+            for p in (0.01, 0.02, 0.03)
+        ]
+        results = engine.run(scenarios).results
+        assert all(r.method == "stub" for r in results)
+
+    def test_per_engine_override_shadows_builtin(self):
+        def fake_counting(scenario):
+            value = Estimate.exact(0.25)
+            return ReliabilityResult(
+                protocol=scenario.spec.name,
+                n=scenario.fleet.n,
+                safe=value,
+                live=value,
+                safe_and_live=value,
+                method="fake",
+            )
+
+        engine = ReliabilityEngine(estimators={"exact": fake_counting})
+        outcome = engine.run_one(
+            Scenario(spec=RaftSpec(3), fleet=uniform_fleet(3, 0.01), method="exact")
+        )
+        assert outcome.result.method == "fake"
+        # The global registry is untouched.
+        assert get_estimator("exact") is not fake_counting
+        clean = ReliabilityEngine().run_one(
+            Scenario(spec=RaftSpec(3), fleet=uniform_fleet(3, 0.01), method="exact")
+        )
+        assert clean.result.method == "exact"
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            Scenario(spec=RaftSpec(3), fleet=uniform_fleet(3, 0.01)),
+            Scenario(
+                spec=RaftSpec(5, q_per=2, q_vc=4),
+                fleet=uniform_fleet(5, 0.05),
+                method="counting",
+                label="flexible",
+            ),
+            Scenario(
+                spec=PBFTSpec(7),
+                fleet=_mixed_fleet(7),
+                method="monte-carlo",
+                trials=5_000,
+                seed=42,
+            ),
+            Scenario(
+                spec=FlexibleRaftSpec(5, 3, 4),
+                fleet=uniform_fleet(5, 0.02),
+                window_hours=720.0,
+                label="window[3]",
+            ),
+        ],
+        ids=["default", "flex-quorums", "seeded-mc", "windowed"],
+    )
+    def test_scenario_round_trip(self, scenario):
+        restored = Scenario.from_dict(scenario.to_dict())
+        assert restored.to_dict() == scenario.to_dict()
+        assert type(restored.spec) is type(scenario.spec)
+        assert restored.spec.grouping_key() == scenario.spec.grouping_key()
+        assert restored.fleet_key() == scenario.fleet_key()
+        assert (restored.method, restored.trials, restored.seed) == (
+            scenario.method,
+            scenario.trials,
+            scenario.seed,
+        )
+        # Round-tripped scenarios answer identically.
+        engine = ReliabilityEngine()
+        assert (
+            engine.run_one(restored).result
+            == engine.run_one(scenario).result
+        )
+
+    def test_scenario_set_json_round_trip(self):
+        grid = ScenarioSet.grid(
+            protocols=("raft", "pbft"), sizes=(3, 4), probabilities=(0.01, 0.1)
+        )
+        restored = ScenarioSet.from_json(grid.to_json())
+        assert restored.to_dicts() == grid.to_dicts()
+
+    def test_grid_shorthand_json(self):
+        text = json.dumps(
+            {"grid": {"protocols": ["raft"], "sizes": [3], "probabilities": [0.5]}}
+        )
+        scenario_set = ScenarioSet.from_json(text)
+        assert len(scenario_set) == 1
+        assert scenario_set[0].spec.n == 3
+
+    def test_grid_json_forwards_byzantine_fraction(self):
+        text = json.dumps(
+            {
+                "grid": {
+                    "protocols": ["raft", "pbft"],
+                    "sizes": [5],
+                    "probabilities": [0.04],
+                    "byzantine_fraction": 0.5,
+                }
+            }
+        )
+        scenario_set = ScenarioSet.from_json(text)
+        for scenario in scenario_set:
+            assert scenario.fleet[0].p_byzantine == pytest.approx(0.02)
+        # Shared fleets: both protocols ask about the same deployment.
+        assert scenario_set[0].fleet == scenario_set[1].fleet
+
+    def test_grid_json_rejects_unknown_fields(self):
+        text = json.dumps({"grid": {"protocols": ["raft"], "probabilitys": [0.5]}})
+        with pytest.raises(InvalidConfigurationError):
+            ScenarioSet.from_json(text)
+
+    def test_correlated_scenario_not_serializable(self):
+        fleet = uniform_fleet(3, 0.1)
+        scenario = Scenario(
+            spec=RaftSpec(3), fleet=fleet, correlation=CommonShockModel(fleet, ())
+        )
+        with pytest.raises(InvalidConfigurationError):
+            scenario.to_dict()
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            Scenario.from_dict(
+                {"spec": {"protocol": "fnord", "n": 3}, "fleet": {"nodes": []}}
+            )
+
+    def test_unregistered_spec_type_rejected(self):
+        scenario = Scenario(
+            spec=ReliabilityAwareRaftSpec(6, pinned=(0, 1)), fleet=_mixed_fleet(6)
+        )
+        with pytest.raises(InvalidConfigurationError):
+            scenario.to_dict()
+
+
+class TestDefaultEngine:
+    def test_default_engine_is_shared(self):
+        assert default_engine() is default_engine()
+
+    def test_analyze_shim_ignores_trials_on_exact_paths(self):
+        """Legacy compat: trials is only validated by sampling estimators."""
+        result = analyze(RaftSpec(3), uniform_fleet(3, 0.01), trials=0)
+        assert result.method == "counting"
+        with pytest.raises(InvalidConfigurationError):
+            analyze(RaftSpec(3), uniform_fleet(3, 0.01), method="monte-carlo", trials=0)
+
+    def test_analyze_shim_routes_through_default_engine(self):
+        engine = default_engine()
+        fleet = uniform_fleet(9, 0.037)
+        spec = RaftSpec(9)
+        analyze(spec, fleet)
+        # The shim warmed the shared cache: the engine now answers the
+        # same scenario without recomputing.
+        outcome = engine.run_one(Scenario(spec=RaftSpec(9), fleet=fleet))
+        assert outcome.provenance.cache_hit
