@@ -25,6 +25,15 @@ flexible estimator APIs in :mod:`repro.analysis` run at NumPy speed:
   specs get ``np.unique`` row dedup: Python predicates run once per
   *distinct* configuration, not per trial.
 
+* **Sharded execution** — :func:`plan_shards` splits a trial budget into
+  worker-count-independent shard blocks, :func:`spawn_shard_generators`
+  gives each shard an independent ``SeedSequence``-spawned stream, and
+  :func:`monte_carlo_tally_sharded` fans the shards over a thread or
+  process pool (:func:`run_sharded`), merging tallies in shard order.
+  Legacy single-stream sampling stays the seeded default for
+  bit-compatibility; spawned streams engage only when parallelism is
+  requested (see :func:`use_spawned_streams`).
+
 * **One-pass Birnbaum** — :func:`loo_weighted_products` combines prefix
   count-DPs with a backward weight recursion to produce all ``n``
   leave-one-out inner products ``<pmf without node u, W>`` in a single
@@ -290,7 +299,21 @@ class BatchTally:
 
 
 def _chunk_sizes(trials: int, n: int) -> list[int]:
+    """Split ``trials`` into chunk sizes bounded by the per-chunk draw budget.
+
+    Invariants (see the boundary tests in ``tests/test_analysis_kernels.py``):
+    the sizes sum to ``trials``, every chunk is positive, and no chunk draws
+    more than ``max(_CHUNK_DRAWS, n)`` uniforms.  ``trials <= chunk`` — which
+    always happens for huge ``n``, where the budget only allows a handful of
+    trials per chunk — yields a *single undersized chunk* rather than a
+    full-plus-remainder split.  Non-positive ``trials`` yields no chunks
+    (callers validate; this keeps the helper total).
+    """
+    if trials <= 0:
+        return []
     chunk = max(1, _CHUNK_DRAWS // max(n, 1))
+    if trials <= chunk:
+        return [trials]
     full, rest = divmod(trials, chunk)
     return [chunk] * full + ([rest] if rest else [])
 
@@ -434,6 +457,186 @@ def predicate_tally(
             if predicate(_config_from_codes(row)):
                 hits += count
     return hits
+
+
+# ---------------------------------------------------------------------------
+# Shard planning and multi-core execution
+# ---------------------------------------------------------------------------
+#: Fixed parallelism grain of a spawned-stream shard plan.  The shard count
+#: is a function of the trial budget alone — never of the worker count — so
+#: sharded results are identical whether 1 or 16 workers execute the plan.
+_SHARD_GRAIN = 16
+
+#: Minimum trials per shard: below this the per-shard generator/dispatch
+#: overhead dominates the vectorized tally.
+_MIN_SHARD_TRIALS = 4096
+
+#: Executor modes accepted by :func:`run_sharded`.
+EXECUTOR_MODES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How a trial budget splits into independently-seeded shards.
+
+    ``shards`` holds the per-shard trial counts in execution/merge order.
+    The plan depends only on ``trials`` and ``shard_trials`` (both recorded),
+    which is the determinism contract: worker counts and executor modes can
+    vary freely without changing any sharded estimate.
+    """
+
+    trials: int
+    shard_trials: int
+    shards: tuple[int, ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+
+def plan_shards(trials: int, shard_trials: int | None = None) -> ShardPlan:
+    """Split ``trials`` into shard blocks for spawned-stream execution.
+
+    With ``shard_trials`` unset, the plan targets :data:`_SHARD_GRAIN` equal
+    shards but never shrinks a shard below :data:`_MIN_SHARD_TRIALS` — small
+    budgets produce fewer (or one) shards instead of many tiny ones.
+    """
+    if trials <= 0:
+        raise InvalidConfigurationError(f"trials must be positive, got {trials}")
+    if shard_trials is None:
+        shard_trials = max(_MIN_SHARD_TRIALS, -(-trials // _SHARD_GRAIN))
+    elif shard_trials <= 0:
+        raise InvalidConfigurationError(
+            f"shard_trials must be positive, got {shard_trials}"
+        )
+    full, rest = divmod(trials, shard_trials)
+    shards = (shard_trials,) * full + ((rest,) if rest else ())
+    return ShardPlan(trials=trials, shard_trials=shard_trials, shards=shards)
+
+
+def spawn_shard_generators(seed, count: int) -> list[np.random.Generator]:
+    """``count`` independent per-shard generators via ``SeedSequence.spawn``.
+
+    An ``int``/``None`` seed roots a fresh :class:`numpy.random.SeedSequence`;
+    a ready-made generator spawns children off its own seed sequence (which
+    advances its spawn counter — deterministic, since every sharded run
+    spawns exactly the plan's shard count).  Child streams are statistically
+    independent of each other *and* of the legacy single stream, which is why
+    spawned-stream mode is opt-in rather than the seeded default.
+    """
+    if count <= 0:
+        raise InvalidConfigurationError(f"shard count must be positive, got {count}")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def use_spawned_streams(jobs: int | None, sharding: str) -> bool:
+    """Resolve the stream mode from a ``jobs``/``sharding`` parameter pair.
+
+    ``"legacy"`` forces the historical single stream (and therefore serial
+    execution), ``"spawn"`` forces per-shard streams, and ``"auto"`` — the
+    default everywhere — keeps legacy bit-compatibility for ``jobs`` unset
+    or 1 and switches to spawned streams only when parallelism is requested.
+    """
+    if sharding == "legacy":
+        if jobs is not None and jobs > 1:
+            raise InvalidConfigurationError(
+                "legacy single-stream sampling is inherently serial; "
+                "use sharding='spawn' (or 'auto') to run with jobs > 1"
+            )
+        return False
+    if sharding == "spawn":
+        return True
+    if sharding == "auto":
+        return jobs is not None and jobs > 1
+    raise InvalidConfigurationError(
+        f"unknown sharding mode {sharding!r}; expected 'auto', 'legacy' or 'spawn'"
+    )
+
+
+def run_sharded(worker, payloads: Sequence, *, jobs: int, mode: str = "process") -> list:
+    """Map ``worker`` over shard payloads, preserving shard order.
+
+    ``jobs <= 1`` (or a single payload, or ``mode='serial'``) runs in-process
+    — the degenerate pool every sharded estimator uses for its determinism
+    guarantee.  ``'thread'`` uses a thread pool (NumPy kernels release the
+    GIL for much of the tally), ``'process'`` a fork-based process pool
+    (fully parallel Python; payloads and results must pickle).  Results come
+    back in payload order regardless of completion order, so merges are
+    deterministic under any worker count.
+    """
+    if mode not in EXECUTOR_MODES:
+        raise InvalidConfigurationError(
+            f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}"
+        )
+    count = len(payloads)
+    if jobs <= 1 or count <= 1 or mode == "serial":
+        return [worker(payload) for payload in payloads]
+    workers = min(jobs, count)
+    if mode == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(worker, payloads))
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    context = (
+        multiprocessing.get_context("fork")
+        if "fork" in multiprocessing.get_all_start_methods()
+        else None
+    )
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        return list(pool.map(worker, payloads))
+
+
+def merge_tallies(tallies: Sequence[BatchTally]) -> BatchTally:
+    """Combine per-shard tallies (shard order; integer sums are exact)."""
+    if not tallies:
+        raise InvalidConfigurationError("need at least one tally to merge")
+    return BatchTally(
+        trials=sum(t.trials for t in tallies),
+        safe=sum(t.safe for t in tallies),
+        live=sum(t.live for t in tallies),
+        both=sum(t.both for t in tallies),
+    )
+
+
+def _tally_shard(payload) -> BatchTally:
+    """Process-pool entry point: one shard of a sharded Monte-Carlo tally."""
+    spec, fleet, shard_trials, rng = payload
+    return monte_carlo_tally(spec, fleet, shard_trials, rng)
+
+
+def monte_carlo_tally_sharded(
+    spec: "ProtocolSpec",
+    fleet: Fleet,
+    trials: int,
+    seed,
+    *,
+    jobs: int = 1,
+    shard_trials: int | None = None,
+    mode: str = "process",
+) -> tuple[BatchTally, ShardPlan]:
+    """Spawned-stream Monte-Carlo tally, fanned out over a worker pool.
+
+    The trial budget is split by :func:`plan_shards`, each shard draws from
+    its own :func:`spawn_shard_generators` stream, and the per-shard tallies
+    are merged in shard order — so the result depends on ``(trials, seed,
+    shard_trials)`` but never on ``jobs`` or ``mode``.
+    """
+    plan = plan_shards(trials, shard_trials)
+    rngs = spawn_shard_generators(seed, plan.num_shards)
+    if spec.symmetric:
+        verdict_masks(spec)  # warm the per-spec cache once, outside the pool
+    payloads = [
+        (spec, fleet, shard, rng) for shard, rng in zip(plan.shards, rngs)
+    ]
+    tallies = run_sharded(_tally_shard, payloads, jobs=jobs, mode=mode)
+    return merge_tallies(tallies), plan
 
 
 # ---------------------------------------------------------------------------

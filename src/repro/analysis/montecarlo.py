@@ -12,6 +12,13 @@ uniform blocks and classified with array ops.  Because the blocks consume
 the generator stream in the same (trial, node) order as the historical
 per-trial loop, seeded runs reproduce the exact tallies of earlier
 releases; only the wall-clock changed.
+
+Multi-core throughput comes from the ``jobs=`` parameter: trial budgets are
+split into worker-count-independent shard blocks, each sampling its own
+``SeedSequence``-spawned stream, fanned over a thread or process pool and
+merged in shard order.  Sharded results are deterministic in ``(trials,
+seed, shard_trials)`` — never in the worker count — while the legacy
+single-stream mode remains the seeded default for bit-compatibility.
 """
 
 from __future__ import annotations
@@ -90,30 +97,63 @@ def monte_carlo_reliability(
     *,
     trials: int = 100_000,
     seed: SeedLike = None,
+    jobs: int | None = None,
+    sharding: str = "auto",
+    shard_trials: int | None = None,
+    pool: str = "process",
 ) -> ReliabilityResult:
     """Estimate Safe/Live/Safe&Live by sampling independent configurations.
 
     Sampling runs on the batched kernel (:mod:`repro.analysis.kernels`):
     chunked ``(trials, n)`` uniform draws, vectorized trinomial
     classification, verdict-mask tallies for symmetric specs and
-    unique-row dedup for asymmetric ones.  The uniform stream is consumed
-    in the same (trial, node) order as the historical per-trial loop, so a
-    given seed produces exactly the tallies it always did.
+    unique-row dedup for asymmetric ones.
+
+    **Execution modes.**  With ``jobs`` unset (or 1) the uniform stream is
+    consumed in the same (trial, node) order as the historical per-trial
+    loop, so a given seed produces exactly the tallies it always did.
+    ``jobs > 1`` switches to *spawned-stream* sharding: the trial budget is
+    split by :func:`repro.analysis.kernels.plan_shards` into blocks whose
+    count depends only on ``(trials, shard_trials)``, each block samples an
+    independent ``SeedSequence``-spawned stream, and tallies merge in shard
+    order — results are identical for any worker count, but differ from the
+    legacy single stream.  ``sharding`` pins the mode explicitly
+    (``"legacy"``/``"spawn"``; ``"auto"`` keys off ``jobs``), and ``pool``
+    picks the executor (``"thread"``/``"process"``/``"serial"``).
     """
+    from repro.analysis.kernels import monte_carlo_tally_sharded, use_spawned_streams
+
     if fleet.n != spec.n:
         raise InvalidConfigurationError(f"fleet has {fleet.n} nodes but spec expects {spec.n}")
     if trials <= 0:
         raise InvalidConfigurationError(f"trials must be positive, got {trials}")
-    rng = as_generator(seed)
-    tally = _run_trials(spec, fleet, trials, rng)
+    if use_spawned_streams(jobs, sharding):
+        tally, plan = monte_carlo_tally_sharded(
+            spec,
+            fleet,
+            trials,
+            seed,
+            jobs=jobs or 1,
+            shard_trials=shard_trials,
+            mode=pool,
+        )
+        report = MonteCarloReport(trials, tally.safe, tally.live, tally.both)
+        detail = (
+            f"{trials} independent trials over {plan.num_shards} "
+            f"spawned-stream shards, Wilson 95% CIs"
+        )
+    else:
+        rng = as_generator(seed)
+        report = _run_trials(spec, fleet, trials, rng)
+        detail = f"{trials} independent trials, Wilson 95% CIs"
     return ReliabilityResult(
         protocol=spec.name,
         n=fleet.n,
-        safe=_estimate(tally.safe_count, trials),
-        live=_estimate(tally.live_count, trials),
-        safe_and_live=_estimate(tally.both_count, trials),
+        safe=_estimate(report.safe_count, trials),
+        live=_estimate(report.live_count, trials),
+        safe_and_live=_estimate(report.both_count, trials),
         method="monte-carlo",
-        detail=f"{trials} independent trials, Wilson 95% CIs",
+        detail=detail,
     )
 
 

@@ -20,6 +20,12 @@ workloads: a JSON file of scenario dicts (or a grid description) runs
 through :meth:`ReliabilityEngine.run` and prints per-scenario results
 with provenance.
 
+``raft``/``pbft``/``sweep``/``scenarios`` take ``--jobs N`` to fan work
+over ``N`` worker processes (sharded counting-DP sweeps; spawned-stream
+Monte-Carlo).  Results are identical for any ``N``; leaving ``--jobs``
+unset keeps the serial legacy-stream path, byte-identical to older
+releases.
+
 Prints paper-style tables to stdout; exits non-zero on invalid input.
 """
 
@@ -35,6 +41,32 @@ from repro.protocols.pbft import PBFTSpec
 from repro.protocols.raft import RaftSpec
 
 
+def _policy_from_args(args: argparse.Namespace):
+    """Translate ``--jobs`` into an engine :class:`ExecutionPolicy`.
+
+    Unset keeps the serial legacy-stream path (byte-identical output).
+    Any explicit ``N >= 1`` switches to spawned-stream sharding over ``N``
+    worker processes — the printed numbers are identical for every ``N``
+    (shard plans never depend on the worker count); negative means one
+    worker per CPU.
+    """
+    from repro.engine import ExecutionPolicy
+
+    return ExecutionPolicy.from_jobs(getattr(args, "jobs", None))
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for sharded execution (default: serial; "
+            "-1 = one per CPU; values never depend on the worker count)"
+        ),
+    )
+
+
 def _print_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> None:
     widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
     line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
@@ -45,8 +77,13 @@ def _print_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> None:
 
 
 def _cmd_raft(args: argparse.Namespace) -> int:
+    from repro.engine import Scenario, default_engine
+
     spec = RaftSpec(args.n, q_per=args.q_per, q_vc=args.q_vc)
-    result = analyze(spec, uniform_fleet(args.n, args.p))
+    result = default_engine().run_one(
+        Scenario(spec=spec, fleet=uniform_fleet(args.n, args.p)),
+        policy=_policy_from_args(args),
+    ).result
     _print_table(
         ["N", "|Qper|", "|Qvc|", "Safe %", "Live %", "Safe and Live %"],
         [[
@@ -62,8 +99,13 @@ def _cmd_raft(args: argparse.Namespace) -> int:
 
 
 def _cmd_pbft(args: argparse.Namespace) -> int:
+    from repro.engine import Scenario, default_engine
+
     spec = PBFTSpec(args.n)
-    result = analyze(spec, byzantine_fleet(args.n, args.p))
+    result = default_engine().run_one(
+        Scenario(spec=spec, fleet=byzantine_fleet(args.n, args.p)),
+        policy=_policy_from_args(args),
+    ).result
     _print_table(
         ["N", "|Qeq|", "|Qper|", "|Qvc|", "|Qvc_t|", "Safe %", "Live %", "Safe and Live %"],
         [[
@@ -154,13 +196,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         probabilities = [float(piece) for piece in args.p.split(",")]
     except ValueError:
         raise SystemExit(f"--p must be comma-separated floats, got {args.p!r}")
+    from repro.engine import Scenario, default_engine
+
     if args.protocol == "raft":
         spec = RaftSpec(args.n)
         fleets = [uniform_fleet(args.n, p) for p in probabilities]
     else:
         spec = PBFTSpec(args.n)
         fleets = [byzantine_fleet(args.n, p) for p in probabilities]
-    results = analyze_batch(spec, fleets)
+    results = default_engine().run(
+        [Scenario(spec=spec, fleet=fleet) for fleet in fleets],
+        policy=_policy_from_args(args),
+    ).results
     rows = [
         [
             f"{p:.4f}",
@@ -192,7 +239,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid scenario file {path}: {exc}")
     if not len(scenario_set):
         raise SystemExit(f"scenario file {path} contains no scenarios")
-    engine_result = default_engine().run(scenario_set)
+    engine_result = default_engine().run(scenario_set, policy=_policy_from_args(args))
     if args.json:
         payload = [
             {
@@ -312,11 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
     raft.add_argument("--p", type=float, required=True, help="per-node failure probability")
     raft.add_argument("--q-per", type=int, default=None, help="persistence quorum size")
     raft.add_argument("--q-vc", type=int, default=None, help="view-change quorum size")
+    _add_jobs_flag(raft)
     raft.set_defaults(func=_cmd_raft)
 
     pbft = sub.add_parser("pbft", help="analyze one PBFT deployment (worst-case Byzantine)")
     pbft.add_argument("--n", type=int, required=True, help="cluster size")
     pbft.add_argument("--p", type=float, required=True, help="per-node failure probability")
+    _add_jobs_flag(pbft)
     pbft.set_defaults(func=_cmd_pbft)
 
     table1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
@@ -346,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="raft",
         help="protocol family (pbft uses the worst-case Byzantine fleet)",
     )
+    _add_jobs_flag(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     scenarios = sub.add_parser(
@@ -355,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON results"
     )
+    _add_jobs_flag(scenarios)
     scenarios.set_defaults(func=_cmd_scenarios)
 
     sensitivity = sub.add_parser(

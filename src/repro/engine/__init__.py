@@ -23,6 +23,7 @@ reinvents.
 """
 
 from repro.engine.engine import ReliabilityEngine, default_engine
+from repro.engine.execution import ExecutionPolicy
 from repro.engine.registry import (
     get_estimator,
     register_estimator,
@@ -42,6 +43,7 @@ __all__ = [
     "Scenario",
     "ScenarioSet",
     "ReliabilityEngine",
+    "ExecutionPolicy",
     "EngineResult",
     "ScenarioOutcome",
     "Provenance",

@@ -30,7 +30,13 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.analysis.result import Estimate, ReliabilityResult
-from repro.engine.registry import BUILTIN_COUNTING, EstimatorFn, get_estimator
+from repro.engine.execution import SERIAL, ExecutionPolicy
+from repro.engine.registry import (
+    BUILTIN_COUNTING,
+    EstimatorFn,
+    estimate_under_policy,
+    get_estimator,
+)
 from repro.engine.result import EngineResult, Provenance, ScenarioOutcome
 from repro.engine.scenario import Scenario, ScenarioSet
 
@@ -69,6 +75,10 @@ class ReliabilityEngine:
     cache_size:
         Bound on the memo cache (least-recently-used eviction).  ``0``
         disables cross-run caching; in-run deduplication still applies.
+    policy:
+        Default :class:`~repro.engine.ExecutionPolicy` for :meth:`run`
+        calls that do not pass one.  The default is serial execution —
+        byte-identical to the pre-policy engine.
     """
 
     def __init__(
@@ -76,9 +86,11 @@ class ReliabilityEngine:
         *,
         estimators: Mapping[str, EstimatorFn] | None = None,
         cache_size: int = 1024,
+        policy: ExecutionPolicy | None = None,
     ):
         self._overrides: dict[str, EstimatorFn] = dict(estimators or {})
         self._cache_size = max(0, int(cache_size))
+        self._policy = policy if policy is not None else SERIAL
         self._memo: OrderedDict[tuple, ReliabilityResult] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
@@ -114,11 +126,17 @@ class ReliabilityEngine:
             self._memo.popitem(last=False)
 
     # -- execution ---------------------------------------------------------
-    def run_one(self, scenario: Scenario) -> ScenarioOutcome:
+    def run_one(
+        self, scenario: Scenario, policy: ExecutionPolicy | None = None
+    ) -> ScenarioOutcome:
         """Answer a single scenario (cache-aware, no batching)."""
-        return self.run([scenario])[0]
+        return self.run([scenario], policy=policy)[0]
 
-    def run(self, scenarios: ScenarioSet | Iterable[Scenario]) -> EngineResult:
+    def run(
+        self,
+        scenarios: ScenarioSet | Iterable[Scenario],
+        policy: ExecutionPolicy | None = None,
+    ) -> EngineResult:
         """Plan and execute a whole scenario set.
 
         Outcomes come back in submission order.  Counting scenarios are
@@ -126,7 +144,18 @@ class ReliabilityEngine:
         fleets of each group; every other scenario runs through its
         estimator individually.  Identical questions — within the set or
         remembered from earlier runs — are answered from cache.
+
+        ``policy`` (default: the engine's constructor policy, itself
+        defaulting to serial) picks the executor: a thread or process
+        policy fans independent scenarios across workers, sweeps counting
+        DP chunks concurrently, and switches the built-in sampling
+        estimators to spawned-stream sharding.  Result values depend only
+        on the scenarios and the policy's ``shard_trials`` — never on the
+        worker count or executor mode — and the serial policy is
+        byte-identical to the pre-policy engine.
         """
+        active = policy if policy is not None else self._policy
+        spawned = active.spawned_streams
         items = list(scenarios)
         outcomes: list[ScenarioOutcome | None] = [None] * len(items)
         groups: dict[int, list[tuple[int, Scenario, tuple | None, tuple]]] = {}
@@ -173,6 +202,11 @@ class ReliabilityEngine:
                         int(scenario.seed),
                         scenario.failure_kind,
                     )
+                    # Spawned-stream values differ from legacy single-stream
+                    # ones, and depend on the shard size: both join the key
+                    # so policy families never share sampling cache entries.
+                    if spawned:
+                        key = key + ("spawn", active.shard_trials)
                 if memo is not None and key is not None:
                     cached = memo.get(key)
                     if cached is not None:
@@ -214,16 +248,21 @@ class ReliabilityEngine:
                 index, scenario, key, _ = group[0]
                 singles.append((index, scenario, "counting", BUILTIN_COUNTING, key))
             else:
-                self._run_counting_group(group, outcomes)
+                self._run_counting_group(group, outcomes, active)
 
-        for index, scenario, method, estimator_fn, key in singles:
-            start = time.perf_counter()
-            result = estimator_fn(scenario)
-            seconds = time.perf_counter() - start
-            self._cache_put(key, result)
-            outcomes[index] = ScenarioOutcome(
-                scenario, result, Provenance(estimator=method, seconds=seconds)
-            )
+        if active.parallel and len(singles) > 1:
+            self._run_singles_parallel(singles, outcomes, active)
+        else:
+            for index, scenario, method, estimator_fn, key in singles:
+                start = time.perf_counter()
+                result, shards = estimate_under_policy(estimator_fn, scenario, active)
+                seconds = time.perf_counter() - start
+                self._cache_put(key, result)
+                outcomes[index] = ScenarioOutcome(
+                    scenario,
+                    result,
+                    Provenance(estimator=method, seconds=seconds, shards=shards),
+                )
 
         for index, first in aliases:
             source = outcomes[first]
@@ -243,10 +282,97 @@ class ReliabilityEngine:
         assert all(outcome is not None for outcome in outcomes)
         return EngineResult(tuple(outcomes))  # type: ignore[arg-type]
 
+    def _run_singles_parallel(
+        self,
+        singles: Sequence[tuple[int, Scenario, str, EstimatorFn, tuple | None]],
+        outcomes: list[ScenarioOutcome | None],
+        policy: ExecutionPolicy,
+    ) -> None:
+        """Fan independent single-estimator scenarios across the policy pool.
+
+        Each scenario is computed exactly as it would be alone (its sampling
+        streams are spawned per scenario), so values are identical at any
+        worker count.  Cache writes and outcome assembly stay in the calling
+        thread, in submission order — the LRU's recency order is therefore
+        deterministic too.  Scenarios a pool cannot execute faithfully run
+        in the calling thread instead: generator-object seeds (stateful —
+        they must advance in submission order), and, under a process pool,
+        anything but a stock estimator on an uncorrelated scenario (a
+        child started without fork resolves estimators from a *fresh*
+        registry import, so overrides, shadowed built-ins and third-party
+        registrations must stay with their function objects; correlation
+        models are process-local).
+        """
+        from repro.analysis.kernels import run_sharded
+        from repro.engine.registry import is_stock_estimator
+
+        pool_items: list[tuple[int, Scenario, str, EstimatorFn, tuple | None]] = []
+        local_items: list[tuple[int, Scenario, str, EstimatorFn, tuple | None]] = []
+        for entry in singles:
+            _, scenario, method, estimator_fn, _ = entry
+            if isinstance(scenario.seed, np.random.Generator):
+                local_items.append(entry)
+            elif policy.mode == "process" and (
+                not is_stock_estimator(method, estimator_fn)
+                or scenario.correlation is not None
+            ):
+                local_items.append(entry)
+            else:
+                pool_items.append(entry)
+
+        completed: list[tuple[ReliabilityResult, int, float]] = []
+        if len(pool_items) == 1:
+            # A pool of one is pure overhead: run it locally with the full
+            # estimator-level fan-out instead.
+            local_items = list(singles)
+            pool_items = []
+        elif pool_items:
+            if policy.mode == "thread":
+
+                def worker(entry):
+                    _, scenario, _, estimator_fn, _ = entry
+                    start = time.perf_counter()
+                    result, shards = estimate_under_policy(
+                        estimator_fn, scenario, policy, jobs=1
+                    )
+                    return result, shards, time.perf_counter() - start
+
+                completed = run_sharded(
+                    worker, pool_items, jobs=policy.jobs, mode="thread"
+                )
+            else:
+                payloads = [
+                    (scenario, method, policy)
+                    for _, scenario, method, _, _ in pool_items
+                ]
+                completed = run_sharded(
+                    _run_single_in_worker, payloads, jobs=policy.jobs, mode="process"
+                )
+
+        for entry, (result, shards, seconds) in zip(pool_items, completed):
+            index, scenario, method, _, key = entry
+            self._cache_put(key, result)
+            outcomes[index] = ScenarioOutcome(
+                scenario,
+                result,
+                Provenance(estimator=method, seconds=seconds, shards=shards),
+            )
+        for index, scenario, method, estimator_fn, key in local_items:
+            start = time.perf_counter()
+            result, shards = estimate_under_policy(estimator_fn, scenario, policy)
+            seconds = time.perf_counter() - start
+            self._cache_put(key, result)
+            outcomes[index] = ScenarioOutcome(
+                scenario,
+                result,
+                Provenance(estimator=method, seconds=seconds, shards=shards),
+            )
+
     def _run_counting_group(
         self,
         group: Sequence[tuple[int, Scenario, tuple | None, tuple]],
         outcomes: list[ScenarioOutcome | None],
+        policy: ExecutionPolicy = SERIAL,
     ) -> None:
         """One shared joint-count DP sweep for same-size counting scenarios.
 
@@ -288,13 +414,7 @@ class ReliabilityEngine:
         detail = f"joint count DP over {(n + 1) * (n + 2) // 2} count pairs"
         batch_size = len(group)
         computed: list[tuple[int, Scenario, ReliabilityResult]] = []
-        # Sweep and reduce one fleet-chunk at a time so peak memory stays at
-        # the chunk cap: only the chunk's PMFs are live, never the whole
-        # group's.  Per-fleet values are chunk-independent, so the split
-        # changes nothing bit-wise.
-        for lo in range(0, total, chunk):
-            hi = min(lo + chunk, total)
-            pmfs = joint_count_pmf_batch(crash[lo:hi], byz[lo:hi])
+        def reduce_chunk(lo: int, hi: int, pmfs: np.ndarray) -> None:
             for members in by_spec.values():
                 selected = [entry for entry in members if lo <= entry[3] < hi]
                 if not selected:
@@ -316,12 +436,49 @@ class ReliabilityEngine:
                     )
                     self._cache_put(key, result)
                     computed.append((index, scenario, result))
+
+        # Sweep and reduce one fleet-chunk at a time so peak memory stays
+        # near the chunk cap: only a bounded number of chunks' PMFs are live,
+        # never the whole group's.  Per-fleet values are chunk-independent,
+        # so the split changes nothing bit-wise.  Under a parallel policy the
+        # DP sweeps of up to ``jobs`` chunks run concurrently in threads (the
+        # DP releases the GIL inside NumPy; PMFs never cross a process
+        # boundary) while every reduction and cache write happens here, in
+        # chunk order — bit-identical to the serial sweep.
+        ranges = [(lo, min(lo + chunk, total)) for lo in range(0, total, chunk)]
+        if policy.parallel and len(ranges) > 1:
+            from repro.analysis.kernels import run_sharded
+
+            sweep = lambda bounds: joint_count_pmf_batch(  # noqa: E731
+                crash[bounds[0] : bounds[1]], byz[bounds[0] : bounds[1]]
+            )
+            for wave_start in range(0, len(ranges), policy.jobs):
+                wave = ranges[wave_start : wave_start + policy.jobs]
+                for (lo, hi), pmfs in zip(
+                    wave, run_sharded(sweep, wave, jobs=policy.jobs, mode="thread")
+                ):
+                    reduce_chunk(lo, hi, pmfs)
+        else:
+            for lo, hi in ranges:
+                reduce_chunk(lo, hi, joint_count_pmf_batch(crash[lo:hi], byz[lo:hi]))
         share = (time.perf_counter() - start) / batch_size
         provenance = Provenance(
             estimator="counting", batched=True, batch_size=batch_size, seconds=share
         )
         for index, scenario, result in computed:
             outcomes[index] = ScenarioOutcome(scenario, result, provenance)
+
+
+def _run_single_in_worker(
+    payload: tuple[Scenario, str, ExecutionPolicy]
+) -> tuple[ReliabilityResult, int, float]:
+    """Process-pool entry point: one scenario, resolved from the forked
+    global registry (per-engine overrides never reach this path)."""
+    scenario, method, policy = payload
+    estimator_fn = get_estimator(method)
+    start = time.perf_counter()
+    result, shards = estimate_under_policy(estimator_fn, scenario, policy, jobs=1)
+    return result, shards, time.perf_counter() - start
 
 
 _DEFAULT_ENGINE: ReliabilityEngine | None = None

@@ -1,0 +1,107 @@
+"""Execution policies: how the engine spreads a scenario set across cores.
+
+An :class:`ExecutionPolicy` is the engine-level counterpart of the
+``jobs=`` parameter on the sampling estimators: it picks an executor
+(``serial`` / ``thread`` / ``process``), a worker count and an optional
+shard size, and :meth:`repro.engine.ReliabilityEngine.run` uses it to
+
+* fan independent single-estimator scenarios out over the pool,
+* sweep the chunks of a shared counting-DP group concurrently, and
+* switch the built-in sampling estimators to spawned-stream sharding
+  (worker-count-independent, see :mod:`repro.analysis.kernels`).
+
+The determinism contract mirrors the kernel layer's: every value in an
+:class:`~repro.engine.EngineResult` depends on the scenarios and on
+``shard_trials`` — never on ``mode`` or ``jobs``.  With no policy (or the
+default :data:`SERIAL`), execution and results are byte-identical to the
+pre-policy engine, including the legacy single-stream sampling mode.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import InvalidConfigurationError
+
+#: Executor modes a policy may request.
+POLICY_MODES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How one :meth:`ReliabilityEngine.run` call executes.
+
+    ``mode``
+        ``"serial"`` — the historical in-process loop (the default);
+        ``"thread"`` — a thread pool (NumPy kernels release the GIL for
+        much of the hot path, and nothing needs to pickle);
+        ``"process"`` — a fork-based process pool (fully parallel Python;
+        scenarios and estimator outputs must pickle).
+    ``jobs``
+        Worker count (≥ 1).  ``jobs`` never influences result values —
+        only how many shards/scenarios are in flight at once.
+    ``shard_trials``
+        Optional per-shard trial budget for the sampling estimators under
+        this policy; ``None`` uses the kernel layer's default plan.  Part
+        of the determinism key (a different shard size is a different
+        spawned-stream plan).
+    """
+
+    mode: str = "serial"
+    jobs: int = 1
+    shard_trials: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in POLICY_MODES:
+            raise InvalidConfigurationError(
+                f"unknown execution mode {self.mode!r}; expected one of {POLICY_MODES}"
+            )
+        if self.jobs < 1:
+            raise InvalidConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.mode == "serial" and self.jobs != 1:
+            raise InvalidConfigurationError(
+                "serial execution cannot use multiple workers; pick mode='thread' "
+                "or mode='process'"
+            )
+        if self.shard_trials is not None and self.shard_trials <= 0:
+            raise InvalidConfigurationError(
+                f"shard_trials must be positive, got {self.shard_trials}"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this policy runs work outside the calling thread."""
+        return self.mode != "serial"
+
+    @property
+    def spawned_streams(self) -> bool:
+        """Whether sampling estimators use per-shard spawned streams.
+
+        Any non-serial policy does — including ``jobs=1`` — so that the
+        same policy family gives identical values at every worker count.
+        The serial policy keeps the legacy single stream (bit-compatible
+        with the pre-policy engine).
+        """
+        return self.mode != "serial"
+
+    @classmethod
+    def from_jobs(cls, jobs: int | None, *, mode: str = "process") -> "ExecutionPolicy":
+        """CLI-style constructor: ``--jobs N`` → a policy.
+
+        ``None``/``0`` → the serial (legacy-stream) policy.  Any explicit
+        ``N >= 1`` → a spawned-stream policy with ``N`` workers in
+        ``mode`` — including ``N = 1``, so the numbers a user sees are
+        identical for *every* ``--jobs`` value, as documented.  Negative
+        → one worker per available CPU (still the same numbers: shard
+        plans never depend on the worker count).
+        """
+        if jobs is None or jobs == 0:
+            return SERIAL
+        if jobs < 0:
+            jobs = os.cpu_count() or 1
+        return cls(mode=mode, jobs=jobs)
+
+
+#: The default policy: the historical serial, legacy-stream execution.
+SERIAL = ExecutionPolicy()

@@ -89,8 +89,19 @@ def _monte_carlo(scenario: Scenario) -> ReliabilityResult:
     )
 
 
-@register_estimator("importance")
-def _importance(scenario: Scenario) -> ReliabilityResult:
+#: Stable reference to the built-in Monte-Carlo estimator: the engine's
+#: policy-aware dispatch only shards *this* implementation.
+BUILTIN_MONTE_CARLO = _monte_carlo
+
+
+def _importance_impl(
+    scenario: Scenario,
+    *,
+    jobs: int | None = None,
+    sharding: str = "auto",
+    shard_trials: int | None = None,
+    pool: str = "process",
+) -> ReliabilityResult:
     """Rare-event estimator: three tilted runs, one per reliability metric."""
     from repro.analysis.importance import importance_sample_violation
 
@@ -103,6 +114,10 @@ def _importance(scenario: Scenario) -> ReliabilityResult:
             trials=scenario.trials,
             seed=scenario.seed,
             failure_kind=scenario.failure_kind,
+            jobs=jobs,
+            sharding=sharding,
+            shard_trials=shard_trials,
+            pool=pool,
         )
         estimates[predicate] = outcome.reliability
     return ReliabilityResult(
@@ -114,6 +129,78 @@ def _importance(scenario: Scenario) -> ReliabilityResult:
         method="importance",
         detail=f"tilted sampling, {scenario.trials} trials per predicate",
     )
+
+
+@register_estimator("importance")
+def _importance(scenario: Scenario) -> ReliabilityResult:
+    return _importance_impl(scenario)
+
+
+#: Stable reference to the built-in importance estimator (see above).
+BUILTIN_IMPORTANCE = _importance
+
+#: The stock estimators by name, frozen at import time.  A process-pool
+#: child started without fork re-imports this module and sees exactly
+#: these — so only (method, fn) pairs found here may be dispatched to a
+#: process pool; anything else (per-engine overrides, shadowed built-ins,
+#: third-party registrations) must run where its function object lives.
+_STOCK_ESTIMATORS: Dict[str, EstimatorFn] = dict(_ESTIMATORS)
+
+
+def is_stock_estimator(method: str, fn: EstimatorFn) -> bool:
+    """Whether ``fn`` is the stock estimator shipped under ``method``."""
+    return _STOCK_ESTIMATORS.get(method) is fn
+
+
+def estimate_under_policy(
+    estimator_fn: EstimatorFn,
+    scenario: Scenario,
+    policy,
+    *,
+    jobs: int | None = None,
+) -> tuple[ReliabilityResult, int]:
+    """Run one estimator under an :class:`~repro.engine.ExecutionPolicy`.
+
+    Returns ``(result, shards)``.  Only the built-in sampling estimators
+    understand policies: under a spawned-stream policy they shard their
+    trial budget (worker-count-independently) and the shard count lands in
+    the scenario's provenance.  Everything else — exact estimators,
+    per-engine overrides, third-party registrations, correlated scenarios
+    (whose models draw from one shared stream) — runs unchanged with
+    ``shards=1``.  ``jobs`` overrides the estimator-level worker count;
+    the engine passes 1 when it is already parallel at scenario
+    granularity, so pools never nest.
+    """
+    if policy is None or not policy.spawned_streams:
+        return estimator_fn(scenario), 1
+    workers = policy.jobs if jobs is None else jobs
+    if estimator_fn is BUILTIN_MONTE_CARLO and scenario.correlation is None:
+        from repro.analysis.kernels import plan_shards
+        from repro.analysis.montecarlo import monte_carlo_reliability
+
+        result = monte_carlo_reliability(
+            scenario.spec,
+            scenario.fleet,
+            trials=scenario.trials,
+            seed=scenario.seed,
+            jobs=workers,
+            sharding="spawn",
+            shard_trials=policy.shard_trials,
+            pool=policy.mode if workers > 1 else "serial",
+        )
+        return result, plan_shards(scenario.trials, policy.shard_trials).num_shards
+    if estimator_fn is BUILTIN_IMPORTANCE and scenario.correlation is None:
+        from repro.analysis.kernels import plan_shards
+
+        result = _importance_impl(
+            scenario,
+            jobs=workers,
+            sharding="spawn",
+            shard_trials=policy.shard_trials,
+            pool=policy.mode if workers > 1 else "serial",
+        )
+        return result, plan_shards(scenario.trials, policy.shard_trials).num_shards
+    return estimator_fn(scenario), 1
 
 
 __all__ = [

@@ -19,19 +19,26 @@ from repro.engine.scenario import Scenario
 
 @dataclass(frozen=True)
 class Provenance:
-    """How one scenario's numbers were obtained."""
+    """How one scenario's numbers were obtained.
+
+    ``shards`` counts the spawned-stream shards a sampling estimator split
+    its trial budget into under an :class:`~repro.engine.ExecutionPolicy`
+    (1 for exact estimators and for the legacy single-stream mode).
+    """
 
     estimator: str
     cache_hit: bool = False
     batched: bool = False
     batch_size: int = 1
     seconds: float = 0.0
+    shards: int = 1
 
     def describe(self) -> str:
         source = "cache" if self.cache_hit else (
             f"batch[{self.batch_size}]" if self.batched else "solo"
         )
-        return f"{self.estimator}/{source}"
+        suffix = f"/shards[{self.shards}]" if self.shards > 1 else ""
+        return f"{self.estimator}/{source}{suffix}"
 
 
 @dataclass(frozen=True)

@@ -458,3 +458,72 @@ class TestWorstConfigurations:
     def test_zero_limit(self):
         spec, fleet = RaftSpec(3), uniform_fleet(3, 0.2)
         assert worst_configurations(spec, fleet, limit=0) == []
+
+
+# ---------------------------------------------------------------------------
+# Chunk planning boundaries
+# ---------------------------------------------------------------------------
+class TestChunkSizes:
+    """Boundary behaviour of the per-chunk draw budget around _CHUNK_DRAWS."""
+
+    def test_partitions_trials_exactly(self):
+        from repro.analysis.kernels import _chunk_sizes
+
+        for trials, n in ((1, 1), (999, 7), (100_000, 25), (2_000_000, 3)):
+            sizes = _chunk_sizes(trials, n)
+            assert sum(sizes) == trials
+            assert all(size > 0 for size in sizes)
+
+    def test_trials_below_chunk_yield_single_undersized_chunk(self):
+        from repro.analysis.kernels import _CHUNK_DRAWS, _chunk_sizes
+
+        chunk = _CHUNK_DRAWS // 50
+        assert _chunk_sizes(chunk - 1, 50) == [chunk - 1]
+        assert _chunk_sizes(1, 50) == [1]
+
+    def test_exact_chunk_boundary(self):
+        from repro.analysis.kernels import _CHUNK_DRAWS, _chunk_sizes
+
+        chunk = _CHUNK_DRAWS // 50
+        assert _chunk_sizes(chunk, 50) == [chunk]
+        assert _chunk_sizes(chunk + 1, 50) == [chunk, 1]
+        assert _chunk_sizes(3 * chunk, 50) == [chunk] * 3
+
+    def test_huge_n_caps_chunks_at_one_trial(self):
+        from repro.analysis.kernels import _CHUNK_DRAWS, _chunk_sizes
+
+        # One trial of a fleet bigger than the draw budget already exceeds
+        # the budget: the split degrades to single-trial chunks instead of
+        # zero-sized ones.
+        assert _chunk_sizes(3, _CHUNK_DRAWS + 1) == [1, 1, 1]
+        assert _chunk_sizes(1, _CHUNK_DRAWS * 2) == [1]
+
+    def test_budget_edge_n_equal_to_chunk_draws(self):
+        from repro.analysis.kernels import _CHUNK_DRAWS, _chunk_sizes
+
+        assert _chunk_sizes(2, _CHUNK_DRAWS) == [1, 1]
+        assert _chunk_sizes(2, _CHUNK_DRAWS - 1) == [1, 1]
+
+    def test_non_positive_trials_yield_no_chunks(self):
+        from repro.analysis.kernels import _chunk_sizes
+
+        assert _chunk_sizes(0, 5) == []
+        assert _chunk_sizes(-3, 5) == []
+
+    def test_chunked_tally_equals_single_pass(self):
+        # The chunk split never changes seeded tallies: a fleet large enough
+        # to force several chunks gives the same counts as one big draw.
+        from repro.analysis.kernels import monte_carlo_tally
+
+        spec, fleet = RaftSpec(9), uniform_fleet(9, 0.05)
+        trials = 5000
+        tally = monte_carlo_tally(spec, fleet, trials, as_generator(123))
+        uniforms = as_generator(123).random((trials, 9))
+        crash_p = np.array(fleet.crash_probabilities)
+        byz_p = np.array(fleet.byzantine_probabilities)
+        failed = (uniforms < crash_p).sum(axis=1)
+        byz = ((uniforms >= crash_p) & (uniforms < crash_p + byz_p)).sum(axis=1)
+        safe = sum(
+            1 for c, b in zip(failed, byz) if spec.is_safe_counts(int(c), int(b))
+        )
+        assert tally.safe == safe

@@ -139,3 +139,43 @@ class TestParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["fnord"])
+
+
+class TestJobsFlag:
+    """--jobs fans work over workers without changing any printed number."""
+
+    def test_sweep_jobs_output_identical_to_serial(self, capsys):
+        assert main(["sweep", "--n", "9", "--p", "0.01,0.02,0.05"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["sweep", "--n", "9", "--p", "0.01,0.02,0.05", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_raft_jobs_output_identical_to_serial(self, capsys):
+        assert main(["raft", "--n", "5", "--p", "0.01"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["raft", "--n", "5", "--p", "0.01", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_scenarios_jobs_deterministic(self, capsys, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(
+            '{"grid": {"protocols": ["raft"], "sizes": [3, 5],'
+            ' "probabilities": [0.01], "method": "monte-carlo",'
+            ' "trials": 20000, "seed": 7}}'
+        )
+        import json
+
+        def values(text):
+            # Drop provenance flags: the second run legitimately hits the
+            # default engine's memo cache; the numbers must not move.
+            return [
+                {k: v for k, v in row.items() if k not in ("cache_hit", "batched")}
+                for row in json.loads(text)
+            ]
+
+        assert main(["scenarios", str(path), "--json", "--jobs", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(["scenarios", str(path), "--json", "--jobs", "2"]) == 0
+        assert values(capsys.readouterr().out) == values(first)
+        assert main(["scenarios", str(path), "--json", "--jobs", "3"]) == 0
+        assert values(capsys.readouterr().out) == values(first)
