@@ -88,6 +88,45 @@ def main() -> None:
         )
     print("  -> worker count never changes the numbers, only the wall-clock")
 
+    # -- 5. Time-domain queries: one QuerySet, four kinds of question ---
+    # A Query couples a Scenario with a *question*.  Point reliability is
+    # one kind; the same front door also answers steady-state availability
+    # and MTTF/MTTDL (exact CTMC solves, batched per chain) and runs
+    # seeded discrete-event simulation campaigns audited by the trace
+    # checker (replicas fanned across the policy's workers; answers never
+    # depend on the worker count).  One JSON file can mix all four — see
+    # `repro-analyze query questions.json`.
+    from repro.engine import (
+        AvailabilityQuery,
+        MTTFQuery,
+        QuerySet,
+        ReliabilityQuery,
+        SimulationQuery,
+    )
+
+    deployment = Scenario(
+        spec=RaftSpec(5), fleet=uniform_fleet(5, 0.05), seed=11, label="raft-5"
+    )
+    questions = QuerySet.build(
+        [
+            ReliabilityQuery(deployment),
+            AvailabilityQuery.from_afr(
+                deployment, afr=0.08, mttr_hours=24.0, window_hours=720.0
+            ),
+            MTTFQuery.from_afr(deployment, afr=0.08, mttr_hours=24.0),
+            SimulationQuery(deployment, replicas=8, duration=8.0, commands=3),
+        ]
+    )
+    print("\nOne deployment, every kind of question (one engine submission):")
+    for answer in engine.run(questions):
+        from repro.engine.result import describe_answer_value
+
+        print(
+            f"  {answer.kind:>12}: {describe_answer_value(answer.value)}"
+            f"  [{answer.provenance.describe()}]"
+        )
+    print("  -> reliability, availability, MTTF and audited runs share one API")
+
 
 if __name__ == "__main__":
     main()

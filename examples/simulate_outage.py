@@ -5,7 +5,11 @@ The paper's §2 warns that faults cluster (rollouts, rack incidents) and
 that the f-threshold model hides the resulting risk.  This example builds
 the same deployment twice and compares:
 
-* the analytical view — independent vs correlated failure models;
+* the analytical view — independent vs correlated failure models, asked
+  through the engine's Scenario front door;
+* the campaign view — a SimulationQuery through the same engine: many
+  seeded executions of the deployment, audited for agreement/progress,
+  reported as violation rates with Wilson bounds;
 * the executable view — a discrete-event Raft cluster suffering the
   correlated crash pattern mid-run, audited for agreement and progress;
 * the detection view — a φ-accrual failure detector watching the victims'
@@ -14,7 +18,8 @@ the same deployment twice and compares:
 Run:  python examples/simulate_outage.py
 """
 
-from repro.analysis import counting_reliability, format_probability, monte_carlo_correlated
+from repro.analysis import format_probability
+from repro.engine import Scenario, SimulationQuery, default_engine
 from repro.faults.correlation import CommonShockModel, ShockGroup
 from repro.faults.mixture import uniform_fleet
 from repro.planner.detector import PhiAccrualDetector
@@ -30,15 +35,49 @@ RACK_SHOCK = ShockGroup(members=(0, 1, 2), probability=0.03, name="rack-0 PDU")
 def analytical_comparison() -> None:
     fleet = uniform_fleet(N, P_FAIL)
     spec = RaftSpec(N)
-    independent = counting_reliability(spec, fleet)
-    correlated = monte_carlo_correlated(
-        spec, CommonShockModel(fleet, (RACK_SHOCK,)), trials=200_000, seed=7
-    )
+    engine = default_engine()
+    independent = engine.run_one(Scenario(spec=spec, fleet=fleet)).result
+    correlated = engine.run_one(
+        Scenario(
+            spec=spec,
+            fleet=fleet,
+            correlation=CommonShockModel(fleet, (RACK_SHOCK,)),
+            trials=200_000,
+            seed=7,
+        )
+    ).result
     print("analytical view (5-node Raft, 5% node failures):")
     print(f"  independent faults:   S&L {format_probability(independent.safe_and_live.value)}")
     print(f"  + rack-0 PDU shock:   S&L {format_probability(correlated.safe_and_live.value)}"
           f"  (95% CI [{correlated.safe_and_live.ci_low:.5f}, {correlated.safe_and_live.ci_high:.5f}])")
     print("  -> one 3%-likely correlated event dominates the risk budget\n")
+
+
+def campaign_view() -> None:
+    """Audited executions through the engine: the same front door that
+    answers the analytical question also runs the protocol for real."""
+    answer = default_engine().run_query(
+        SimulationQuery(
+            Scenario(
+                spec=RaftSpec(N),
+                fleet=uniform_fleet(N, P_FAIL),
+                seed=2025,
+                label="raft-5 campaign",
+            ),
+            replicas=12,
+            duration=8.0,
+            commands=3,
+        )
+    )
+    value = answer.value
+    lv = value.liveness_violation_rate
+    print("campaign view: 12 seeded executions via SimulationQuery")
+    print(f"  agreement violations: {value.safety_violations}/{value.replicas}")
+    print(f"  stalled runs:         {value.liveness_violations}/{value.replicas}"
+          f"  (rate {lv.value:.3f}, 95% CI [{lv.ci_low:.3f}, {lv.ci_high:.3f}])")
+    print(f"  predicate mismatches: {value.predicate_mismatches} "
+          f"(run verdicts vs the paper's Thm 3.2 classification)")
+    print(f"  provenance:           {answer.provenance.describe()}\n")
 
 
 def executable_replay() -> None:
@@ -91,6 +130,7 @@ def detection_view() -> None:
 
 def main() -> None:
     analytical_comparison()
+    campaign_view()
     executable_replay()
     detection_view()
 

@@ -27,11 +27,18 @@ The classic one-shot helper is a shim over the same engine:
 """
 
 from repro.engine import (
+    AnswerSet,
+    AvailabilityQuery,
     EngineResult,
+    MTTFQuery,
+    QuerySet,
     ReliabilityEngine,
+    ReliabilityQuery,
     Scenario,
     ScenarioSet,
+    SimulationQuery,
     default_engine,
+    register_backend,
     register_estimator,
 )
 from repro.analysis import (
@@ -74,10 +81,17 @@ __all__ = [
     # engine
     "Scenario",
     "ScenarioSet",
+    "QuerySet",
+    "ReliabilityQuery",
+    "AvailabilityQuery",
+    "MTTFQuery",
+    "SimulationQuery",
     "ReliabilityEngine",
     "EngineResult",
+    "AnswerSet",
     "default_engine",
     "register_estimator",
+    "register_backend",
     # analysis
     "analyze",
     "counting_reliability",

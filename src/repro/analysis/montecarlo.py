@@ -60,11 +60,21 @@ def wilson_interval(successes: int, trials: int, z: float = _Z95) -> tuple[float
     return max(0.0, centre - margin), min(1.0, centre + margin)
 
 
-def _estimate(successes: int, trials: int) -> Estimate:
+def estimate_from_counts(successes: int, trials: int) -> Estimate:
+    """Binomial proportion as an :class:`Estimate` with a Wilson 95% CI.
+
+    The one construction every sampling consumer shares — the Monte-Carlo
+    estimators, predicate sampling, and the engine's simulation-campaign
+    violation rates — so the CI convention cannot drift between them.
+    """
     phat = successes / trials
     stderr = math.sqrt(max(phat * (1 - phat), 1e-300) / trials)
     low, high = wilson_interval(successes, trials)
     return Estimate(value=phat, stderr=stderr, ci_low=low, ci_high=high)
+
+
+#: Historical private alias (predates the public name).
+_estimate = estimate_from_counts
 
 
 def sample_configuration(fleet: Fleet, rng: np.random.Generator) -> FailureConfig:

@@ -9,22 +9,27 @@ Subcommands::
     repro-analyze plan  --target-nines 3.5        # cheapest plan for a target
     repro-analyze sweep --n 25 --p 0.01,0.02,0.05 # batched what-if sweep
     repro-analyze scenarios deployments.json      # JSON scenario file -> engine
+    repro-analyze query questions.json            # mixed query kinds -> engine
     repro-analyze sensitivity --n 7 --p 0.08,0.08,0.08,0.08,0.01,0.01,0.01
     repro-analyze committee --n 100 --p 0.01 --target-nines 4
-    repro-analyze mttf --n 5 --afr 0.08 --mttr-hours 24
+    repro-analyze mttf --n 5 --afr 0.08 --mttr-hours 24 [--json]
 
 Every estimation routes through the reliability engine
 (:mod:`repro.engine`), so sweeps and tables share batched DP sweeps and
 the engine's memo cache.  ``scenarios`` is the front door for arbitrary
-workloads: a JSON file of scenario dicts (or a grid description) runs
-through :meth:`ReliabilityEngine.run` and prints per-scenario results
-with provenance.
+reliability workloads: a JSON file of scenario dicts (or a grid
+description) runs through :meth:`ReliabilityEngine.run` and prints
+per-scenario results with provenance.  ``query`` generalizes it to the
+time domain: one JSON file may mix ``reliability``, ``availability``,
+``mttf`` and ``simulation`` questions, each routed to its engine backend
+(shared CTMC solves; sharded simulation campaigns).  ``mttf`` itself is
+answered by those backends.
 
-``raft``/``pbft``/``sweep``/``scenarios`` take ``--jobs N`` to fan work
-over ``N`` worker processes (sharded counting-DP sweeps; spawned-stream
-Monte-Carlo).  Results are identical for any ``N``; leaving ``--jobs``
-unset keeps the serial legacy-stream path, byte-identical to older
-releases.
+``raft``/``pbft``/``sweep``/``scenarios``/``query`` take ``--jobs N`` to
+fan work over ``N`` worker processes (sharded counting-DP sweeps;
+spawned-stream Monte-Carlo; simulation replica fan-out).  Results are
+identical for any ``N``; leaving ``--jobs`` unset keeps the serial
+legacy-stream path, byte-identical to older releases.
 
 Prints paper-style tables to stdout; exits non-zero on invalid input.
 """
@@ -317,23 +322,85 @@ def _cmd_committee(args: argparse.Namespace) -> int:
 
 
 def _cmd_mttf(args: argparse.Namespace) -> int:
-    from repro.faults.afr import afr_to_hourly_rate
-    from repro.markov.builders import ClusterMarkovModel
+    """Storage-style Markov metrics, answered by the engine's time-domain
+    backends (one MTTFQuery + one AvailabilityQuery sharing the chain)."""
+    import json
 
-    model = ClusterMarkovModel(
-        args.n, afr_to_hourly_rate(args.afr), 1.0 / args.mttr_hours
+    from repro.engine import AvailabilityQuery, MTTFQuery, default_engine
+
+    answers = default_engine().run(
+        [
+            MTTFQuery.for_cluster(
+                args.n, afr=args.afr, mttr_hours=args.mttr_hours, label=f"mttf/n={args.n}"
+            ),
+            AvailabilityQuery.for_cluster(
+                args.n, afr=args.afr, mttr_hours=args.mttr_hours, label=f"mttf/n={args.n}"
+            ),
+        ]
     )
-    quorum = args.n // 2 + 1
+    mttf, availability = answers[0].value, answers[1].value
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "n": args.n,
+                    "afr": args.afr,
+                    "mttr_hours": args.mttr_hours,
+                    "quorum_size": mttf.quorum_size,
+                    "mttf_hours": mttf.mttf_hours,
+                    "mttf_years": mttf.mttf_years,
+                    "mttdl_hours": mttf.mttdl_hours,
+                    "mttdl_years": mttf.mttdl_years,
+                    "availability": availability.availability,
+                    "availability_nines": availability.availability_nines,
+                },
+                indent=2,
+            )
+        )
+        return 0
     rows = [
         [
             str(args.n),
-            f"{model.mttf_liveness(quorum) / 8766.0:.3e}",
-            f"{model.mttdl(quorum) / 8766.0:.3e}",
-            f"{model.steady_state_availability(quorum):.10f}",
+            f"{mttf.mttf_years:.3e}",
+            f"{mttf.mttdl_years:.3e}",
+            f"{availability.availability:.10f}",
         ]
     ]
     print(f"Markov metrics: AFR={args.afr:.1%}, MTTR={args.mttr_hours}h, majority quorums")
     _print_table(["N", "MTTF-liveness (yr)", "MTTDL (yr)", "availability"], rows)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Run a mixed JSON query file through the engine's backends."""
+    import json
+    from pathlib import Path
+
+    from repro.engine import QuerySet, default_engine
+    from repro.errors import ReproError
+
+    path = Path(args.file)
+    if not path.exists():
+        raise SystemExit(f"query file not found: {path}")
+    try:
+        query_set = QuerySet.from_json(path.read_text())
+    except (ReproError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid query file {path}: {exc}")
+    if not len(query_set):
+        raise SystemExit(f"query file {path} contains no queries")
+    answers = default_engine().run(query_set, policy=_policy_from_args(args))
+    if args.json:
+        print(json.dumps([answer.to_dict() for answer in answers], indent=2))
+        return 0
+    rows = [
+        [row["label"], row["kind"], row["N"], row["answer"], row["via"]]
+        for row in answers.table()
+    ]
+    print(
+        f"Queries: {len(answers)} answered through the engine "
+        f"({answers.cache_hits} cache hits)"
+    )
+    _print_table(["query", "kind", "N", "answer", "via"], rows)
     return 0
 
 
@@ -432,7 +499,21 @@ def build_parser() -> argparse.ArgumentParser:
     mttf.add_argument("--n", type=int, required=True)
     mttf.add_argument("--afr", type=float, required=True, help="per-node annual failure rate")
     mttf.add_argument("--mttr-hours", type=float, default=24.0)
+    mttf.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON metrics"
+    )
     mttf.set_defaults(func=_cmd_mttf)
+
+    query = sub.add_parser(
+        "query",
+        help="run a mixed JSON query file (reliability/availability/mttf/simulation)",
+    )
+    query.add_argument("file", help="path to a query JSON file")
+    query.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON answers"
+    )
+    _add_jobs_flag(query)
+    query.set_defaults(func=_cmd_query)
 
     return parser
 

@@ -20,16 +20,50 @@ Every consumer in this repository (``analyze``/``analyze_batch``, the
 planner, committee search, horizon sweeps, the CLI) now routes through
 here, so batch execution is the default path, not something each caller
 reinvents.
+
+Beyond point reliability, the engine answers *time-domain* questions
+through the same front door: a :class:`Query` couples a scenario with a
+question kind (:class:`ReliabilityQuery`, :class:`AvailabilityQuery`,
+:class:`MTTFQuery`, :class:`SimulationQuery`) and a mixed
+:class:`QuerySet` routes each row to the backend registered for its kind
+(:func:`register_backend`), batching same-chain CTMC solves and fanning
+simulation replicas across the :class:`ExecutionPolicy` pool.  Answers
+come back as a typed :class:`AnswerSet` whose :class:`Provenance` records
+backend, batch and shard counts.
 """
 
 from repro.engine.engine import ReliabilityEngine, default_engine
 from repro.engine.execution import ExecutionPolicy
+from repro.engine.query import (
+    AvailabilityQuery,
+    MTTFQuery,
+    Query,
+    QuerySet,
+    ReliabilityQuery,
+    SimulationQuery,
+    query_from_dict,
+    register_query_kind,
+    registered_query_kinds,
+)
 from repro.engine.registry import (
+    get_backend,
     get_estimator,
+    register_backend,
     register_estimator,
+    registered_backends,
     registered_estimators,
 )
-from repro.engine.result import EngineResult, Provenance, ScenarioOutcome
+from repro.engine.result import (
+    Answer,
+    AnswerSet,
+    AvailabilityAnswer,
+    EngineResult,
+    MTTFAnswer,
+    Provenance,
+    ScenarioOutcome,
+    SimulationAnswer,
+)
+from repro.engine.backends import register_simulation_factory
 from repro.engine.scenario import (
     Scenario,
     ScenarioSet,
@@ -42,15 +76,33 @@ from repro.engine.scenario import (
 __all__ = [
     "Scenario",
     "ScenarioSet",
+    "Query",
+    "QuerySet",
+    "ReliabilityQuery",
+    "AvailabilityQuery",
+    "MTTFQuery",
+    "SimulationQuery",
     "ReliabilityEngine",
     "ExecutionPolicy",
     "EngineResult",
     "ScenarioOutcome",
+    "Answer",
+    "AnswerSet",
+    "AvailabilityAnswer",
+    "MTTFAnswer",
+    "SimulationAnswer",
     "Provenance",
     "default_engine",
     "register_estimator",
     "get_estimator",
     "registered_estimators",
+    "register_backend",
+    "get_backend",
+    "registered_backends",
+    "register_query_kind",
+    "registered_query_kinds",
+    "query_from_dict",
+    "register_simulation_factory",
     "SpecCodec",
     "register_spec_codec",
     "spec_to_dict",

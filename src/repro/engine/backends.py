@@ -1,0 +1,422 @@
+"""Built-in query backends: reliability, availability, MTTF, simulation.
+
+Each backend answers one same-kind batch of queries from a single
+:meth:`~repro.engine.ReliabilityEngine.run` call:
+
+``reliability``
+    Delegates the scenarios back to the engine's scenario planner, so the
+    whole PR 2/3 machinery (shared counting-DP sweeps, LRU memo, policy
+    fan-out, spawned-stream sharding) applies unchanged; the resulting
+    outcomes are re-wrapped as :class:`~repro.engine.result.Answer`\\ s.
+``availability`` / ``mttf``
+    CTMC questions batched *per chain*: queries whose
+    :meth:`~repro.engine.query._MarkovQuery.chain_key` matches share one
+    :class:`~repro.markov.builders.ClusterMarkovModel` solve (one
+    steady-state system for availability; one absorption system per
+    distinct threshold for MTTF/MTTDL), and every per-query value is
+    produced by the same builder methods a direct caller would use — so
+    answers are bit-identical to :mod:`repro.markov.builders`.
+``simulation``
+    Seeded discrete-event campaigns: replica ``i`` draws from child ``i``
+    of the query seed's ``SeedSequence`` (the PR 3 spawned-stream
+    contract) and replicas are fanned across the
+    :class:`~repro.engine.ExecutionPolicy` pool in
+    :func:`~repro.analysis.kernels.plan_shards` chunks, so the audited
+    verdict counts depend only on ``(replicas, seed)`` — never on the
+    worker count or executor mode.
+
+Deterministic time-domain answers (Markov always; simulation when the
+scenario seed is an ``int``) participate in the engine's bounded LRU memo
+under kind-prefixed keys, so repeated questions — a planner loop asking
+for the same availability, a re-submitted query file — are answered from
+cache with ``cache_hit`` provenance exactly like reliability scenarios.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.engine.query import (
+    AvailabilityQuery,
+    MTTFQuery,
+    Query,
+    SimulationQuery,
+)
+from repro.engine.registry import register_backend
+from repro.engine.result import (
+    Answer,
+    AvailabilityAnswer,
+    MTTFAnswer,
+    Provenance,
+    SimulationAnswer,
+)
+from repro.errors import EstimationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import ReliabilityEngine
+    from repro.engine.execution import ExecutionPolicy
+    from repro.protocols.base import ProtocolSpec
+
+
+# ---------------------------------------------------------------------------
+# Reliability: delegate to the scenario planner
+# ---------------------------------------------------------------------------
+@register_backend("reliability")
+def reliability_backend(
+    engine: "ReliabilityEngine",
+    queries: Sequence[Query],
+    policy: "ExecutionPolicy",
+) -> list[Answer]:
+    from dataclasses import replace
+
+    outcomes = engine.run([query.scenario for query in queries], policy=policy)
+    return [
+        Answer(
+            query=query,
+            value=outcome.result,
+            provenance=replace(outcome.provenance, backend="reliability"),
+        )
+        for query, outcome in zip(queries, outcomes)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Markov backends: one CTMC solve per chain
+# ---------------------------------------------------------------------------
+def _cluster_model(query):
+    from repro.markov.builders import ClusterMarkovModel
+
+    return ClusterMarkovModel(
+        query.n,
+        query.failure_rate_per_hour,
+        query.repair_rate_per_hour,
+        repair_slots=query.repair_slots,
+    )
+
+
+def _run_markov_kind(
+    engine: "ReliabilityEngine",
+    queries: Sequence[Query],
+    *,
+    kind: str,
+    question_key,
+    answer_pending,
+) -> list[Answer]:
+    """Shared per-chain scaffolding of the two CTMC backends.
+
+    Groups queries by :meth:`~repro.engine.query._MarkovQuery.chain_key`,
+    serves memo hits (keys are ``(kind, chain_key) + question_key(q)``),
+    and hands each chain's remaining queries to ``answer_pending`` — which
+    performs at most one CTMC solve per distinct linear system and returns
+    one value per query, in order.
+    """
+    answers: list[Answer | None] = [None] * len(queries)
+    groups: dict[tuple, list[int]] = {}
+    for index, query in enumerate(queries):
+        groups.setdefault(query.chain_key(), []).append(index)
+    for chain_key, indices in groups.items():
+        start = time.perf_counter()
+        batch_size = len(indices)
+        pending: list[tuple[int, tuple]] = []
+        for index in indices:
+            query = queries[index]
+            key = (kind, chain_key) + question_key(query)
+            cached = engine.cache_lookup(key)
+            if cached is not None:
+                answers[index] = Answer(
+                    query,
+                    cached,
+                    Provenance(estimator="ctmc", cache_hit=True, backend=kind),
+                )
+            else:
+                pending.append((index, key))
+        if not pending:
+            continue
+        values = answer_pending([queries[index] for index, _ in pending])
+        share = (time.perf_counter() - start) / len(pending)
+        provenance = Provenance(
+            estimator="ctmc",
+            batched=batch_size > 1,
+            batch_size=batch_size,
+            seconds=share,
+            backend=kind,
+        )
+        for (index, key), value in zip(pending, values):
+            engine.cache_store(key, value)
+            answers[index] = Answer(queries[index], value, provenance)
+    assert all(answer is not None for answer in answers)
+    return answers  # type: ignore[return-value]
+
+
+@register_backend("availability")
+def availability_backend(
+    engine: "ReliabilityEngine",
+    queries: Sequence[AvailabilityQuery],
+    policy: "ExecutionPolicy",
+) -> list[Answer]:
+    def answer_pending(pending: Sequence[AvailabilityQuery]):
+        model = _cluster_model(pending[0])
+        pi = model.steady_state_distribution()  # the one solve for this chain
+        return [
+            AvailabilityAnswer(
+                quorum_size=query.resolved_quorum,
+                availability=model.steady_state_availability(
+                    query.resolved_quorum, pi=pi
+                ),
+                window_hours=query.window_hours,
+                window_unavailability=(
+                    None
+                    if query.window_hours is None
+                    else model.window_unavailability(
+                        query.resolved_quorum, query.window_hours
+                    )
+                ),
+            )
+            for query in pending
+        ]
+
+    return _run_markov_kind(
+        engine,
+        queries,
+        kind="availability",
+        question_key=lambda q: (q.resolved_quorum, q.window_hours),
+        answer_pending=answer_pending,
+    )
+
+
+@register_backend("mttf")
+def mttf_backend(
+    engine: "ReliabilityEngine",
+    queries: Sequence[MTTFQuery],
+    policy: "ExecutionPolicy",
+) -> list[Answer]:
+    def answer_pending(pending: Sequence[MTTFQuery]):
+        model = _cluster_model(pending[0])
+        hitting_times: dict[int, float] = {}  # threshold -> one solve each
+
+        def mean_hours(threshold: int) -> float:
+            # MTTF with an unreachable threshold is 0.0 by the same
+            # convention as ClusterMarkovModel.mttf_liveness.
+            if threshold <= 0:
+                return 0.0
+            value = hitting_times.get(threshold)
+            if value is None:
+                value = model.mean_time_to_failure_count(threshold)
+                hitting_times[threshold] = value
+            return value
+
+        return [
+            MTTFAnswer(
+                quorum_size=query.resolved_quorum,
+                persistence_quorum=query.resolved_persistence_quorum,
+                mttf_hours=mean_hours(query.n - query.resolved_quorum + 1),
+                mttdl_hours=mean_hours(query.resolved_persistence_quorum),
+            )
+            for query in pending
+        ]
+
+    return _run_markov_kind(
+        engine,
+        queries,
+        kind="mttf",
+        question_key=lambda q: (q.resolved_quorum, q.resolved_persistence_quorum),
+        answer_pending=answer_pending,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Simulation backend: sharded seeded campaigns
+# ---------------------------------------------------------------------------
+#: spec type -> node-factory builder for simulation campaigns.
+_SIM_FACTORIES: list[tuple[type, Callable]] = []
+
+
+def register_simulation_factory(spec_type: type, build: Callable) -> None:
+    """Make a protocol family runnable by :class:`SimulationQuery`.
+
+    ``build(spec)`` must return a :data:`repro.sim.cluster.NodeFactory`
+    whose nodes realise ``spec``'s quorum rules.  Later registrations take
+    precedence, and subclasses are matched most-derived-first.
+    """
+    _SIM_FACTORIES.insert(0, (spec_type, build))
+
+
+def _builtin_factories() -> None:
+    from repro.protocols.pbft import PBFTSpec
+    from repro.protocols.raft import RaftSpec
+
+    def build_raft(spec):
+        from repro.sim.raft import raft_node_factory
+
+        return raft_node_factory(q_per=spec.q_per, q_vc=spec.q_vc)
+
+    def build_pbft(spec):
+        from repro.sim.pbft import pbft_node_factory
+
+        return pbft_node_factory(
+            q_eq=spec.q_eq, q_per=spec.q_per, q_vc=spec.q_vc, q_vc_t=spec.q_vc_t
+        )
+
+    # RaftSpec registered first so PBFT (and any third-party family)
+    # matches ahead of it; FlexibleRaftSpec rides the RaftSpec entry.
+    register_simulation_factory(RaftSpec, build_raft)
+    register_simulation_factory(PBFTSpec, build_pbft)
+
+
+_builtin_factories()
+
+
+def _node_factory_for(spec: "ProtocolSpec"):
+    for spec_type, build in _SIM_FACTORIES:
+        if isinstance(spec, spec_type):
+            return build(spec)
+    raise EstimationError(
+        f"no simulation node factory registered for {type(spec).__qualname__}; "
+        "use repro.engine.backends.register_simulation_factory() to add one"
+    )
+
+
+#: Target chunk count when fanning a campaign's replicas across workers.
+_SIM_SHARD_GRAIN = 16
+
+
+def _run_replica(spec, fleet, duration, commands, crash_window, rng):
+    """One seeded execution: sample faults, run the cluster, audit the trace.
+
+    Everything stochastic draws from ``rng`` — the replica's private
+    spawned stream — so the triple returned depends only on that stream.
+    """
+    from repro.analysis.montecarlo import sample_configuration
+    from repro.sim.checker import audit_run
+    from repro.sim.cluster import Cluster
+    from repro.sim.failures import plan_from_config
+
+    from repro.engine.query import _COMMAND_INTERVAL, _COMMANDS_START
+
+    config = sample_configuration(fleet, rng)
+    cluster = Cluster(fleet.n, _node_factory_for(spec), seed=rng)
+    plan_from_config(
+        config, duration=duration, crash_window=crash_window, seed=rng
+    ).apply(cluster)
+    cluster.start()
+    values = [f"cmd-{i}" for i in range(commands)]
+    at = _COMMANDS_START
+    for value in values:
+        cluster.submit(value, at=at)
+        at += _COMMAND_INTERVAL
+    cluster.run_until(duration)
+    correct = sorted(set(range(fleet.n)) - set(config.failed_indices))
+    verdict = audit_run(cluster.trace, values, correct_nodes=correct)
+    predicted_live = spec.is_live(config)
+    return (
+        not verdict.safe,
+        not verdict.live,
+        verdict.live != predicted_live,
+    )
+
+
+def _campaign_chunk(payload):
+    """Worker entry point: one shard of replicas, verdicts in replica order."""
+    spec, fleet, duration, commands, crash_window, rngs = payload
+    return [
+        _run_replica(spec, fleet, duration, commands, crash_window, rng)
+        for rng in rngs
+    ]
+
+
+@register_backend("simulation")
+def simulation_backend(
+    engine: "ReliabilityEngine",
+    queries: Sequence[SimulationQuery],
+    policy: "ExecutionPolicy",
+) -> list[Answer]:
+    import numpy as np
+
+    from repro.analysis.kernels import (
+        plan_shards,
+        run_sharded,
+        spawn_shard_generators,
+    )
+    from repro.analysis.montecarlo import estimate_from_counts
+
+    answers: list[Answer] = []
+    for query in queries:
+        scenario = query.scenario
+        seed = scenario.seed
+        key = None
+        if isinstance(seed, (int, np.integer)):
+            key = (
+                "simulation",
+                scenario.spec.grouping_key(),
+                scenario.fleet_key(),
+                query.replicas,
+                query.duration,
+                query.commands,
+                query.crash_window,
+                int(seed),
+            )
+            cached = engine.cache_lookup(key)
+            if cached is not None:
+                answers.append(
+                    Answer(
+                        query,
+                        cached,
+                        Provenance(
+                            estimator="des", cache_hit=True, backend="simulation"
+                        ),
+                    )
+                )
+                continue
+        start = time.perf_counter()
+        # One spawned stream per *replica* (not per shard): replica i's
+        # verdict depends only on (seed, i), making the campaign invariant
+        # to worker count AND chunking.  plan_shards then merely groups
+        # replicas into pool-sized work items.
+        rngs = spawn_shard_generators(seed, query.replicas)
+        chunk = policy.shard_trials or max(1, -(-query.replicas // _SIM_SHARD_GRAIN))
+        plan = plan_shards(query.replicas, chunk)
+        payloads = []
+        offset = 0
+        for shard in plan.shards:
+            payloads.append(
+                (
+                    scenario.spec,
+                    scenario.fleet,
+                    query.duration,
+                    query.commands,
+                    query.crash_window,
+                    rngs[offset : offset + shard],
+                )
+            )
+            offset += shard
+        jobs = policy.jobs if policy.parallel else 1
+        mode = policy.mode if policy.parallel else "serial"
+        chunks = run_sharded(_campaign_chunk, payloads, jobs=jobs, mode=mode)
+        verdicts = [triple for chunk_result in chunks for triple in chunk_result]
+        unsafe = sum(1 for u, _, _ in verdicts if u)
+        stalled = sum(1 for _, s, _ in verdicts if s)
+        mismatched = sum(1 for _, _, m in verdicts if m)
+        value = SimulationAnswer(
+            replicas=query.replicas,
+            safety_violations=unsafe,
+            liveness_violations=stalled,
+            predicate_mismatches=mismatched,
+            safety_violation_rate=estimate_from_counts(unsafe, query.replicas),
+            liveness_violation_rate=estimate_from_counts(stalled, query.replicas),
+        )
+        if key is not None:
+            engine.cache_store(key, value)
+        answers.append(
+            Answer(
+                query,
+                value,
+                Provenance(
+                    estimator="des",
+                    seconds=time.perf_counter() - start,
+                    shards=plan.num_shards,
+                    backend="simulation",
+                ),
+            )
+        )
+    return answers

@@ -31,14 +31,21 @@ import numpy as np
 
 from repro.analysis.result import Estimate, ReliabilityResult
 from repro.engine.execution import SERIAL, ExecutionPolicy
+from repro.engine.query import Query, QuerySet, coerce_query
 from repro.engine.registry import (
     BUILTIN_COUNTING,
+    BackendFn,
     EstimatorFn,
     estimate_under_policy,
+    get_backend,
     get_estimator,
 )
-from repro.engine.result import EngineResult, Provenance, ScenarioOutcome
+from repro.engine.result import AnswerSet, EngineResult, Provenance, ScenarioOutcome
 from repro.engine.scenario import Scenario, ScenarioSet
+
+# Importing the backends module registers the built-in query backends
+# (reliability / availability / mttf / simulation) with the registry.
+import repro.engine.backends  # noqa: F401  (import-for-effect)
 
 #: Above this configuration count, auto selection stops considering
 #: enumeration (mirrors the historical ``analyze`` threshold).
@@ -89,13 +96,14 @@ class ReliabilityEngine:
         policy: ExecutionPolicy | None = None,
     ):
         self._overrides: dict[str, EstimatorFn] = dict(estimators or {})
+        self._backend_overrides: dict[str, BackendFn] = {}
         self._cache_size = max(0, int(cache_size))
         self._policy = policy if policy is not None else SERIAL
-        self._memo: OrderedDict[tuple, ReliabilityResult] = OrderedDict()
+        self._memo: OrderedDict[tuple, object] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
 
-    # -- estimator resolution ---------------------------------------------
+    # -- estimator / backend resolution -----------------------------------
     def estimator(self, name: str) -> EstimatorFn:
         override = self._overrides.get(name)
         return override if override is not None else get_estimator(name)
@@ -104,9 +112,39 @@ class ReliabilityEngine:
         """Install a per-engine estimator override."""
         self._overrides[name] = fn
 
+    def backend(self, kind: str) -> BackendFn:
+        override = self._backend_overrides.get(kind)
+        return override if override is not None else get_backend(kind)
+
+    def register_backend(self, kind: str, fn: BackendFn) -> None:
+        """Install a per-engine query-backend override."""
+        self._backend_overrides[kind] = fn
+
     # -- memo cache --------------------------------------------------------
     def cache_clear(self) -> None:
         self._memo.clear()
+
+    def cache_lookup(self, key: tuple | None):
+        """Public memo probe for query backends.
+
+        Refreshes LRU recency and counts a hit or miss; returns ``None``
+        when the key is absent or uncacheable.  Backends prefix their keys
+        with the query kind, so they can never collide with the scenario
+        planner's estimator-keyed entries.
+        """
+        if key is None or self._cache_size == 0:
+            return None
+        value = self._memo.get(key)
+        if value is not None:
+            self._memo.move_to_end(key)
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        return value
+
+    def cache_store(self, key: tuple | None, value) -> None:
+        """Public memo insert for query backends (bounded, LRU eviction)."""
+        self._cache_put(key, value)
 
     def _cache_get(self, key: tuple | None) -> ReliabilityResult | None:
         if key is None or self._cache_size == 0:
@@ -132,12 +170,24 @@ class ReliabilityEngine:
         """Answer a single scenario (cache-aware, no batching)."""
         return self.run([scenario], policy=policy)[0]
 
+    def run_query(self, query: Query, policy: ExecutionPolicy | None = None):
+        """Answer a single query (cache-aware, no cross-query batching)."""
+        return self.run([query], policy=policy)[0]
+
     def run(
         self,
-        scenarios: ScenarioSet | Iterable[Scenario],
+        scenarios: QuerySet | ScenarioSet | Iterable[Query | Scenario],
         policy: ExecutionPolicy | None = None,
-    ) -> EngineResult:
-        """Plan and execute a whole scenario set.
+    ) -> EngineResult | AnswerSet:
+        """Plan and execute a whole scenario or query set.
+
+        A :class:`~repro.engine.QuerySet` (or any iterable containing
+        :class:`~repro.engine.query.Query` objects; bare scenarios mixed
+        in default to ``ReliabilityQuery``) routes each row to its kind's
+        backend and returns an :class:`~repro.engine.AnswerSet` — see
+        :meth:`_run_queries`.  A bare :class:`ScenarioSet` takes the
+        historical scenario path below, bit-identical to every release
+        since PR 2.
 
         Outcomes come back in submission order.  Counting scenarios are
         grouped by fleet size into shared DP sweeps over the *unique*
@@ -154,6 +204,11 @@ class ReliabilityEngine:
         worker count or executor mode — and the serial policy is
         byte-identical to the pre-policy engine.
         """
+        if isinstance(scenarios, QuerySet):
+            return self._run_queries(list(scenarios), policy)
+        scenarios = list(scenarios)
+        if any(isinstance(item, Query) for item in scenarios):
+            return self._run_queries(scenarios, policy)
         active = policy if policy is not None else self._policy
         spawned = active.spawned_streams
         items = list(scenarios)
@@ -281,6 +336,41 @@ class ReliabilityEngine:
 
         assert all(outcome is not None for outcome in outcomes)
         return EngineResult(tuple(outcomes))  # type: ignore[arg-type]
+
+    def _run_queries(
+        self,
+        items: Sequence[Query | Scenario],
+        policy: ExecutionPolicy | None,
+    ) -> AnswerSet:
+        """Route a mixed-kind query batch to its backends.
+
+        Queries are grouped by kind (submission order preserved within
+        each group) and each group is handed to the backend registered
+        for that kind — per-engine overrides first, then the global
+        registry.  Backends batch internally (shared DP sweeps, shared
+        CTMC solves, sharded replica fan-out) and answers are scattered
+        back into submission order.
+        """
+        from repro.errors import EstimationError
+
+        active = policy if policy is not None else self._policy
+        queries = [coerce_query(item) for item in items]
+        answers: list = [None] * len(queries)
+        by_kind: dict[str, list[int]] = {}
+        for index, query in enumerate(queries):
+            by_kind.setdefault(query.kind, []).append(index)
+        for kind, indices in by_kind.items():
+            backend = self.backend(kind)
+            group = backend(self, [queries[i] for i in indices], active)
+            if len(group) != len(indices):
+                raise EstimationError(
+                    f"backend for {kind!r} returned {len(group)} answers "
+                    f"for {len(indices)} queries"
+                )
+            for index, answer in zip(indices, group):
+                answers[index] = answer
+        assert all(answer is not None for answer in answers)
+        return AnswerSet(tuple(answers))
 
     def _run_singles_parallel(
         self,

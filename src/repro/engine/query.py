@@ -1,0 +1,528 @@
+"""Typed queries: a scenario plus the *question* being asked of it.
+
+PR 2 made the :class:`~repro.engine.Scenario` the unit of work, but the
+engine could only answer one question shape — point reliability of a spec
+over a fleet within one window.  The time-domain questions the paper pairs
+with it (MTTF/MTTDL and steady-state availability from
+:mod:`repro.markov`, trace-driven safety/liveness campaigns from
+:mod:`repro.sim`) lived behind free-function side doors with ad-hoc result
+types and none of the engine's batching, caching, sharding or provenance.
+
+A :class:`Query` couples a scenario with a question kind:
+
+``ReliabilityQuery``
+    Today's behaviour, unchanged — the scenario's estimator answers it.
+``AvailabilityQuery``
+    Steady-state availability (and optional window unavailability) of the
+    repairable cluster, from the CTMC builders.
+``MTTFQuery``
+    Mean time to losing liveness (MTTF) and to losing data (MTTDL).
+``SimulationQuery``
+    ``replicas`` seeded discrete-event protocol executions audited by
+    :func:`repro.sim.checker.audit_run`, reported as violation rates with
+    Wilson bounds.
+
+:class:`QuerySet` is the mixed-kind batch the engine executes; it carries
+the same dict/JSON codecs as :class:`~repro.engine.ScenarioSet`, so one
+``scenarios.json`` file can mix reliability, availability, MTTF and
+simulation questions.  Each kind routes to a backend registered via
+:func:`repro.engine.registry.register_backend`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import ClassVar, Iterable, Iterator, Mapping, Type
+
+from repro.errors import InvalidConfigurationError
+from repro.faults.afr import afr_to_hourly_rate
+from repro.faults.mixture import uniform_fleet
+from repro.engine.scenario import Scenario, ScenarioSet
+from repro.protocols.raft import RaftSpec, majority
+
+#: Client-command schedule the simulation backend uses for every replica:
+#: first submit at ``_COMMANDS_START`` sim-seconds, one every
+#: ``_COMMAND_INTERVAL`` after that (the bench_sim_validation cadence).
+_COMMANDS_START = 1.0
+_COMMAND_INTERVAL = 0.1
+
+
+# ---------------------------------------------------------------------------
+# Query kinds
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Query:
+    """Base class: one scenario plus a question kind.
+
+    Subclasses set :attr:`kind` (the backend-registry key) and add their
+    question parameters as dataclass fields; those fields round-trip
+    through :meth:`to_dict` / :func:`query_from_dict` automatically.
+    """
+
+    scenario: Scenario
+
+    #: Backend-registry key; also the ``"kind"`` field of the dict form.
+    kind: ClassVar[str] = ""
+
+    @property
+    def n(self) -> int:
+        return self.scenario.n
+
+    @property
+    def label(self) -> str:
+        return self.scenario.label
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form: ``kind`` + scenario + question parameters."""
+        data: dict = {"kind": self.kind, "scenario": self.scenario.to_dict()}
+        for spec in fields(self):
+            if spec.name == "scenario":
+                continue
+            value = getattr(self, spec.name)
+            if value != spec.default:
+                data[spec.name] = _jsonable(value)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Query":
+        """Rebuild a query of this class from its dict form."""
+        payload = dict(data)
+        payload.pop("kind", None)
+        scenario_data = payload.pop("scenario", None)
+        if scenario_data is None:
+            raise InvalidConfigurationError(
+                f"{cls.kind or cls.__name__} dict needs a 'scenario' field"
+            )
+        known = {spec.name for spec in fields(cls)} - {"scenario"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise InvalidConfigurationError(
+                f"unknown {cls.kind} query fields {unknown}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(scenario=Scenario.from_dict(scenario_data), **cls._coerce(payload))
+
+    @classmethod
+    def _coerce(cls, payload: dict) -> dict:
+        """Hook for subclasses to coerce JSON primitives into field types."""
+        return payload
+
+
+def _jsonable(value):
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+_QUERY_KINDS: dict[str, Type[Query]] = {}
+
+
+def register_query_kind(cls: Type[Query]) -> Type[Query]:
+    """Class decorator: make ``cls`` addressable by its :attr:`Query.kind`.
+
+    Registration feeds :func:`query_from_dict` (and therefore the CLI's
+    JSON query files); the *execution* backend is registered separately
+    via :func:`repro.engine.registry.register_backend` under the same
+    kind string.  Idempotent per kind — last registration wins.
+    """
+    if not cls.kind:
+        raise InvalidConfigurationError(f"{cls.__name__} must define a non-empty kind")
+    _QUERY_KINDS[cls.kind] = cls
+    return cls
+
+
+def registered_query_kinds() -> tuple[str, ...]:
+    return tuple(sorted(_QUERY_KINDS))
+
+
+def query_from_dict(data: Mapping) -> Query:
+    """Rebuild any registered query from its dict form.
+
+    A dict without a ``"kind"`` field is treated as a bare scenario dict
+    (or ``{"scenario": {...}}`` wrapper) and becomes a
+    :class:`ReliabilityQuery` — the shape every pre-query scenario file
+    already used.
+    """
+    if "kind" not in data:
+        scenario_data = data.get("scenario", data)
+        return ReliabilityQuery(Scenario.from_dict(scenario_data))
+    kind = str(data["kind"])
+    cls = _QUERY_KINDS.get(kind)
+    if cls is None:
+        raise InvalidConfigurationError(
+            f"unknown query kind {kind!r}; registered: {sorted(_QUERY_KINDS)}"
+        )
+    return cls.from_dict(data)
+
+
+@register_query_kind
+@dataclass(frozen=True)
+class ReliabilityQuery(Query):
+    """Point reliability of the scenario — the engine's historical question.
+
+    Carries no parameters of its own: the scenario's ``method``, ``trials``
+    and ``seed`` already pin the estimator and its budget.  Submitting a
+    bare :class:`~repro.engine.Scenario` to the engine is equivalent to
+    wrapping it in one of these.
+    """
+
+    kind: ClassVar[str] = "reliability"
+
+
+@dataclass(frozen=True)
+class _MarkovQuery(Query):
+    """Shared fields of the CTMC-backed questions.
+
+    The cluster model is the birth–death chain of
+    :class:`repro.markov.builders.ClusterMarkovModel`: per-replica hazard
+    ``failure_rate_per_hour`` (λ), per-repair-slot rate
+    ``repair_rate_per_hour`` (μ), and ``repair_slots`` concurrent repairs.
+    Queries sharing :meth:`chain_key` share one CTMC solve inside the
+    engine's Markov backends.
+    """
+
+    failure_rate_per_hour: float = 0.0
+    repair_rate_per_hour: float = 0.0
+    repair_slots: int = 1
+    quorum_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.failure_rate_per_hour < 0 or self.repair_rate_per_hour < 0:
+            raise InvalidConfigurationError("rates must be non-negative")
+        if self.repair_slots < 0:
+            raise InvalidConfigurationError("repair_slots must be non-negative")
+        quorum = self.resolved_quorum
+        if not 0 < quorum <= self.n:
+            raise InvalidConfigurationError(
+                f"quorum {quorum} outside (0, {self.n}]"
+            )
+
+    @property
+    def resolved_quorum(self) -> int:
+        """Quorum the question is about (majority of the fleet by default)."""
+        return majority(self.n) if self.quorum_size is None else self.quorum_size
+
+    def chain_key(self) -> tuple:
+        """Chains with equal keys are the same CTMC — solved once per batch."""
+        return (
+            self.n,
+            self.failure_rate_per_hour,
+            self.repair_rate_per_hour,
+            self.repair_slots,
+        )
+
+    @classmethod
+    def from_afr(
+        cls,
+        scenario: Scenario,
+        *,
+        afr: float,
+        mttr_hours: float,
+        **params,
+    ) -> "_MarkovQuery":
+        """Operator-friendly constructor: annual failure rate + MTTR.
+
+        Performs exactly the conversions the legacy callers performed
+        (:func:`repro.faults.afr.afr_to_hourly_rate` and ``1 / MTTR``), so
+        answers are bit-identical to the historical direct-builder calls.
+        """
+        if mttr_hours <= 0:
+            raise InvalidConfigurationError("mttr_hours must be positive")
+        return cls(
+            scenario=scenario,
+            failure_rate_per_hour=afr_to_hourly_rate(afr),
+            repair_rate_per_hour=1.0 / mttr_hours,
+            **params,
+        )
+
+    @classmethod
+    def for_cluster(
+        cls, n: int, *, afr: float, mttr_hours: float, label: str = "", **params
+    ) -> "_MarkovQuery":
+        """Spec-free constructor for questions posed directly about an
+        ``n``-replica cluster (the CLI ``mttf`` / SLO-report shape).
+
+        The Markov backends read only the rates, ``n`` and the quorum, but
+        every query carries a scenario for labeling and serialization; this
+        synthesizes the neutral carrier in one place — majority-quorum
+        RaftSpec over a zero-probability fleet — so callers don't each
+        invent a fleet whose ``p_fail`` misstates the AFR as a per-window
+        probability.
+        """
+        if n <= 0:
+            raise InvalidConfigurationError(f"n must be positive, got {n}")
+        scenario = Scenario(
+            spec=RaftSpec(n),
+            fleet=uniform_fleet(n, 0.0),
+            label=label or f"cluster/n={n}",
+        )
+        return cls.from_afr(scenario, afr=afr, mttr_hours=mttr_hours, **params)
+
+    @classmethod
+    def _coerce(cls, payload: dict) -> dict:
+        for name in ("failure_rate_per_hour", "repair_rate_per_hour"):
+            if name in payload:
+                payload[name] = float(payload[name])
+        if "repair_slots" in payload:
+            payload["repair_slots"] = int(payload["repair_slots"])
+        if payload.get("quorum_size") is not None:
+            payload["quorum_size"] = int(payload["quorum_size"])
+        return payload
+
+
+@register_query_kind
+@dataclass(frozen=True)
+class AvailabilityQuery(_MarkovQuery):
+    """Steady-state availability of a ``resolved_quorum`` quorum under repair.
+
+    With ``window_hours`` set the answer additionally carries the
+    no-mid-window-repair unavailability of that window — the diagnostic
+    linking the Markov view to the paper's per-window probabilities.
+    """
+
+    kind: ClassVar[str] = "availability"
+
+    window_hours: float | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        # Steady-state availability is undefined without repair; failing
+        # here (at parse time for JSON query files) beats the same error
+        # surfacing as a backend traceback mid-run.
+        if self.repair_rate_per_hour <= 0:
+            raise InvalidConfigurationError("availability under repair needs μ > 0")
+        if self.window_hours is not None and self.window_hours <= 0:
+            raise InvalidConfigurationError("window_hours must be positive")
+
+    @classmethod
+    def _coerce(cls, payload: dict) -> dict:
+        payload = super()._coerce(payload)
+        if payload.get("window_hours") is not None:
+            payload["window_hours"] = float(payload["window_hours"])
+        return payload
+
+
+@register_query_kind
+@dataclass(frozen=True)
+class MTTFQuery(_MarkovQuery):
+    """Mean time to losing liveness (MTTF) and to losing data (MTTDL).
+
+    Liveness is lost when fewer than ``resolved_quorum`` replicas remain;
+    data is lost when ``persistence_quorum`` replicas (default: the same
+    quorum) are simultaneously down — the adversarial durability model of
+    :meth:`repro.markov.builders.ClusterMarkovModel.mttdl`.
+    """
+
+    kind: ClassVar[str] = "mttf"
+
+    persistence_quorum: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        pq = self.resolved_persistence_quorum
+        if not 0 < pq <= self.n:
+            raise InvalidConfigurationError(
+                f"persistence_quorum={pq} outside (0, {self.n}]"
+            )
+
+    @property
+    def resolved_persistence_quorum(self) -> int:
+        return (
+            self.resolved_quorum
+            if self.persistence_quorum is None
+            else self.persistence_quorum
+        )
+
+    @classmethod
+    def _coerce(cls, payload: dict) -> dict:
+        payload = super()._coerce(payload)
+        if payload.get("persistence_quorum") is not None:
+            payload["persistence_quorum"] = int(payload["persistence_quorum"])
+        return payload
+
+
+@register_query_kind
+@dataclass(frozen=True)
+class SimulationQuery(Query):
+    """A campaign of seeded discrete-event protocol executions.
+
+    Each replica samples a window failure configuration from the
+    scenario's fleet, injects the corresponding crashes into a
+    :class:`repro.sim.cluster.Cluster` built from the scenario's spec,
+    feeds ``commands`` client commands, and audits the trace with
+    :func:`repro.sim.checker.audit_run`.  The answer reports safety and
+    liveness violation rates with Wilson bounds, plus how often the run
+    verdict disagreed with the §3 liveness predicate.
+
+    Replica ``i`` draws from child ``i`` of the scenario seed's
+    ``SeedSequence`` (PR 3's spawned-stream contract), so answers depend
+    only on ``(replicas, seed)`` — never on the
+    :class:`~repro.engine.ExecutionPolicy` worker count or shard size.
+    """
+
+    kind: ClassVar[str] = "simulation"
+
+    replicas: int = 20
+    duration: float = 12.0
+    commands: int = 4
+    crash_window: tuple[float, float] = (0.0, 0.4)
+
+    def __post_init__(self) -> None:
+        if self.scenario.correlation is not None:
+            # The campaign injector samples independent per-node faults;
+            # silently answering a correlated scenario with independent
+            # draws (and sharing cache entries with the uncorrelated one)
+            # would misreport exactly the clustered-failure risk the
+            # correlation model exists to expose.
+            raise InvalidConfigurationError(
+                "SimulationQuery does not support correlated scenarios; "
+                "drop the correlation model or use a reliability query"
+            )
+        if any(node.p_byzantine > 0.0 for node in self.scenario.fleet):
+            # Same silent-misreport class: the injector only schedules
+            # fail-stops, and the node factories build honest nodes, so a
+            # sampled "Byzantine" node would behave correctly in the run
+            # while the audit and the §3 predicate count it as faulty —
+            # near-zero safety violations plus predicate-mismatch noise.
+            # Reject until Byzantine behaviour injection lands.
+            raise InvalidConfigurationError(
+                "SimulationQuery only injects crash faults; fleets with "
+                "Byzantine probability are not supported yet"
+            )
+        if self.replicas <= 0:
+            raise InvalidConfigurationError(
+                f"replicas must be positive, got {self.replicas}"
+            )
+        if self.duration <= 0:
+            raise InvalidConfigurationError("duration must be positive")
+        if self.commands < 0:
+            raise InvalidConfigurationError("commands must be non-negative")
+        if self.commands > 0:
+            last_submit = _COMMANDS_START + _COMMAND_INTERVAL * (self.commands - 1)
+            if last_submit >= self.duration:
+                raise InvalidConfigurationError(
+                    f"{self.commands} commands submit until t={last_submit:g} "
+                    f"but the run ends at duration={self.duration:g}; commands "
+                    "submitted after the end are never decided and would "
+                    "read as a 100% liveness-violation rate"
+                )
+        window = tuple(float(edge) for edge in self.crash_window)
+        if len(window) != 2 or not 0.0 <= window[0] < window[1] <= self.duration:
+            raise InvalidConfigurationError(
+                f"invalid crash window {self.crash_window} for duration {self.duration}"
+            )
+        object.__setattr__(self, "crash_window", window)
+
+    def seed_root(self):
+        """The stream the per-replica ``SeedSequence`` children spawn from."""
+        return self.scenario.seed
+
+    @classmethod
+    def _coerce(cls, payload: dict) -> dict:
+        if "replicas" in payload:
+            payload["replicas"] = int(payload["replicas"])
+        if "duration" in payload:
+            payload["duration"] = float(payload["duration"])
+        if "commands" in payload:
+            payload["commands"] = int(payload["commands"])
+        if "crash_window" in payload:
+            payload["crash_window"] = tuple(float(e) for e in payload["crash_window"])
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# QuerySet
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class QuerySet:
+    """An ordered, possibly mixed-kind batch of queries.
+
+    The engine's time-domain unit of work: submitting one of these to
+    :meth:`repro.engine.ReliabilityEngine.run` answers every row, routing
+    each kind to its backend and batching within kinds (shared DP sweeps
+    for reliability, shared CTMC solves for Markov questions, sharded
+    replica fan-out for simulation campaigns).
+    """
+
+    queries: tuple[Query, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not all(isinstance(q, Query) for q in self.queries):
+            raise InvalidConfigurationError("QuerySet entries must be Query instances")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> Query:
+        return self.queries[index]
+
+    def extend(self, extra: Iterable[Query]) -> "QuerySet":
+        return QuerySet(self.queries + tuple(extra))
+
+    # -- builders ----------------------------------------------------------
+    @classmethod
+    def build(cls, queries: Iterable[Query]) -> "QuerySet":
+        return cls(tuple(queries))
+
+    @classmethod
+    def from_scenarios(cls, scenarios: ScenarioSet | Iterable[Scenario]) -> "QuerySet":
+        """Wrap every scenario in a :class:`ReliabilityQuery` (legacy shape)."""
+        return cls(tuple(ReliabilityQuery(scenario) for scenario in scenarios))
+
+    # -- serialization -----------------------------------------------------
+    def to_dicts(self) -> list[dict]:
+        return [query.to_dict() for query in self.queries]
+
+    @classmethod
+    def from_dicts(cls, rows: Iterable[Mapping]) -> "QuerySet":
+        return cls(tuple(query_from_dict(row) for row in rows))
+
+    def to_json(self) -> str:
+        return json.dumps({"queries": self.to_dicts()}, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QuerySet":
+        """Parse a query file — a superset of the scenario-file grammar.
+
+        Accepted shapes::
+
+            {"queries": [{...}, {...}]}          # mixed query dicts
+            [{...}, {...}]                       # query or bare scenario dicts
+            {"scenarios": [{...}]}               # ScenarioSet shape -> reliability
+            {"grid": {...}}                      # grid shorthand -> reliability
+
+        Rows without a ``"kind"`` field are bare scenario dicts and become
+        :class:`ReliabilityQuery` rows, so every existing scenario file is
+        a valid query file.
+        """
+        data = json.loads(text)
+        if isinstance(data, list):
+            return cls.from_dicts(data)
+        if isinstance(data, Mapping):
+            if "queries" in data:
+                rows = data["queries"]
+                if not isinstance(rows, list):
+                    raise InvalidConfigurationError("'queries' must be a list")
+                return cls.from_dicts(rows)
+            if "scenarios" in data or "grid" in data:
+                return cls.from_scenarios(ScenarioSet.from_json(text))
+        raise InvalidConfigurationError(
+            "query JSON must be a list, {'queries': [...]}, "
+            "{'scenarios': [...]} or {'grid': {...}}"
+        )
+
+
+def coerce_query(item) -> Query:
+    """Accept a :class:`Query` or a bare :class:`Scenario` (→ reliability)."""
+    if isinstance(item, Query):
+        return item
+    if isinstance(item, Scenario):
+        return ReliabilityQuery(item)
+    raise InvalidConfigurationError(
+        f"expected Query or Scenario, got {type(item).__name__}"
+    )

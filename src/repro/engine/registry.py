@@ -1,4 +1,4 @@
-"""Pluggable estimator registry for the reliability engine.
+"""Pluggable estimator and backend registries for the reliability engine.
 
 Every estimator is a callable ``(Scenario) -> ReliabilityResult`` published
 under a name.  The four built-ins mirror the historical free functions —
@@ -8,19 +8,73 @@ scenario carries a model) and ``importance`` (tilted rare-event sampling)
 — and third parties can :func:`register_estimator` their own, which makes
 them addressable from ``Scenario.method`` and the CLI's JSON scenario
 files with no engine changes.
+
+The *backend* registry is the same idea one level up, keyed by query
+kind: a backend answers a whole same-kind batch of
+:class:`~repro.engine.query.Query` objects at once — which is what lets
+the Markov backends share one CTMC solve across a batch and the
+simulation backend fan replicas over an
+:class:`~repro.engine.ExecutionPolicy` pool.  The built-ins
+(``reliability``, ``availability``, ``mttf``, ``simulation``) live in
+:mod:`repro.engine.backends`; :func:`register_backend` makes third-party
+question kinds addressable from ``QuerySet`` rows and the CLI's JSON
+query files with no engine changes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Sequence, TYPE_CHECKING
 
 from repro.analysis.result import ReliabilityResult
 from repro.errors import EstimationError
 from repro.engine.scenario import Scenario
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.query import Query
+    from repro.engine.result import Answer
+
 EstimatorFn = Callable[[Scenario], ReliabilityResult]
 
+#: A backend answers one same-kind batch: ``(engine, queries, policy)`` →
+#: one :class:`~repro.engine.result.Answer` per query, in order.
+BackendFn = Callable[..., "Sequence[Answer]"]
+
 _ESTIMATORS: Dict[str, EstimatorFn] = {}
+_BACKENDS: Dict[str, BackendFn] = {}
+
+
+def register_backend(kind: str) -> Callable[[BackendFn], BackendFn]:
+    """Decorator: publish ``fn`` as the backend answering ``kind`` queries.
+
+    ``fn(engine, queries, policy)`` receives the submitting
+    :class:`~repro.engine.ReliabilityEngine` (for its memo cache and the
+    estimator registry), every query of its kind from one ``run`` call in
+    submission order, and the active
+    :class:`~repro.engine.ExecutionPolicy`; it must return one
+    :class:`~repro.engine.result.Answer` per query, in order.
+    Re-registering a kind replaces the previous backend.
+    """
+
+    def decorator(fn: BackendFn) -> BackendFn:
+        _BACKENDS[kind] = fn
+        return fn
+
+    return decorator
+
+
+def get_backend(kind: str) -> BackendFn:
+    """Look up the backend answering ``kind`` queries."""
+    try:
+        return _BACKENDS[kind]
+    except KeyError:
+        raise EstimationError(
+            f"no backend registered for query kind {kind!r}; "
+            f"registered: {sorted(_BACKENDS)}"
+        )
+
+
+def registered_backends() -> tuple[str, ...]:
+    return tuple(sorted(_BACKENDS))
 
 
 def register_estimator(name: str) -> Callable[[EstimatorFn], EstimatorFn]:
@@ -205,7 +259,11 @@ def estimate_under_policy(
 
 __all__ = [
     "EstimatorFn",
+    "BackendFn",
     "register_estimator",
     "get_estimator",
     "registered_estimators",
+    "register_backend",
+    "get_backend",
+    "registered_backends",
 ]

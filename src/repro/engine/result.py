@@ -1,4 +1,4 @@
-"""Engine results: per-scenario reliability plus execution provenance.
+"""Engine results: per-question answers plus execution provenance.
 
 An :class:`EngineResult` answers two questions at once: *what are the
 numbers* (the per-scenario :class:`~repro.analysis.result.ReliabilityResult`
@@ -6,6 +6,14 @@ values, in submission order, bit-identical to the scalar estimators) and
 *how were they produced* (which estimator ran, whether the memo cache or a
 shared DP batch served the scenario, and how long it took) — the
 provenance an operator needs to trust a wall of nines.
+
+The Query/Answer generalisation keeps the same shape for the time domain:
+an :class:`Answer` pairs a :class:`~repro.engine.query.Query` with a typed
+value — a ``ReliabilityResult``, an :class:`AvailabilityAnswer`, an
+:class:`MTTFAnswer` or a :class:`SimulationAnswer` — plus a
+:class:`Provenance` that records the backend, batch and shard counts; an
+:class:`AnswerSet` is the ordered result of one mixed-kind
+:meth:`~repro.engine.ReliabilityEngine.run` submission.
 """
 
 from __future__ import annotations
@@ -13,17 +21,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.analysis.result import ReliabilityResult, format_probability
+from repro.analysis.result import (
+    Estimate,
+    ReliabilityResult,
+    format_probability,
+    nines,
+)
+from repro.engine.query import Query
 from repro.engine.scenario import Scenario
+from repro.faults.curves import HOURS_PER_YEAR
 
 
 @dataclass(frozen=True)
 class Provenance:
-    """How one scenario's numbers were obtained.
+    """How one question's numbers were obtained.
 
-    ``shards`` counts the spawned-stream shards a sampling estimator split
-    its trial budget into under an :class:`~repro.engine.ExecutionPolicy`
-    (1 for exact estimators and for the legacy single-stream mode).
+    ``shards`` counts the spawned-stream shards a sampling estimator (or a
+    simulation campaign) split its budget into under an
+    :class:`~repro.engine.ExecutionPolicy` (1 for exact estimators and for
+    the legacy single-stream mode).  ``backend`` names the query backend
+    that produced a time-domain answer; it is empty on the legacy
+    scenario path, whose provenance strings are frozen by golden tests.
     """
 
     estimator: str
@@ -32,13 +50,15 @@ class Provenance:
     batch_size: int = 1
     seconds: float = 0.0
     shards: int = 1
+    backend: str = ""
 
     def describe(self) -> str:
         source = "cache" if self.cache_hit else (
             f"batch[{self.batch_size}]" if self.batched else "solo"
         )
         suffix = f"/shards[{self.shards}]" if self.shards > 1 else ""
-        return f"{self.estimator}/{source}{suffix}"
+        head = f"{self.backend}:{self.estimator}" if self.backend else self.estimator
+        return f"{head}/{source}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -92,6 +112,233 @@ class EngineResult:
                     "Live %": format_probability(result.live.value),
                     "Safe and Live %": format_probability(result.safe_and_live.value),
                     "via": outcome.provenance.describe(),
+                }
+            )
+        return rows
+
+
+# ---------------------------------------------------------------------------
+# Typed time-domain answer values
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AvailabilityAnswer:
+    """Steady-state availability of a quorum under repair.
+
+    ``availability`` is the long-run fraction of time a ``quorum_size``
+    quorum is formable — bit-identical to
+    :meth:`repro.markov.builders.ClusterMarkovModel.steady_state_availability`.
+    ``window_unavailability`` is present when the query asked about a
+    window (no-mid-window-repair loss-of-quorum probability).
+    """
+
+    quorum_size: int
+    availability: float
+    window_hours: float | None = None
+    window_unavailability: float | None = None
+
+    @property
+    def unavailability(self) -> float:
+        return 1.0 - self.availability
+
+    @property
+    def availability_nines(self) -> float:
+        return nines(self.availability)
+
+    def describe(self) -> str:
+        text = f"availability {self.availability:.10f} ({self.availability_nines:.2f} nines)"
+        if self.window_unavailability is not None:
+            text += f", P(down @ {self.window_hours:g}h window) {self.window_unavailability:.3e}"
+        return text
+
+    def to_dict(self) -> dict:
+        data = {
+            "quorum_size": self.quorum_size,
+            "availability": self.availability,
+            "availability_nines": self.availability_nines,
+        }
+        if self.window_unavailability is not None:
+            data["window_hours"] = self.window_hours
+            data["window_unavailability"] = self.window_unavailability
+        return data
+
+
+@dataclass(frozen=True)
+class MTTFAnswer:
+    """Mean hours to losing liveness (MTTF) and to losing data (MTTDL)."""
+
+    quorum_size: int
+    persistence_quorum: int
+    mttf_hours: float
+    mttdl_hours: float
+
+    @property
+    def mttf_years(self) -> float:
+        return self.mttf_hours / HOURS_PER_YEAR
+
+    @property
+    def mttdl_years(self) -> float:
+        return self.mttdl_hours / HOURS_PER_YEAR
+
+    def describe(self) -> str:
+        return f"MTTF {self.mttf_years:.3e} yr, MTTDL {self.mttdl_years:.3e} yr"
+
+    def to_dict(self) -> dict:
+        return {
+            "quorum_size": self.quorum_size,
+            "persistence_quorum": self.persistence_quorum,
+            "mttf_hours": self.mttf_hours,
+            "mttf_years": self.mttf_years,
+            "mttdl_hours": self.mttdl_hours,
+            "mttdl_years": self.mttdl_years,
+        }
+
+
+@dataclass(frozen=True)
+class SimulationAnswer:
+    """Audited verdicts of a seeded simulation campaign.
+
+    Violation rates are binomial proportions over ``replicas`` runs with
+    Wilson 95% bounds (:class:`~repro.analysis.result.Estimate`).
+    ``predicate_mismatches`` counts runs whose trace-level liveness verdict
+    disagreed with the §3 predicate for the injected configuration — the
+    simulator-vs-theory validation loop as a first-class number.
+    """
+
+    replicas: int
+    safety_violations: int
+    liveness_violations: int
+    predicate_mismatches: int
+    safety_violation_rate: Estimate
+    liveness_violation_rate: Estimate
+
+    def describe(self) -> str:
+        sv, lv = self.safety_violation_rate, self.liveness_violation_rate
+        return (
+            f"{self.replicas} runs: unsafe {sv.value:.3f} "
+            f"[{sv.ci_low:.3f}, {sv.ci_high:.3f}], "
+            f"stalled {lv.value:.3f} [{lv.ci_low:.3f}, {lv.ci_high:.3f}]"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "replicas": self.replicas,
+            "safety_violations": self.safety_violations,
+            "liveness_violations": self.liveness_violations,
+            "predicate_mismatches": self.predicate_mismatches,
+            "safety_violation_rate": self.safety_violation_rate.value,
+            "safety_ci": [
+                self.safety_violation_rate.ci_low,
+                self.safety_violation_rate.ci_high,
+            ],
+            "liveness_violation_rate": self.liveness_violation_rate.value,
+            "liveness_ci": [
+                self.liveness_violation_rate.ci_low,
+                self.liveness_violation_rate.ci_high,
+            ],
+        }
+
+
+def describe_answer_value(value: object) -> str:
+    """One-line rendering of any answer value (CLI table cell)."""
+    if isinstance(value, ReliabilityResult):
+        return (
+            f"safe {format_probability(value.safe.value)}, "
+            f"live {format_probability(value.live.value)}, "
+            f"S&L {format_probability(value.safe_and_live.value)}"
+        )
+    describe = getattr(value, "describe", None)
+    return describe() if callable(describe) else repr(value)
+
+
+def answer_value_to_dict(value: object) -> dict:
+    """JSON-ready form of any answer value (CLI ``--json`` output)."""
+    if isinstance(value, ReliabilityResult):
+        return {
+            "protocol": value.protocol,
+            "n": value.n,
+            "method": value.method,
+            "safe": value.safe.value,
+            "live": value.live.value,
+            "safe_and_live": value.safe_and_live.value,
+        }
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    return {"value": repr(value)}
+
+
+# ---------------------------------------------------------------------------
+# Answers
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Answer:
+    """One query, its typed answer value, and how it was computed."""
+
+    query: Query
+    value: object
+    provenance: Provenance
+
+    @property
+    def scenario(self) -> Scenario:
+        return self.query.scenario
+
+    @property
+    def kind(self) -> str:
+        return self.query.kind
+
+    def to_dict(self) -> dict:
+        """JSON-ready row: question identity + value + provenance."""
+        return {
+            "kind": self.kind,
+            "label": self.query.label,
+            "n": self.query.n,
+            "answer": answer_value_to_dict(self.value),
+            "backend": self.provenance.backend or self.provenance.estimator,
+            "cache_hit": self.provenance.cache_hit,
+            "batched": self.provenance.batched,
+            "shards": self.provenance.shards,
+        }
+
+
+@dataclass(frozen=True)
+class AnswerSet:
+    """Ordered answers of one mixed-kind :meth:`ReliabilityEngine.run` call."""
+
+    answers: tuple[Answer, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __iter__(self) -> Iterator[Answer]:
+        return iter(self.answers)
+
+    def __getitem__(self, index: int) -> Answer:
+        return self.answers[index]
+
+    @property
+    def values(self) -> list[object]:
+        """Per-query answer values in submission order."""
+        return [answer.value for answer in self.answers]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for answer in self.answers if answer.provenance.cache_hit)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(answer.provenance.seconds for answer in self.answers)
+
+    def table(self) -> list[dict[str, str]]:
+        """Mixed-kind rows for CLI rendering."""
+        rows = []
+        for answer in self.answers:
+            rows.append(
+                {
+                    "label": answer.query.label or f"{answer.kind}/n={answer.query.n}",
+                    "kind": answer.kind,
+                    "N": str(answer.query.n),
+                    "answer": describe_answer_value(answer.value),
+                    "via": answer.provenance.describe(),
                 }
             )
         return rows

@@ -99,12 +99,32 @@ class ClusterMarkovModel:
             )
         return self.mean_time_to_failure_count(persistence_quorum)
 
-    def steady_state_availability(self, quorum_size: int) -> float:
-        """Long-run fraction of time a ``quorum_size`` quorum is formable."""
+    def steady_state_distribution(self) -> dict:
+        """Stationary distribution of the repairable chain (one CTMC solve).
+
+        Exposed so batched consumers (the engine's availability backend)
+        can solve the chain once and answer every quorum question against
+        the same π — see :meth:`steady_state_availability`'s ``pi``
+        parameter.
+        """
         if self.repair_rate_per_hour <= 0:
             raise InvalidConfigurationError("availability under repair needs μ > 0")
-        chain = self.chain()
-        pi = chain.steady_state()
+        return self.chain().steady_state()
+
+    def steady_state_availability(
+        self, quorum_size: int, *, pi: dict | None = None
+    ) -> float:
+        """Long-run fraction of time a ``quorum_size`` quorum is formable.
+
+        ``pi`` optionally supplies a precomputed
+        :meth:`steady_state_distribution`; passing it skips the linear
+        solve but changes nothing bit-wise (the reduction below is the
+        only other operation).
+        """
+        if self.repair_rate_per_hour <= 0:
+            raise InvalidConfigurationError("availability under repair needs μ > 0")
+        if pi is None:
+            pi = self.chain().steady_state()
         max_failed = self.n - quorum_size
         return sum(p for failed, p in pi.items() if failed <= max_failed)
 

@@ -27,7 +27,6 @@ from repro.analysis.result import nines
 from repro.errors import InvalidConfigurationError
 from repro.faults.afr import afr_to_hourly_rate
 from repro.faults.curves import HOURS_PER_YEAR
-from repro.markov.builders import ClusterMarkovModel
 
 
 @dataclass(frozen=True)
@@ -67,7 +66,10 @@ def estimate_availability(
     Two outage classes:
 
     * **quorum loss** — steady-state unavailability of the repairable
-      cluster (Markov model) times the year;
+      cluster, answered by the engine's ``availability`` backend (an
+      :class:`~repro.engine.AvailabilityQuery` over the same CTMC the
+      Markov builders solve — bit-identical, but batched and memoised
+      across repeated planner sweeps) times the year;
     * **leader elections** — every node failure may depose a leader; we
       charge ``election_seconds`` per node failure scaled by the chance
       the failed node was leading (1/n under rotation).
@@ -85,9 +87,18 @@ def estimate_availability(
     if not 0 < quorum <= n:
         raise InvalidConfigurationError(f"quorum {quorum} outside (0, {n}]")
 
+    from repro.engine import AvailabilityQuery, default_engine
+
     rate = afr_to_hourly_rate(node_afr)
-    model = ClusterMarkovModel(n, rate, 1.0 / mean_time_to_repair_hours)
-    unavailability = 1.0 - model.steady_state_availability(quorum)
+    query = AvailabilityQuery.for_cluster(
+        n,
+        afr=node_afr,
+        mttr_hours=mean_time_to_repair_hours,
+        quorum_size=quorum,
+        label=f"slo/n={n}",
+    )
+    answer = default_engine().run_query(query).value
+    unavailability = answer.unavailability
     quorum_loss_hours = unavailability * HOURS_PER_YEAR
 
     failures_per_year = n * rate * HOURS_PER_YEAR

@@ -130,6 +130,128 @@ class TestMTTF:
         assert "MTTDL" in out
         assert "availability" in out
 
+    def test_json_output_matches_builders(self, capsys):
+        import json
+
+        from repro.faults.afr import afr_to_hourly_rate
+        from repro.markov.builders import ClusterMarkovModel
+
+        assert main(
+            ["mttf", "--n", "5", "--afr", "0.08", "--mttr-hours", "24", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        model = ClusterMarkovModel(5, afr_to_hourly_rate(0.08), 1.0 / 24.0)
+        assert payload["quorum_size"] == 3
+        assert payload["mttf_hours"] == model.mttf_liveness(3)
+        assert payload["mttdl_hours"] == model.mttdl(3)
+        assert payload["availability"] == model.steady_state_availability(3)
+
+    def test_table_identical_to_legacy_rendering(self, capsys):
+        """The engine-backed mttf table renders the builders' numbers."""
+        from repro.faults.afr import afr_to_hourly_rate
+        from repro.markov.builders import ClusterMarkovModel
+
+        assert main(["mttf", "--n", "7", "--afr", "0.04", "--mttr-hours", "12"]) == 0
+        out = capsys.readouterr().out
+        model = ClusterMarkovModel(7, afr_to_hourly_rate(0.04), 1.0 / 12.0)
+        assert f"{model.mttf_liveness(4) / 8766.0:.3e}" in out
+        assert f"{model.steady_state_availability(4):.10f}" in out
+
+
+class TestQueryFile:
+    MIXED = """
+    {"queries": [
+      {"spec": {"protocol": "raft", "n": 3},
+       "fleet": {"uniform": {"n": 3, "p_fail": 0.01}},
+       "label": "headline"},
+      {"kind": "availability",
+       "scenario": {"spec": {"protocol": "raft", "n": 5},
+                    "fleet": {"uniform": {"n": 5, "p_fail": 0.01}},
+                    "label": "steady"},
+       "failure_rate_per_hour": 1e-5, "repair_rate_per_hour": 0.04,
+       "window_hours": 720},
+      {"kind": "mttf",
+       "scenario": {"spec": {"protocol": "raft", "n": 5},
+                    "fleet": {"uniform": {"n": 5, "p_fail": 0.01}},
+                    "label": "horizonless"},
+       "failure_rate_per_hour": 1e-5, "repair_rate_per_hour": 0.04},
+      {"kind": "simulation",
+       "scenario": {"spec": {"protocol": "raft", "n": 3},
+                    "fleet": {"uniform": {"n": 3, "p_fail": 0.2}},
+                    "seed": 42, "label": "campaign"},
+       "replicas": 4, "duration": 6.0, "commands": 2}
+    ]}
+    """
+
+    def test_mixed_query_file_end_to_end(self, capsys, tmp_path):
+        path = tmp_path / "questions.json"
+        path.write_text(self.MIXED)
+        assert main(["query", str(path)]) == 0
+        out = capsys.readouterr().out
+        for label in ("headline", "steady", "horizonless", "campaign"):
+            assert label in out
+        assert "99.970%" in out  # the reliability row keeps the paper cell
+        assert "availability" in out
+        assert "MTTF" in out
+        assert "runs" in out
+
+    def test_mixed_query_file_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "questions.json"
+        path.write_text(self.MIXED)
+        assert main(["query", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["kind"] for row in payload] == [
+            "reliability",
+            "availability",
+            "mttf",
+            "simulation",
+        ]
+        assert payload[1]["answer"]["availability"] > 0.999
+        assert payload[3]["answer"]["replicas"] == 4
+
+    def test_scenario_file_is_a_valid_query_file(self, capsys, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(
+            '{"grid": {"protocols": ["raft"], "sizes": [3], "probabilities": [0.01]}}'
+        )
+        assert main(["query", str(path)]) == 0
+        assert "reliability" in capsys.readouterr().out
+
+    def test_query_jobs_deterministic(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "campaign.json"
+        path.write_text(
+            '{"queries": [{"kind": "simulation",'
+            ' "scenario": {"spec": {"protocol": "raft", "n": 3},'
+            ' "fleet": {"uniform": {"n": 3, "p_fail": 0.2}}, "seed": 7},'
+            ' "replicas": 4, "duration": 6.0, "commands": 2}]}'
+        )
+
+        def counts(raw):
+            rows = json.loads(raw)
+            return [
+                (r["answer"]["safety_violations"], r["answer"]["liveness_violations"])
+                for r in rows
+            ]
+
+        assert main(["query", str(path), "--json"]) == 0
+        serial = counts(capsys.readouterr().out)
+        assert main(["query", str(path), "--json", "--jobs", "2"]) == 0
+        assert counts(capsys.readouterr().out) == serial
+
+    def test_missing_query_file(self):
+        with pytest.raises(SystemExit):
+            main(["query", "/nonexistent/questions.json"])
+
+    def test_invalid_query_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"queries": [{"kind": "fnord"}]}')
+        with pytest.raises(SystemExit):
+            main(["query", str(path)])
+
 
 class TestParser:
     def test_missing_subcommand(self):

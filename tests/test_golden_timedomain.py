@@ -1,0 +1,148 @@
+"""Golden snapshots for the time-domain (availability/MTTF) answers.
+
+Pins two things at once, in the style of ``test_golden_tables.py``:
+
+* **legacy-vs-engine bit-identity** — for every grid cell the engine's
+  ``AvailabilityQuery``/``MTTFQuery`` answers are compared ``==`` (not
+  approximately) against direct :mod:`repro.markov.builders` calls, the
+  PR 4 acceptance criterion;
+* **value stability** — the numbers themselves are frozen in
+  ``tests/data/golden_timedomain.json`` and future refactors must
+  reproduce them within ``TOLERANCE``.
+
+Regenerate deliberately (after an *intentional* numeric change) with::
+
+    PYTHONPATH=src python tests/test_golden_timedomain.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+DATA_DIR = pathlib.Path(__file__).resolve().parent / "data"
+GOLDEN_PATH = DATA_DIR / "golden_timedomain.json"
+
+#: Snapshot comparisons allow tiny cross-platform FP variance, nothing more.
+TOLERANCE = 1e-12
+
+SIZES = (3, 5, 7, 9)
+AFRS = (0.04, 0.08)
+MTTR_HOURS = 24.0
+WINDOW_HOURS = 720.0
+
+
+def _cells():
+    for n in SIZES:
+        for afr in AFRS:
+            yield n, afr
+
+
+def compute_golden() -> dict:
+    """Direct-builder values for the grid (the legacy side of the pin)."""
+    from repro.faults.afr import afr_to_hourly_rate
+    from repro.markov.builders import ClusterMarkovModel
+
+    rows = {}
+    for n, afr in _cells():
+        model = ClusterMarkovModel(n, afr_to_hourly_rate(afr), 1.0 / MTTR_HOURS)
+        quorum = n // 2 + 1
+        rows[f"n={n}/afr={afr}"] = {
+            "n": n,
+            "afr": afr,
+            "quorum": quorum,
+            "availability": model.steady_state_availability(quorum),
+            "window_unavailability": model.window_unavailability(quorum, WINDOW_HOURS),
+            "mttf_hours": model.mttf_liveness(quorum),
+            "mttdl_hours": model.mttdl(quorum),
+        }
+    return {
+        "mttr_hours": MTTR_HOURS,
+        "window_hours": WINDOW_HOURS,
+        "cells": rows,
+    }
+
+
+def engine_answers() -> dict:
+    """The same grid answered through the engine's Query front door."""
+    from repro.engine import (
+        AvailabilityQuery,
+        MTTFQuery,
+        QuerySet,
+        ReliabilityEngine,
+        Scenario,
+    )
+    from repro.faults.mixture import uniform_fleet
+    from repro.protocols.raft import RaftSpec
+
+    queries = []
+    for n, afr in _cells():
+        scenario = Scenario(
+            spec=RaftSpec(n), fleet=uniform_fleet(n, afr), label=f"n={n}/afr={afr}"
+        )
+        queries.append(
+            AvailabilityQuery.from_afr(
+                scenario, afr=afr, mttr_hours=MTTR_HOURS, window_hours=WINDOW_HOURS
+            )
+        )
+        queries.append(MTTFQuery.from_afr(scenario, afr=afr, mttr_hours=MTTR_HOURS))
+    answers = ReliabilityEngine().run(QuerySet.build(queries))
+    rows = {}
+    for availability, mttf in zip(answers[0::2], answers[1::2]):
+        label = availability.query.label
+        rows[label] = {
+            "availability": availability.value.availability,
+            "window_unavailability": availability.value.window_unavailability,
+            "mttf_hours": mttf.value.mttf_hours,
+            "mttdl_hours": mttf.value.mttdl_hours,
+        }
+    return rows
+
+
+class TestGoldenTimeDomain:
+    def test_engine_bit_identical_to_builders(self):
+        golden = compute_golden()["cells"]
+        engine = engine_answers()
+        for label, cell in golden.items():
+            row = engine[label]
+            for field in (
+                "availability",
+                "window_unavailability",
+                "mttf_hours",
+                "mttdl_hours",
+            ):
+                assert row[field] == cell[field], (label, field)
+
+    def test_snapshot_values_stable(self):
+        assert GOLDEN_PATH.exists(), (
+            "golden time-domain snapshot missing; regenerate with "
+            "`PYTHONPATH=src python tests/test_golden_timedomain.py --regenerate`"
+        )
+        frozen = json.loads(GOLDEN_PATH.read_text())
+        current = compute_golden()
+        assert frozen["mttr_hours"] == current["mttr_hours"]
+        assert frozen["window_hours"] == current["window_hours"]
+        assert set(frozen["cells"]) == set(current["cells"])
+        for label, cell in current["cells"].items():
+            for field, value in cell.items():
+                expected = frozen["cells"][label][field]
+                if isinstance(value, float):
+                    assert math.isclose(
+                        value, expected, rel_tol=TOLERANCE, abs_tol=TOLERANCE
+                    ), (label, field, value, expected)
+                else:
+                    assert value == expected, (label, field)
+
+
+def main() -> None:
+    import sys
+
+    if "--regenerate" not in sys.argv:
+        raise SystemExit("pass --regenerate to overwrite the golden snapshot")
+    GOLDEN_PATH.write_text(json.dumps(compute_golden(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,538 @@
+"""Query/Answer API tests: codecs, backends, batching, determinism.
+
+Covers the PR 4 acceptance criteria: ``MTTFQuery``/``AvailabilityQuery``
+answers match direct :mod:`repro.markov.builders` calls bit-for-bit, a
+seeded ``SimulationQuery`` is invariant to ``ExecutionPolicy.jobs``, and
+a single JSON document mixing all four query kinds runs end-to-end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    Answer,
+    AnswerSet,
+    AvailabilityQuery,
+    EngineResult,
+    ExecutionPolicy,
+    MTTFQuery,
+    Provenance,
+    Query,
+    QuerySet,
+    ReliabilityEngine,
+    ReliabilityQuery,
+    Scenario,
+    ScenarioSet,
+    SimulationQuery,
+    query_from_dict,
+    registered_backends,
+    registered_query_kinds,
+)
+from repro.errors import EstimationError, InvalidConfigurationError
+from repro.faults.afr import afr_to_hourly_rate
+from repro.faults.mixture import uniform_fleet
+from repro.markov.builders import ClusterMarkovModel
+from repro.protocols.raft import RaftSpec
+
+
+def scenario(n=5, p=0.01, **kw):
+    return Scenario(spec=RaftSpec(n), fleet=uniform_fleet(n, p), **kw)
+
+
+class TestQueryTypes:
+    def test_registered_kinds_and_backends_align(self):
+        kinds = set(registered_query_kinds())
+        assert {"reliability", "availability", "mttf", "simulation"} <= kinds
+        assert kinds <= set(registered_backends())
+
+    def test_markov_query_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            AvailabilityQuery(scenario(), failure_rate_per_hour=-1.0)
+        with pytest.raises(InvalidConfigurationError):
+            AvailabilityQuery(scenario(5), quorum_size=6)
+        with pytest.raises(InvalidConfigurationError):
+            MTTFQuery(scenario(5), persistence_quorum=0)
+        with pytest.raises(InvalidConfigurationError, match="window_hours"):
+            AvailabilityQuery(
+                scenario(),
+                failure_rate_per_hour=1e-5,
+                repair_rate_per_hour=0.1,
+                window_hours=0.0,
+            )
+
+    def test_simulation_query_rejects_correlated_scenarios(self):
+        # The campaign injector samples independent faults; answering a
+        # correlated scenario with independent draws (and sharing cache
+        # entries with the uncorrelated twin) would misreport shock risk.
+        from repro.faults.correlation import CommonShockModel, ShockGroup
+
+        fleet = uniform_fleet(3, 0.05)
+        correlated = Scenario(
+            spec=RaftSpec(3),
+            fleet=fleet,
+            seed=7,
+            correlation=CommonShockModel(
+                fleet, (ShockGroup(members=(0, 1), probability=0.5),)
+            ),
+        )
+        with pytest.raises(InvalidConfigurationError, match="correlated"):
+            SimulationQuery(correlated, replicas=2, duration=4.0)
+
+    def test_simulation_query_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            SimulationQuery(scenario(), replicas=0)
+        with pytest.raises(InvalidConfigurationError):
+            SimulationQuery(scenario(), duration=-1.0)
+        with pytest.raises(InvalidConfigurationError):
+            SimulationQuery(scenario(), duration=5.0, crash_window=(0.0, 6.0))
+
+    def test_simulation_query_rejects_byzantine_fleets(self):
+        # Only fail-stops are injected; a "Byzantine" node would run honest
+        # code while the audit counts it faulty — a silent misreport.
+        byzantine = Scenario(
+            spec=RaftSpec(3), fleet=uniform_fleet(3, 0.1, byzantine_fraction=0.5)
+        )
+        with pytest.raises(InvalidConfigurationError, match="Byzantine"):
+            SimulationQuery(byzantine, replicas=2, duration=4.0)
+
+    def test_simulation_query_rejects_commands_past_duration(self):
+        # All submits happen at 1.0 + 0.1k; commands past the deadline
+        # would read as a guaranteed 100% liveness-violation rate.
+        with pytest.raises(InvalidConfigurationError, match="never decided"):
+            SimulationQuery(scenario(), duration=0.8, commands=3)
+        with pytest.raises(InvalidConfigurationError, match="never decided"):
+            SimulationQuery(scenario(), duration=12.0, commands=120)
+        # a command-free probe of a short window is still allowed
+        SimulationQuery(scenario(), duration=0.5, commands=0, crash_window=(0.0, 0.4))
+
+    def test_resolved_quorums_default_to_majority(self):
+        q = MTTFQuery(scenario(7), failure_rate_per_hour=1e-5, repair_rate_per_hour=0.1)
+        assert q.resolved_quorum == 4
+        assert q.resolved_persistence_quorum == 4
+        q2 = MTTFQuery(
+            scenario(7),
+            failure_rate_per_hour=1e-5,
+            repair_rate_per_hour=0.1,
+            quorum_size=5,
+            persistence_quorum=2,
+        )
+        assert (q2.resolved_quorum, q2.resolved_persistence_quorum) == (5, 2)
+
+    def test_from_afr_matches_manual_conversion(self):
+        q = AvailabilityQuery.from_afr(scenario(), afr=0.08, mttr_hours=24.0)
+        assert q.failure_rate_per_hour == afr_to_hourly_rate(0.08)
+        assert q.repair_rate_per_hour == 1.0 / 24.0
+
+
+class TestCodecs:
+    def test_dict_round_trip_every_kind(self):
+        base = scenario(5, 0.02, seed=7, label="row")
+        queries = [
+            ReliabilityQuery(base),
+            AvailabilityQuery(
+                base,
+                failure_rate_per_hour=1e-5,
+                repair_rate_per_hour=0.05,
+                repair_slots=2,
+                quorum_size=4,
+                window_hours=720.0,
+            ),
+            MTTFQuery(
+                base,
+                failure_rate_per_hour=2e-5,
+                repair_rate_per_hour=0.1,
+                persistence_quorum=2,
+            ),
+            SimulationQuery(base, replicas=9, duration=7.5, commands=3),
+        ]
+        for query in queries:
+            rebuilt = query_from_dict(query.to_dict())
+            assert type(rebuilt) is type(query)
+            assert rebuilt.to_dict() == query.to_dict()
+
+    def test_bare_scenario_dict_becomes_reliability_query(self):
+        row = scenario(3).to_dict()
+        rebuilt = query_from_dict(row)
+        assert isinstance(rebuilt, ReliabilityQuery)
+        assert rebuilt.scenario.to_dict() == row
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidConfigurationError, match="unknown query kind"):
+            query_from_dict({"kind": "fnord", "scenario": scenario(3).to_dict()})
+
+    def test_unknown_field_rejected(self):
+        data = SimulationQuery(scenario(3)).to_dict()
+        data["fnord"] = 1
+        with pytest.raises(InvalidConfigurationError, match="fnord"):
+            query_from_dict(data)
+
+    def test_queryset_json_shapes(self):
+        mixed = QuerySet.build(
+            [
+                ReliabilityQuery(scenario(3, label="a")),
+                MTTFQuery(
+                    scenario(5, label="b"),
+                    failure_rate_per_hour=1e-5,
+                    repair_rate_per_hour=0.04,
+                ),
+            ]
+        )
+        round_tripped = QuerySet.from_json(mixed.to_json())
+        assert round_tripped.to_dicts() == mixed.to_dicts()
+        # ScenarioSet shapes remain valid query files (reliability rows).
+        scenario_file = ScenarioSet.build([scenario(3), scenario(5)]).to_json()
+        as_queries = QuerySet.from_json(scenario_file)
+        assert all(isinstance(q, ReliabilityQuery) for q in as_queries)
+        grid = QuerySet.from_json(
+            '{"grid": {"protocols": ["raft"], "sizes": [3, 5], "probabilities": [0.01]}}'
+        )
+        assert len(grid) == 2
+        with pytest.raises(InvalidConfigurationError):
+            QuerySet.from_json('{"fnord": 1}')
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=9),
+        rate=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        mu=st.floats(min_value=1e-6, max_value=10.0, allow_nan=False),
+        slots=st.integers(min_value=0, max_value=4),
+        window=st.none() | st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+        replicas=st.integers(min_value=1, max_value=50),
+        duration=st.floats(min_value=2.0, max_value=60.0, allow_nan=False),
+        commands=st.integers(min_value=0, max_value=8),
+        seed=st.none() | st.integers(min_value=0, max_value=2**31),
+    )
+    def test_json_round_trip_property(
+        self, n, rate, mu, slots, window, replicas, duration, commands, seed
+    ):
+        base = scenario(n, 0.01, seed=seed, label=f"n={n}")
+        queries = QuerySet.build(
+            [
+                AvailabilityQuery(
+                    base,
+                    failure_rate_per_hour=rate,
+                    repair_rate_per_hour=mu,
+                    repair_slots=slots,
+                    window_hours=window,
+                ),
+                MTTFQuery(
+                    base,
+                    failure_rate_per_hour=rate,
+                    repair_rate_per_hour=mu,
+                    repair_slots=slots,
+                ),
+                SimulationQuery(
+                    base, replicas=replicas, duration=duration, commands=commands
+                ),
+                ReliabilityQuery(base),
+            ]
+        )
+        rebuilt = QuerySet.from_json(queries.to_json())
+        assert rebuilt.to_dicts() == queries.to_dicts()
+        # the JSON form itself is stable under a second round trip
+        assert json.loads(rebuilt.to_json()) == json.loads(queries.to_json())
+
+
+class TestMarkovBackends:
+    AFR, MTTR = 0.08, 24.0
+
+    def test_availability_matches_builders_bit_for_bit(self):
+        engine = ReliabilityEngine()
+        query = AvailabilityQuery.from_afr(
+            scenario(5), afr=self.AFR, mttr_hours=self.MTTR, window_hours=720.0
+        )
+        answer = engine.run_query(query)
+        model = ClusterMarkovModel(5, afr_to_hourly_rate(self.AFR), 1.0 / self.MTTR)
+        assert answer.value.availability == model.steady_state_availability(3)
+        assert answer.value.window_unavailability == model.window_unavailability(3, 720.0)
+        assert answer.provenance.backend == "availability"
+
+    def test_mttf_matches_builders_bit_for_bit(self):
+        engine = ReliabilityEngine()
+        query = MTTFQuery.from_afr(
+            scenario(7), afr=self.AFR, mttr_hours=self.MTTR, persistence_quorum=3
+        )
+        answer = engine.run_query(query)
+        model = ClusterMarkovModel(7, afr_to_hourly_rate(self.AFR), 1.0 / self.MTTR)
+        assert answer.value.mttf_hours == model.mttf_liveness(4)
+        assert answer.value.mttdl_hours == model.mttdl(3)
+
+    def test_unreachable_liveness_threshold_is_zero(self):
+        # quorum > n is invalid, but quorum == n makes threshold 1; the
+        # 0-threshold convention needs quorum > n which the query rejects —
+        # instead pin the mttf_liveness <= 0 convention via the builders.
+        model = ClusterMarkovModel(3, 1e-5, 0.1)
+        assert model.mttf_liveness(3) == model.mean_time_to_failure_count(1)
+
+    def test_same_chain_queries_batch_into_one_solve(self):
+        engine = ReliabilityEngine()
+        base = scenario(9)
+        queries = [
+            AvailabilityQuery(
+                base,
+                failure_rate_per_hour=1e-5,
+                repair_rate_per_hour=0.04,
+                quorum_size=q,
+            )
+            for q in (5, 6, 7, 8)
+        ]
+        answers = engine.run(QuerySet.build(queries))
+        assert all(a.provenance.batched for a in answers)
+        assert all(a.provenance.batch_size == 4 for a in answers)
+        model = ClusterMarkovModel(9, 1e-5, 0.04)
+        pi = model.steady_state_distribution()
+        for q, a in zip((5, 6, 7, 8), answers):
+            assert a.value.availability == model.steady_state_availability(q, pi=pi)
+            assert a.value.availability == model.steady_state_availability(q)
+
+    def test_markov_answers_are_memoised(self):
+        engine = ReliabilityEngine()
+        query = MTTFQuery.from_afr(scenario(5), afr=0.04, mttr_hours=12.0)
+        first = engine.run_query(query)
+        second = engine.run_query(query)
+        assert not first.provenance.cache_hit
+        assert second.provenance.cache_hit
+        assert second.value is first.value
+
+    def test_availability_requires_repair_at_construction(self):
+        # Parse-time failure: a JSON query file omitting the repair rate is
+        # rejected by QuerySet.from_json, not by a backend traceback mid-run.
+        with pytest.raises(InvalidConfigurationError, match="needs μ > 0"):
+            AvailabilityQuery(scenario(3), failure_rate_per_hour=1e-5)
+        bad_row = {
+            "kind": "availability",
+            "scenario": scenario(3).to_dict(),
+            "failure_rate_per_hour": 1e-5,
+        }
+        with pytest.raises(InvalidConfigurationError, match="needs μ > 0"):
+            QuerySet.from_dicts([bad_row])
+
+
+class TestSimulationBackend:
+    def make_query(self, seed=42, replicas=6, **kw):
+        return SimulationQuery(
+            scenario(3, 0.25, seed=seed, label="campaign"),
+            replicas=replicas,
+            duration=6.0,
+            commands=2,
+            **kw,
+        )
+
+    def test_seeded_campaign_invariant_to_jobs_and_mode(self):
+        baseline = ReliabilityEngine(cache_size=0).run_query(self.make_query()).value
+        for policy in (
+            ExecutionPolicy(mode="thread", jobs=1),
+            ExecutionPolicy(mode="thread", jobs=4),
+            ExecutionPolicy(mode="thread", jobs=4, shard_trials=2),
+            ExecutionPolicy(mode="process", jobs=2),
+        ):
+            value = (
+                ReliabilityEngine(cache_size=0)
+                .run_query(self.make_query(), policy=policy)
+                .value
+            )
+            assert value == baseline, policy
+
+    def test_healthy_fleet_campaign_is_clean(self):
+        answer = ReliabilityEngine().run_query(
+            SimulationQuery(
+                scenario(3, 0.0, seed=1), replicas=4, duration=6.0, commands=2
+            )
+        )
+        value = answer.value
+        assert value.safety_violations == 0
+        assert value.liveness_violations == 0
+        assert value.predicate_mismatches == 0
+        assert value.safety_violation_rate.value == 0.0
+        assert 0.0 <= value.liveness_violation_rate.ci_high < 1.0
+
+    def test_seeded_campaign_is_memoised(self):
+        engine = ReliabilityEngine()
+        first = engine.run_query(self.make_query())
+        second = engine.run_query(self.make_query())
+        assert not first.provenance.cache_hit
+        assert second.provenance.cache_hit
+        assert second.value is first.value
+
+    def test_unsupported_spec_raises(self):
+        from repro.protocols.benor import BenOrSpec
+
+        query = SimulationQuery(
+            Scenario(spec=BenOrSpec(3), fleet=uniform_fleet(3, 0.1), seed=1),
+            replicas=2,
+            duration=4.0,
+        )
+        with pytest.raises(EstimationError, match="no simulation node factory"):
+            ReliabilityEngine().run_query(query)
+
+
+class TestEngineDispatch:
+    def test_bare_scenarios_still_return_engine_result(self):
+        engine = ReliabilityEngine()
+        result = engine.run(ScenarioSet.build([scenario(3), scenario(5)]))
+        assert isinstance(result, EngineResult)
+        assert not isinstance(result, AnswerSet)
+        # unchanged provenance strings (no backend prefix) on the legacy path
+        assert result[0].provenance.describe().startswith("counting/")
+
+    def test_mixed_queries_and_scenarios_coerce(self):
+        engine = ReliabilityEngine()
+        answers = engine.run(
+            [
+                scenario(3, label="bare"),
+                MTTFQuery.from_afr(scenario(5), afr=0.08, mttr_hours=24.0),
+            ]
+        )
+        assert isinstance(answers, AnswerSet)
+        assert answers[0].kind == "reliability"
+        assert answers[1].kind == "mttf"
+        assert answers[0].query.label == "bare"
+
+    def test_reliability_answers_match_scenario_path(self):
+        engine = ReliabilityEngine()
+        plain = engine.run([scenario(5, 0.03)])[0].result
+        engine2 = ReliabilityEngine()
+        answer = engine2.run(QuerySet.from_scenarios([scenario(5, 0.03)]))[0]
+        assert answer.value == plain
+        assert answer.provenance.backend == "reliability"
+
+    def test_submission_order_preserved_across_kinds(self):
+        engine = ReliabilityEngine()
+        rows = [
+            MTTFQuery.from_afr(scenario(5, label="m"), afr=0.08, mttr_hours=24.0),
+            ReliabilityQuery(scenario(3, label="r")),
+            AvailabilityQuery.from_afr(scenario(5, label="a"), afr=0.08, mttr_hours=24.0),
+            ReliabilityQuery(scenario(7, label="r2")),
+        ]
+        answers = engine.run(QuerySet.build(rows))
+        assert [a.kind for a in answers] == ["mttf", "reliability", "availability", "reliability"]
+        assert [a.query.label for a in answers] == ["m", "r", "a", "r2"]
+
+    def test_per_engine_backend_override(self):
+        engine = ReliabilityEngine()
+        marker = object()
+
+        def fake_backend(eng, queries, policy):
+            return [
+                Answer(q, marker, Provenance(estimator="fake", backend="mttf"))
+                for q in queries
+            ]
+
+        engine.register_backend("mttf", fake_backend)
+        answer = engine.run_query(
+            MTTFQuery.from_afr(scenario(5), afr=0.08, mttr_hours=24.0)
+        )
+        assert answer.value is marker
+        # other engines are unaffected
+        other = ReliabilityEngine().run_query(
+            MTTFQuery.from_afr(scenario(5), afr=0.08, mttr_hours=24.0)
+        )
+        assert other.value is not marker
+
+    def test_unregistered_kind_raises(self):
+        from dataclasses import dataclass
+        from typing import ClassVar
+
+        @dataclass(frozen=True)
+        class FnordQuery(Query):
+            kind: ClassVar[str] = "fnord-unregistered"
+
+        with pytest.raises(EstimationError, match="no backend registered"):
+            ReliabilityEngine().run([FnordQuery(scenario(3))])
+
+    def test_backend_answer_count_mismatch_raises(self):
+        engine = ReliabilityEngine()
+        engine.register_backend("reliability", lambda eng, queries, policy: [])
+        with pytest.raises(EstimationError, match="returned 0 answers"):
+            engine.run([ReliabilityQuery(scenario(3))])
+
+    def test_answer_set_table_and_dicts(self):
+        engine = ReliabilityEngine()
+        answers = engine.run(
+            [
+                ReliabilityQuery(scenario(3, label="rel")),
+                AvailabilityQuery.from_afr(
+                    scenario(5, label="av"), afr=0.08, mttr_hours=24.0
+                ),
+            ]
+        )
+        table = answers.table()
+        assert [row["kind"] for row in table] == ["reliability", "availability"]
+        assert "availability" in table[1]["answer"]
+        payload = [a.to_dict() for a in answers]
+        assert payload[0]["answer"]["safe_and_live"] == pytest.approx(0.999702)
+        assert payload[1]["answer"]["availability_nines"] > 5
+
+
+class TestMarkovSimulateStreams:
+    def test_legacy_default_unchanged(self):
+        import numpy as np
+
+        from repro.markov.simulate import sample_absorption_times
+
+        model = ClusterMarkovModel(3, 0.01, 0.0)
+        chain = model.chain(absorbing_at=2)
+        legacy = sample_absorption_times(chain, 0, [2], trials=20, seed=5)
+        explicit = sample_absorption_times(
+            chain, 0, [2], trials=20, seed=5, sharding="legacy"
+        )
+        assert np.array_equal(legacy, explicit)
+
+    def test_spawned_streams_are_prefix_stable(self):
+        import numpy as np
+
+        from repro.markov.simulate import sample_absorption_times
+
+        model = ClusterMarkovModel(3, 0.01, 0.0)
+        chain = model.chain(absorbing_at=2)
+        short = sample_absorption_times(
+            chain, 0, [2], trials=8, seed=5, sharding="spawn"
+        )
+        long = sample_absorption_times(
+            chain, 0, [2], trials=16, seed=5, sharding="spawn"
+        )
+        assert np.array_equal(short, long[:8])
+        # legacy shared-stream draws do NOT have this property
+        legacy_short = sample_absorption_times(chain, 0, [2], trials=8, seed=5)
+        legacy_long = sample_absorption_times(chain, 0, [2], trials=16, seed=5)
+        assert np.array_equal(legacy_short, legacy_long[:8])  # prefix of same stream
+        assert not np.array_equal(long, legacy_long)
+
+    def test_empirical_availability_spawn_deterministic(self):
+        from repro.markov.simulate import empirical_availability
+
+        model = ClusterMarkovModel(3, 0.05, 0.5)
+        chain = model.chain()
+        a = empirical_availability(
+            chain, 0, [0, 1], horizon=50.0, trials=16, seed=9, sharding="spawn"
+        )
+        b = empirical_availability(
+            chain, 0, [0, 1], horizon=50.0, trials=16, seed=9, sharding="spawn"
+        )
+        assert a == b
+        assert 0.0 <= a <= 1.0
+
+    def test_lazy_spawn_matches_kernels_spawn(self):
+        # The helpers spawn children one at a time; the streams must be the
+        # ones kernels.spawn_shard_generators (one spawn(count)) produces.
+        import numpy as np
+
+        from repro.analysis.kernels import spawn_shard_generators
+        from repro.markov.simulate import _trajectory_streams
+
+        lazy = [rng.random(3) for rng in _trajectory_streams(17, 5, "spawn")]
+        eager = [rng.random(3) for rng in spawn_shard_generators(17, 5)]
+        assert all(np.array_equal(a, b) for a, b in zip(lazy, eager))
+
+    def test_unknown_sharding_rejected(self):
+        from repro.markov.simulate import sample_absorption_times
+
+        model = ClusterMarkovModel(3, 0.01, 0.0)
+        chain = model.chain(absorbing_at=2)
+        with pytest.raises(InvalidConfigurationError, match="sharding"):
+            sample_absorption_times(chain, 0, [2], trials=4, seed=1, sharding="fnord")
