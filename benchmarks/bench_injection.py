@@ -1,0 +1,203 @@
+"""I1 — Fault-plan campaign throughput: plans vs the crash-only baseline.
+
+Three campaign workloads through the engine's ``SimulationQuery`` front
+door, measured as campaigns/sec (whole audited campaigns, not replicas):
+
+* **crash-only** — the default (plan-free) campaigns, the PR 4 baseline
+  (one Raft-5 and one PBFT-4 deployment);
+* **adversarial** — the PBFT-4 deployment under an embedded fault plan
+  with a Byzantine adversary mix (Theorem 3.1 primary + accomplice),
+  overhead reported against the PBFT crash-only baseline;
+* **outage** — the Raft-5 deployment under a plan with a healed
+  partition, a loss burst and a repaired correlated burst (the
+  declarative outage replay), overhead against the Raft baseline.
+
+Every workload is additionally run under a 4-worker thread policy and a
+2-worker process policy, and the verdict counts are **asserted
+identical** to the serial path — the jobs-invariance contract of the
+per-replica spawned streams.  (The CI container is single-core, so
+parallel ratios are recorded, not asserted.)
+
+Emits ``BENCH_injection.json`` at the repo root.  Run as pytest
+(``pytest benchmarks/bench_injection.py -s``) or directly
+(``python benchmarks/bench_injection.py``); both write the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import (
+    ExecutionPolicy,
+    ReliabilityEngine,
+    Scenario,
+    SimulationQuery,
+)
+from repro.faults.mixture import uniform_fleet
+from repro.injection import (
+    Adversary,
+    CorrelatedBurst,
+    FaultPlan,
+    LossBurst,
+    PartitionEvent,
+)
+from repro.protocols.pbft import PBFTSpec
+from repro.protocols.raft import RaftSpec
+
+from conftest import print_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_injection.json"
+
+REPLICAS = 16
+DURATION = 6.0
+COMMANDS = 2
+SEED = 2026
+REPEATS = 2
+
+POLICIES = (
+    ("serial", None),
+    ("thread_jobs4", ExecutionPolicy(mode="thread", jobs=4)),
+    ("process_jobs2", ExecutionPolicy(mode="process", jobs=2)),
+)
+
+
+def _queries() -> dict[str, SimulationQuery]:
+    raft = Scenario(
+        spec=RaftSpec(5), fleet=uniform_fleet(5, 0.15), seed=SEED, label="raft-5"
+    )
+    pbft = Scenario(
+        spec=PBFTSpec(4), fleet=uniform_fleet(4, 0.1), seed=SEED, label="pbft-4"
+    )
+    outage_plan = FaultPlan(
+        events=(
+            PartitionEvent(groups=((0, 1), (2, 3, 4)), at=2.0, heal_at=3.0),
+            LossBurst(at=3.5, until=4.5, drop_probability=0.2),
+            CorrelatedBurst(
+                members=(0, 1), at=4.0, probability=0.5, mean_time_to_repair=1.0
+            ),
+        ),
+        mean_time_to_repair=2.0,
+    )
+    adversary_plan = FaultPlan(adversary=Adversary(nodes=(0, 2)))
+    common = dict(replicas=REPLICAS, duration=DURATION, commands=COMMANDS)
+    # Overheads compare same-deployment pairs: outage vs the Raft crash-only
+    # baseline, adversarial vs the PBFT one (Raft-vs-PBFT sim cost would
+    # otherwise dominate the ratio).
+    return {
+        "crash_only": SimulationQuery(raft, **common),
+        "crash_only_pbft": SimulationQuery(pbft, **common),
+        "adversarial": SimulationQuery(pbft, faults=adversary_plan, **common),
+        "outage": SimulationQuery(raft, faults=outage_plan, **common),
+    }
+
+
+def _counts(value) -> tuple[int, int, int, int]:
+    return (
+        value.safety_violations,
+        value.liveness_violations,
+        value.predicate_mismatches,
+        value.partition_era_liveness_violations,
+    )
+
+
+def _best(fn, repeats: int = REPEATS):
+    best_seconds, result = None, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds, result = elapsed, value
+    return best_seconds, result
+
+
+def measure() -> dict:
+    results: dict = {
+        "replicas": REPLICAS,
+        "duration": DURATION,
+        "cpu_count": os.cpu_count(),
+        "workloads": {},
+    }
+    for name, query in _queries().items():
+        row: dict = {}
+        baseline_counts = None
+        for policy_name, policy in POLICIES:
+
+            def run():
+                return (
+                    ReliabilityEngine(cache_size=0)
+                    .run_query(query, policy=policy)
+                    .value
+                )
+
+            seconds, value = _best(run)
+            counts = _counts(value)
+            if baseline_counts is None:
+                baseline_counts = counts
+            else:
+                # jobs-invariance: plans compile per replica from spawned
+                # streams, so worker count/mode can never change verdicts.
+                assert counts == baseline_counts, (
+                    f"{name}/{policy_name} verdicts {counts} != "
+                    f"serial {baseline_counts}"
+                )
+            row[policy_name] = {
+                "seconds": seconds,
+                "campaigns_per_sec": 1.0 / seconds,
+                "replicas_per_sec": REPLICAS / seconds,
+            }
+        row["counts"] = {
+            "safety_violations": baseline_counts[0],
+            "liveness_violations": baseline_counts[1],
+            "predicate_mismatches": baseline_counts[2],
+            "partition_era_liveness_violations": baseline_counts[3],
+        }
+        row["jobs_invariant"] = True
+        results["workloads"][name] = row
+
+    for name, baseline in (("adversarial", "crash_only_pbft"), ("outage", "crash_only")):
+        crash = results["workloads"][baseline]["serial"]["campaigns_per_sec"]
+        plan_rate = results["workloads"][name]["serial"]["campaigns_per_sec"]
+        results["workloads"][name]["overhead_vs_crash_only"] = crash / plan_rate
+    return results
+
+
+@pytest.mark.bench
+def test_fault_plan_campaign_throughput():
+    results = measure()
+    JSON_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    rows = []
+    for name, row in results["workloads"].items():
+        rows.append(
+            [
+                name,
+                f"{row['serial']['campaigns_per_sec']:.2f}",
+                f"{row['thread_jobs4']['campaigns_per_sec']:.2f}",
+                f"{row.get('overhead_vs_crash_only', 1.0):.2f}x",
+            ]
+        )
+    print_table(
+        f"I1: {REPLICAS}-replica campaigns with/without fault plans",
+        ["workload", "campaigns/s serial", "campaigns/s thread4", "overhead"],
+        rows,
+    )
+    # The declarative layer must stay a thin wrapper: even the full outage
+    # plan may not cost more than 3x the crash-only campaign (the sim
+    # itself dominates; compilation is per-replica dict work).
+    assert results["workloads"]["outage"]["overhead_vs_crash_only"] < 3.0
+
+
+def main() -> None:
+    results = measure()
+    JSON_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(results, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -3,8 +3,10 @@
 Reproduction of *"Real Life Is Uncertain. Consensus Should Be Too!"*
 (HotOS 2025): fault curves, per-configuration safety/liveness predicates
 for Raft and PBFT, exact and sampled probability aggregation, storage-style
-Markov metrics, probability-native planning tools, and a discrete-event
-consensus simulator for empirical validation.
+Markov metrics, probability-native planning tools, a discrete-event
+consensus simulator for empirical validation, and a declarative fault-plan
+subsystem (:mod:`repro.injection`) that replays outages and Byzantine
+attacks through seeded simulation campaigns.
 
 Quickstart
 ----------

@@ -23,7 +23,17 @@ per-scenario results with provenance.  ``query`` generalizes it to the
 time domain: one JSON file may mix ``reliability``, ``availability``,
 ``mttf`` and ``simulation`` questions, each routed to its engine backend
 (shared CTMC solves; sharded simulation campaigns).  ``mttf`` itself is
-answered by those backends.
+answered by those backends.  ``simulation`` rows accept a ``"faults"``
+section — a declarative :mod:`repro.injection` fault plan of typed events
+(``crash``, ``partition``, ``loss-burst``, ``delay-burst``,
+``correlated-burst``) plus an adversary mix — so outage replays and
+Byzantine attack campaigns are plain JSON::
+
+    {"kind": "simulation", "scenario": {...}, "replicas": 50,
+     "faults": {"adversary": {"nodes": [0, 2]},
+                "events": [{"kind": "partition",
+                            "groups": [[0, 1], [2, 3]],
+                            "at": 2.0, "heal_at": 4.0}]}}
 
 ``raft``/``pbft``/``sweep``/``scenarios``/``query`` take ``--jobs N`` to
 fan work over ``N`` worker processes (sharded counting-DP sweeps;
@@ -506,7 +516,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser(
         "query",
-        help="run a mixed JSON query file (reliability/availability/mttf/simulation)",
+        help="run a mixed JSON query file (reliability/availability/mttf/"
+        "simulation; simulation rows may embed fault plans)",
     )
     query.add_argument("file", help="path to a query JSON file")
     query.add_argument(

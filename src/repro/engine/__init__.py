@@ -27,9 +27,12 @@ question kind (:class:`ReliabilityQuery`, :class:`AvailabilityQuery`,
 :class:`MTTFQuery`, :class:`SimulationQuery`) and a mixed
 :class:`QuerySet` routes each row to the backend registered for its kind
 (:func:`register_backend`), batching same-chain CTMC solves and fanning
-simulation replicas across the :class:`ExecutionPolicy` pool.  Answers
-come back as a typed :class:`AnswerSet` whose :class:`Provenance` records
-backend, batch and shard counts.
+simulation replicas across the :class:`ExecutionPolicy` pool.
+:class:`SimulationQuery` campaigns accept a declarative
+:class:`repro.injection.FaultPlan` (``faults=``) describing outages,
+partitions, bursts and Byzantine adversary mixes.  Answers come back as a
+typed :class:`AnswerSet` whose :class:`Provenance` records backend, batch
+and shard counts.
 """
 
 from repro.engine.engine import ReliabilityEngine, default_engine

@@ -23,7 +23,12 @@ Each backend answers one same-kind batch of queries from a single
     :class:`~repro.engine.ExecutionPolicy` pool in
     :func:`~repro.analysis.kernels.plan_shards` chunks, so the audited
     verdict counts depend only on ``(replicas, seed)`` — never on the
-    worker count or executor mode.
+    worker count or executor mode.  Each replica's faults — sampled or
+    correlated window outcomes, crash-recovery, partitions, bursts and
+    Byzantine behaviours — are compiled from the query's
+    :class:`repro.injection.FaultPlan` by :func:`repro.injection.run_replica`;
+    campaign cache keys carry the plan's canonical form and the
+    correlation model, so adversary mixes never share memo entries.
 
 Deterministic time-domain answers (Markov always; simulation when the
 scenario seed is an ``int``) participate in the engine's bounded LRU memo
@@ -281,48 +286,92 @@ def _node_factory_for(spec: "ProtocolSpec"):
 _SIM_SHARD_GRAIN = 16
 
 
-def _run_replica(spec, fleet, duration, commands, crash_window, rng):
-    """One seeded execution: sample faults, run the cluster, audit the trace.
+def _command_schedule(commands: int) -> list[tuple[str, float]]:
+    """The fixed client cadence every campaign replica replays.
 
-    Everything stochastic draws from ``rng`` — the replica's private
-    spawned stream — so the triple returned depends only on that stream.
+    Submit times *accumulate* (``at += interval``) exactly as the
+    pre-fault-plan loop computed them: the closed form differs by float
+    ulps from the third command on, and the DES scheduler breaks
+    equal-time ties by insertion order, so the accumulation is part of the
+    bit-for-bit PR 4 reproduction contract.
     """
-    from repro.analysis.montecarlo import sample_configuration
-    from repro.sim.checker import audit_run
-    from repro.sim.cluster import Cluster
-    from repro.sim.failures import plan_from_config
-
     from repro.engine.query import _COMMAND_INTERVAL, _COMMANDS_START
 
-    config = sample_configuration(fleet, rng)
-    cluster = Cluster(fleet.n, _node_factory_for(spec), seed=rng)
-    plan_from_config(
-        config, duration=duration, crash_window=crash_window, seed=rng
-    ).apply(cluster)
-    cluster.start()
-    values = [f"cmd-{i}" for i in range(commands)]
+    schedule = []
     at = _COMMANDS_START
-    for value in values:
-        cluster.submit(value, at=at)
+    for i in range(commands):
+        schedule.append((f"cmd-{i}", at))
         at += _COMMAND_INTERVAL
-    cluster.run_until(duration)
-    correct = sorted(set(range(fleet.n)) - set(config.failed_indices))
-    verdict = audit_run(cluster.trace, values, correct_nodes=correct)
-    predicted_live = spec.is_live(config)
-    return (
-        not verdict.safe,
-        not verdict.live,
-        verdict.live != predicted_live,
-    )
+    return schedule
 
 
 def _campaign_chunk(payload):
-    """Worker entry point: one shard of replicas, verdicts in replica order."""
-    spec, fleet, duration, commands, crash_window, rngs = payload
+    """Worker entry point: one shard of replicas, verdicts in replica order.
+
+    Each replica's faults are compiled from its private spawned stream by
+    :func:`repro.injection.run_replica`, so the verdicts depend only on
+    the per-replica streams — never on how replicas are chunked.
+    """
+    from repro.injection import run_replica
+
+    query, rngs = payload
+    scenario = query.scenario
+    node_factory = _node_factory_for(scenario.spec)
+    commands = _command_schedule(query.commands)
     return [
-        _run_replica(spec, fleet, duration, commands, crash_window, rng)
+        run_replica(
+            scenario.spec,
+            scenario.fleet,
+            node_factory=node_factory,
+            duration=query.duration,
+            commands=commands,
+            crash_window=query.crash_window,
+            rng=rng,
+            plan=query.faults,
+            correlation=scenario.correlation,
+            failure_kind=scenario.failure_kind,
+        )
         for rng in rngs
     ]
+
+
+def _campaign_cache_key(query: SimulationQuery):
+    """Memo key for a seeded campaign, or ``None`` when not reusable.
+
+    The key distinguishes everything that changes compiled faults: the
+    fault plan's canonical form, the *resolved* Byzantine behaviour
+    implementations (so re-registering a behaviour invalidates answers
+    computed with the old one), the correlation model (hashable frozen
+    models only — a third-party unhashable model simply opts the campaign
+    out of the memo) and the sampled-outcome kind, alongside the PR 4
+    components (spec, fleet, budget, seed).
+    """
+    import numpy as np
+
+    scenario = query.scenario
+    seed = scenario.seed
+    if not isinstance(seed, (int, np.integer)):
+        return None
+    correlation = scenario.correlation
+    if correlation is not None:
+        try:
+            hash(correlation)
+        except TypeError:
+            return None
+    return (
+        "simulation",
+        scenario.spec.grouping_key(),
+        scenario.fleet_key(),
+        query.replicas,
+        query.duration,
+        query.commands,
+        query.crash_window,
+        int(seed),
+        query.fault_key(),
+        query.behaviour_key(),
+        correlation,
+        scenario.failure_kind,
+    )
 
 
 @register_backend("simulation")
@@ -331,8 +380,6 @@ def simulation_backend(
     queries: Sequence[SimulationQuery],
     policy: "ExecutionPolicy",
 ) -> list[Answer]:
-    import numpy as np
-
     from repro.analysis.kernels import (
         plan_shards,
         run_sharded,
@@ -344,18 +391,8 @@ def simulation_backend(
     for query in queries:
         scenario = query.scenario
         seed = scenario.seed
-        key = None
-        if isinstance(seed, (int, np.integer)):
-            key = (
-                "simulation",
-                scenario.spec.grouping_key(),
-                scenario.fleet_key(),
-                query.replicas,
-                query.duration,
-                query.commands,
-                query.crash_window,
-                int(seed),
-            )
+        key = _campaign_cache_key(query)
+        if key is not None:
             cached = engine.cache_lookup(key)
             if cached is not None:
                 answers.append(
@@ -379,24 +416,16 @@ def simulation_backend(
         payloads = []
         offset = 0
         for shard in plan.shards:
-            payloads.append(
-                (
-                    scenario.spec,
-                    scenario.fleet,
-                    query.duration,
-                    query.commands,
-                    query.crash_window,
-                    rngs[offset : offset + shard],
-                )
-            )
+            payloads.append((query, rngs[offset : offset + shard]))
             offset += shard
         jobs = policy.jobs if policy.parallel else 1
         mode = policy.mode if policy.parallel else "serial"
         chunks = run_sharded(_campaign_chunk, payloads, jobs=jobs, mode=mode)
-        verdicts = [triple for chunk_result in chunks for triple in chunk_result]
-        unsafe = sum(1 for u, _, _ in verdicts if u)
-        stalled = sum(1 for _, s, _ in verdicts if s)
-        mismatched = sum(1 for _, _, m in verdicts if m)
+        verdicts = [verdict for chunk_result in chunks for verdict in chunk_result]
+        unsafe = sum(1 for v in verdicts if v.unsafe)
+        stalled = sum(1 for v in verdicts if v.stalled)
+        mismatched = sum(1 for v in verdicts if v.predicate_mismatch)
+        partition_era = sum(1 for v in verdicts if v.partition_era_only)
         value = SimulationAnswer(
             replicas=query.replicas,
             safety_violations=unsafe,
@@ -404,6 +433,7 @@ def simulation_backend(
             predicate_mismatches=mismatched,
             safety_violation_rate=estimate_from_counts(unsafe, query.replicas),
             liveness_violation_rate=estimate_from_counts(stalled, query.replicas),
+            partition_era_liveness_violations=partition_era,
         )
         if key is not None:
             engine.cache_store(key, value)

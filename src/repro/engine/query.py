@@ -39,6 +39,8 @@ from repro.errors import InvalidConfigurationError
 from repro.faults.afr import afr_to_hourly_rate
 from repro.faults.mixture import uniform_fleet
 from repro.engine.scenario import Scenario, ScenarioSet
+from repro.injection.plan import FaultPlan
+from repro.injection.plan import jsonable_value as _jsonable
 from repro.protocols.raft import RaftSpec, majority
 
 #: Client-command schedule the simulation backend uses for every replica:
@@ -108,12 +110,6 @@ class Query:
     def _coerce(cls, payload: dict) -> dict:
         """Hook for subclasses to coerce JSON primitives into field types."""
         return payload
-
-
-def _jsonable(value):
-    if isinstance(value, tuple):
-        return list(value)
-    return value
 
 
 _QUERY_KINDS: dict[str, Type[Query]] = {}
@@ -348,17 +344,22 @@ class MTTFQuery(_MarkovQuery):
 class SimulationQuery(Query):
     """A campaign of seeded discrete-event protocol executions.
 
-    Each replica samples a window failure configuration from the
-    scenario's fleet, injects the corresponding crashes into a
-    :class:`repro.sim.cluster.Cluster` built from the scenario's spec,
-    feeds ``commands`` client commands, and audits the trace with
+    Each replica compiles the query's fault plan against the scenario —
+    window outcomes sampled from the fleet (or its correlation model),
+    crash/recovery schedules, partitions, bursts, and Byzantine behaviour
+    activation via :mod:`repro.injection` — runs the resulting
+    :class:`repro.sim.cluster.Cluster`, feeds ``commands`` client
+    commands, and audits the trace with
     :func:`repro.sim.checker.audit_run`.  The answer reports safety and
-    liveness violation rates with Wilson bounds, plus how often the run
-    verdict disagreed with the §3 liveness predicate.
+    liveness violation rates with Wilson bounds, how often the run
+    verdict disagreed with the §3 liveness predicate, and how many
+    stalled runs were stalled *only* by partition-era commands.
 
-    Replica ``i`` draws from child ``i`` of the scenario seed's
-    ``SeedSequence`` (PR 3's spawned-stream contract), so answers depend
-    only on ``(replicas, seed)`` — never on the
+    ``faults=None`` runs the default crash-only plan — behaviourally (and
+    bit-for-bit) the pre-fault-plan campaign.  Replica ``i`` draws from
+    child ``i`` of the scenario seed's ``SeedSequence`` (PR 3's
+    spawned-stream contract), so answers depend only on
+    ``(replicas, seed)`` — never on the
     :class:`~repro.engine.ExecutionPolicy` worker count or shard size.
     """
 
@@ -368,29 +369,15 @@ class SimulationQuery(Query):
     duration: float = 12.0
     commands: int = 4
     crash_window: tuple[float, float] = (0.0, 0.4)
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
-        if self.scenario.correlation is not None:
-            # The campaign injector samples independent per-node faults;
-            # silently answering a correlated scenario with independent
-            # draws (and sharing cache entries with the uncorrelated one)
-            # would misreport exactly the clustered-failure risk the
-            # correlation model exists to expose.
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise InvalidConfigurationError(
-                "SimulationQuery does not support correlated scenarios; "
-                "drop the correlation model or use a reliability query"
+                "faults must be a repro.injection.FaultPlan (or None for the "
+                "default crash-only plan)"
             )
-        if any(node.p_byzantine > 0.0 for node in self.scenario.fleet):
-            # Same silent-misreport class: the injector only schedules
-            # fail-stops, and the node factories build honest nodes, so a
-            # sampled "Byzantine" node would behave correctly in the run
-            # while the audit and the §3 predicate count it as faulty —
-            # near-zero safety violations plus predicate-mismatch noise.
-            # Reject until Byzantine behaviour injection lands.
-            raise InvalidConfigurationError(
-                "SimulationQuery only injects crash faults; fleets with "
-                "Byzantine probability are not supported yet"
-            )
+        self._check_byzantine_support()
         if self.replicas <= 0:
             raise InvalidConfigurationError(
                 f"replicas must be positive, got {self.replicas}"
@@ -414,10 +401,119 @@ class SimulationQuery(Query):
                 f"invalid crash window {self.crash_window} for duration {self.duration}"
             )
         object.__setattr__(self, "crash_window", window)
+        if self.faults is not None:
+            # Parse-time bounds check: a JSON fault plan referencing nodes
+            # outside the fleet or times outside the run fails here, not as
+            # a backend traceback mid-campaign.
+            self.faults.validate(self.n, self.duration)
+
+    def _byzantine_slots(self) -> tuple[bool, bool]:
+        """Which behaviour slots can materialise: ``(node 0, any other)``.
+
+        Node 0 runs the mix's ``primary_behaviour``, every other Byzantine
+        node its ``behaviour`` — only slots some replica can actually fill
+        need a resolvable name, so a non-PBFT family with (say) only an
+        accomplice behaviour registered can still declare an adversary
+        that avoids node 0.
+        """
+        from repro.analysis.config import FaultKind
+
+        plan = self.faults
+        declared = (
+            set(plan.adversary.nodes)
+            if plan is not None and plan.adversary is not None
+            else set()
+        )
+        primary = 0 in declared
+        others = bool(declared - {0})
+        if plan is None or plan.sample_faults:
+            if self.scenario.correlation is not None:
+                if self.scenario.failure_kind is FaultKind.BYZANTINE:
+                    marginals = self.scenario.correlation.marginal_probabilities()
+                    primary = primary or float(marginals[0]) > 0.0
+                    others = others or any(float(p) > 0.0 for p in marginals[1:])
+            else:
+                probabilities = [node.p_byzantine for node in self.scenario.fleet]
+                primary = primary or probabilities[0] > 0.0
+                others = others or any(p > 0.0 for p in probabilities[1:])
+        return primary, others
+
+    @property
+    def byzantine_possible(self) -> bool:
+        """Whether any compiled replica can contain a Byzantine node."""
+        primary, others = self._byzantine_slots()
+        return primary or others
+
+    @property
+    def adversary_mix(self):
+        """The behaviour mix Byzantine outcomes run (declared or default)."""
+        from repro.injection.plan import DEFAULT_ADVERSARY
+
+        plan = self.faults
+        if plan is not None and plan.adversary is not None:
+            return plan.adversary
+        return DEFAULT_ADVERSARY
+
+    def _check_byzantine_support(self) -> None:
+        """Byzantine outcomes need a registered, resolvable behaviour.
+
+        Without one, a sampled "Byzantine" node would run honest code while
+        the audit and the §3 predicate count it as faulty — the silent
+        safety misreport the pre-fault-plan backend rejected wholesale.
+        Both the family registration *and* the adversary mix's behaviour
+        names resolve here, at parse time, not as a worker traceback
+        mid-campaign.
+        """
+        from repro.injection import supports_byzantine
+
+        if not self.byzantine_possible:
+            return
+        if not supports_byzantine(self.scenario.spec):
+            raise InvalidConfigurationError(
+                "this scenario can produce Byzantine nodes but no Byzantine "
+                f"behaviour is registered for {type(self.scenario.spec).__qualname__}; "
+                "simulation campaigns activate behaviours through fault plans "
+                "(repro.injection: built-ins cover PBFTSpec; "
+                "register_behaviour() adds other protocol families)"
+            )
+        self.behaviour_key()  # resolves the mix's names; raises for unknown
+
+    def behaviour_key(self) -> tuple | None:
+        """Resolved behaviour *implementations* (campaign cache component).
+
+        ``None`` when no replica can contain a Byzantine node; each slot
+        resolves only when it can materialise (see :meth:`_byzantine_slots`).
+        Keys carry the registered build callables, not the names, so
+        shadowing a behaviour via :func:`repro.injection.register_behaviour`
+        naturally invalidates cached campaign answers — the same
+        re-registration invariant the engine's estimator cache keys uphold.
+        """
+        from repro.injection import behaviour_build
+
+        primary, others = self._byzantine_slots()
+        if not (primary or others):
+            return None
+        mix = self.adversary_mix
+        spec = self.scenario.spec
+        return (
+            behaviour_build(mix.behaviour, spec) if others else None,
+            behaviour_build(mix.primary_behaviour, spec) if primary else None,
+        )
 
     def seed_root(self):
         """The stream the per-replica ``SeedSequence`` children spawn from."""
         return self.scenario.seed
+
+    def fault_key(self) -> tuple:
+        """Hashable identity of the fault plan (campaign cache component).
+
+        ``faults=None`` keys as the default plan it runs, so a bare query
+        and one carrying an explicit all-default ``FaultPlan()`` — which
+        compile to bit-identical campaigns — share one memo entry.
+        """
+        from repro.injection.plan import DEFAULT_PLAN
+
+        return (DEFAULT_PLAN if self.faults is None else self.faults).cache_key()
 
     @classmethod
     def _coerce(cls, payload: dict) -> dict:
@@ -429,6 +525,8 @@ class SimulationQuery(Query):
             payload["commands"] = int(payload["commands"])
         if "crash_window" in payload:
             payload["crash_window"] = tuple(float(e) for e in payload["crash_window"])
+        if payload.get("faults") is not None:
+            payload["faults"] = FaultPlan.from_dict(payload["faults"])
         return payload
 
 

@@ -202,6 +202,11 @@ class SimulationAnswer:
     ``predicate_mismatches`` counts runs whose trace-level liveness verdict
     disagreed with the §3 predicate for the injected configuration — the
     simulator-vs-theory validation loop as a first-class number.
+    ``partition_era_liveness_violations`` counts the stalled runs whose
+    missing commands were *all* submitted during an injected network
+    partition — a timing-based attribution separating stalls the
+    partition plausibly explains from clear-network ones (a concurrent
+    quorum-destroying crash can also stall a partition-era command).
     """
 
     replicas: int
@@ -210,17 +215,21 @@ class SimulationAnswer:
     predicate_mismatches: int
     safety_violation_rate: Estimate
     liveness_violation_rate: Estimate
+    partition_era_liveness_violations: int = 0
 
     def describe(self) -> str:
         sv, lv = self.safety_violation_rate, self.liveness_violation_rate
-        return (
+        text = (
             f"{self.replicas} runs: unsafe {sv.value:.3f} "
             f"[{sv.ci_low:.3f}, {sv.ci_high:.3f}], "
             f"stalled {lv.value:.3f} [{lv.ci_low:.3f}, {lv.ci_high:.3f}]"
         )
+        if self.partition_era_liveness_violations:
+            text += f" ({self.partition_era_liveness_violations} partition-era)"
+        return text
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "replicas": self.replicas,
             "safety_violations": self.safety_violations,
             "liveness_violations": self.liveness_violations,
@@ -236,6 +245,11 @@ class SimulationAnswer:
                 self.liveness_violation_rate.ci_high,
             ],
         }
+        if self.partition_era_liveness_violations:
+            data["partition_era_liveness_violations"] = (
+                self.partition_era_liveness_violations
+            )
+        return data
 
 
 def describe_answer_value(value: object) -> str:

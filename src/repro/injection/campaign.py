@@ -1,0 +1,327 @@
+"""Fault-plan compilation and per-replica campaign execution.
+
+:func:`compile_faults` turns a declarative :class:`~repro.injection.plan.FaultPlan`
+into one replica's concrete :class:`CompiledFaults` — window outcomes,
+crash/recovery schedule, Byzantine behaviour assignments and network
+operations — drawing every stochastic choice from that replica's private
+spawned stream.  :func:`run_replica` then executes the replica end to end
+(build cluster, inject, drive the workload, audit) and returns the
+verdict tuple the simulation backend aggregates.
+
+**Stream contract.**  The default plan consumes the replica stream in the
+exact order the pre-fault-plan backend did — one window-configuration
+draw, then one crash-time uniform per sampled crash, then the cluster's
+``spawn(n + 1)`` — so crash-only campaigns reproduce historical answers
+bit-for-bit (pinned by ``tests/test_golden_injection.py``).  Plan
+features only *append* draws (MTTR exponentials after each crash uniform,
+event draws after the sampled schedule), and uniform draws and
+``SeedSequence.spawn`` advance independent counters, so reordering one
+never perturbs the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.analysis.config import FailureConfig, FaultKind
+from repro.errors import InvalidConfigurationError
+from repro.injection.behaviours import behaviour_factory
+from repro.injection.plan import DEFAULT_ADVERSARY, DEFAULT_PLAN, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.correlation import CorrelationModel
+    from repro.faults.mixture import Fleet
+    from repro.protocols.base import ProtocolSpec
+    from repro.sim.cluster import Cluster, NodeFactory
+
+
+#: One scheduled network operation: ``(kind, at, value, closing)`` where
+#: kind is "partition" (value=groups), "heal" (value=None), "drop"
+#: (value=probability or None for baseline) or "delay" (value=seconds).
+#: ``closing`` marks ops that end a declared window (heals, restores); at
+#: a shared boundary they are applied before the next window's opening op.
+NetworkOp = tuple
+
+
+@dataclass
+class FaultSchedule:
+    """Mutable build target the plan's events compile onto.
+
+    Per-node downtime is a *union of intervals*: each cause contributes a
+    ``[crash, recover)`` interval (``recover=None`` = down for good) and
+    :meth:`outages` merges overlapping contributions — a node is down
+    whenever any declared cause has it down, and two disjoint intervals
+    (crash, recover, crash again later) schedule two separate outages.
+    """
+
+    n: int
+    duration: float
+    intervals: dict[int, list[tuple[float, float | None]]] = field(
+        default_factory=dict
+    )
+    network_ops: list[NetworkOp] = field(default_factory=list)
+    partition_windows: list[tuple[float, float]] = field(default_factory=list)
+
+    def crash(self, node: int, at: float, *, recover_at: float | None = None) -> None:
+        # Crashing exactly at t=0 races node start (see plan_from_curves).
+        at = max(float(at), 1e-9)
+        recover = None if recover_at is None else float(recover_at)
+        self.intervals.setdefault(node, []).append((at, recover))
+
+    def outages(self) -> tuple[tuple[int, float, float | None], ...]:
+        """Merged ``(node, crash, recover)`` rows, node-major, time-sorted.
+
+        Overlapping or touching intervals union (a repair mid-way through
+        another cause's outage never revives the node); disjoint ones stay
+        separate outages.
+        """
+        rows: list[tuple[int, float, float | None]] = []
+        for node in sorted(self.intervals):
+            # Terminal intervals (recover=None) sort as infinite recoveries;
+            # plain sorted() would compare None with float and raise.
+            spans = sorted(
+                self.intervals[node],
+                key=lambda span: (
+                    span[0],
+                    float("inf") if span[1] is None else span[1],
+                ),
+            )
+            start, end = spans[0]
+            for next_start, next_end in spans[1:]:
+                if end is None or next_start <= end:
+                    if end is not None:
+                        end = None if next_end is None else max(end, next_end)
+                else:
+                    rows.append((node, start, end))
+                    start, end = next_start, next_end
+            rows.append((node, start, end))
+        return tuple(rows)
+
+    def partition(self, groups, at: float, heal_at: float) -> None:
+        self.network_ops.append(("partition", float(at), groups, False))
+        if heal_at < self.duration:
+            self.network_ops.append(("heal", float(heal_at), None, True))
+        self.partition_windows.append((float(at), float(heal_at)))
+
+    def network_op(self, kind: str, at: float, value, *, closing: bool = False) -> None:
+        self.network_ops.append((kind, float(at), value, closing))
+
+
+@dataclass(frozen=True)
+class CompiledFaults:
+    """One replica's concrete fault realisation.
+
+    ``config`` is the window-outcome view the §3 predicates and the trace
+    audit consume: every node the schedule ever crashes is CRASH (even if
+    it later recovers — it was not correct for the whole run) and every
+    adversary node is BYZANTINE.  ``outages`` are merged
+    ``(node, crash, recover)`` downtime intervals (``recover=None`` =
+    terminal); ``behaviours`` maps Byzantine node ids to registry
+    behaviour names.
+    """
+
+    config: FailureConfig
+    outages: tuple[tuple[int, float, float | None], ...]
+    behaviours: dict[int, str]
+    network_ops: tuple[NetworkOp, ...]
+    partition_windows: tuple[tuple[float, float], ...]
+
+    def crashed_nodes(self) -> frozenset[int]:
+        return frozenset(node for node, _, _ in self.outages)
+
+    def apply(self, cluster: "Cluster") -> None:
+        """Schedule the compiled outages on a cluster.
+
+        Crashes first, then recoveries, node-major — the same application
+        pattern as :meth:`repro.sim.failures.InjectionPlan.apply`, so the
+        default plan schedules its events in the historical order.
+        """
+        for node, crash_time, _ in self.outages:
+            cluster.crash_at(node, crash_time)
+        for node, _, recover_time in self.outages:
+            if recover_time is not None:
+                cluster.recover_at(node, recover_time)
+
+    def apply_network(self, cluster: "Cluster") -> None:
+        """Schedule the compiled partition/heal and burst operations.
+
+        Ops are applied time-sorted with window-*closing* ops (heals,
+        baseline restores) ahead of same-instant openers: the scheduler
+        runs equal-time events in insertion order, so back-to-back windows
+        — one healing at the exact instant the next starts, in any
+        declaration order — always end up with the new window in force.
+        """
+        for op in sorted(self.network_ops, key=lambda op: (op[1], not op[3])):
+            kind = op[0]
+            if kind == "partition":
+                cluster.partition_at(op[2], op[1])
+            elif kind == "heal":
+                cluster.heal_partition_at(op[1])
+            elif kind == "drop":
+                cluster.set_drop_probability_at(op[2], op[1])
+            elif kind == "delay":
+                cluster.set_extra_delay_at(op[2], op[1])
+            else:  # pragma: no cover - schedule() only emits the four kinds
+                raise InvalidConfigurationError(f"unknown network op {kind!r}")
+
+
+def _sampled_config(
+    fleet: "Fleet",
+    correlation: "CorrelationModel | None",
+    failure_kind: FaultKind,
+    rng: np.random.Generator,
+) -> FailureConfig:
+    """Draw one window configuration — correlated when the model is given."""
+    from repro.analysis.montecarlo import sample_configuration
+
+    if correlation is None:
+        return sample_configuration(fleet, rng)
+    failed = correlation.sample(rng)
+    return FailureConfig(
+        tuple(failure_kind if bool(hit) else FaultKind.CORRECT for hit in failed)
+    )
+
+
+def compile_faults(
+    plan: FaultPlan | None,
+    *,
+    fleet: "Fleet",
+    duration: float,
+    crash_window: tuple[float, float],
+    correlation: "CorrelationModel | None" = None,
+    failure_kind: FaultKind = FaultKind.CRASH,
+    rng: np.random.Generator,
+) -> CompiledFaults:
+    """Compile ``plan`` for one replica, drawing from its private stream."""
+    from repro.sim.failures import plan_from_config
+
+    if plan is None:
+        plan = DEFAULT_PLAN
+    n = fleet.n
+    plan.validate(n, duration)
+
+    # 1. Window outcomes (fleet trinomial, or the correlation model).
+    if plan.sample_faults:
+        config = _sampled_config(fleet, correlation, failure_kind, rng)
+    else:
+        config = FailureConfig.all_correct(n)
+
+    # 2. Declared adversary nodes are Byzantine regardless of the draw
+    #    (and therefore never fail-stop via the sampled schedule).
+    adversary = plan.adversary
+    if adversary is not None:
+        for node in adversary.nodes:
+            if config[node] is not FaultKind.BYZANTINE:
+                config = config.with_kind(node, FaultKind.BYZANTINE)
+
+    # 3. Sampled crash-stop (or crash-recovery) schedule.
+    injection = plan_from_config(
+        config,
+        duration=duration,
+        crash_window=crash_window,
+        mean_time_to_repair=plan.mean_time_to_repair,
+        seed=rng,
+    )
+    schedule = FaultSchedule(n=n, duration=duration)
+    for node, at in injection.crash_times.items():
+        schedule.crash(node, at, recover_at=injection.recovery_times.get(node))
+
+    # 4. Plan events, in declaration order.
+    for event in plan.events:
+        event.schedule(schedule, rng)
+
+    # 5. Any node the events crashed was not correct for the window.
+    for node in schedule.intervals:
+        if config[node] is FaultKind.CORRECT:
+            config = config.with_kind(node, FaultKind.CRASH)
+
+    mix = adversary if adversary is not None else DEFAULT_ADVERSARY
+    behaviours = {
+        node: mix.behaviour_for(node) for node in sorted(config.byzantine_indices)
+    }
+
+    return CompiledFaults(
+        config=config,
+        outages=schedule.outages(),
+        behaviours=behaviours,
+        network_ops=tuple(schedule.network_ops),
+        partition_windows=tuple(schedule.partition_windows),
+    )
+
+
+@dataclass(frozen=True)
+class ReplicaVerdict:
+    """Audited outcome of one replica run (the backend's tally unit)."""
+
+    unsafe: bool
+    stalled: bool
+    predicate_mismatch: bool
+    partition_era_only: bool
+
+
+def run_replica(
+    spec: "ProtocolSpec",
+    fleet: "Fleet",
+    *,
+    node_factory: "NodeFactory",
+    duration: float,
+    commands: Sequence[tuple[object, float]],
+    crash_window: tuple[float, float],
+    rng: np.random.Generator,
+    plan: FaultPlan | None = None,
+    correlation: "CorrelationModel | None" = None,
+    failure_kind: FaultKind = FaultKind.CRASH,
+) -> ReplicaVerdict:
+    """One seeded execution: compile faults, run the cluster, audit the trace.
+
+    Everything stochastic draws from ``rng`` — the replica's private
+    spawned stream — so the verdict depends only on that stream.
+    ``commands`` is the ``(value, submit_time)`` workload schedule.
+    """
+    from repro.sim.checker import audit_run
+    from repro.sim.cluster import Cluster
+
+    compiled = compile_faults(
+        plan,
+        fleet=fleet,
+        duration=duration,
+        crash_window=crash_window,
+        correlation=correlation,
+        failure_kind=failure_kind,
+        rng=rng,
+    )
+    overrides = {
+        node: behaviour_factory(name, spec)
+        for node, name in compiled.behaviours.items()
+    }
+    cluster = Cluster(
+        fleet.n, node_factory, seed=rng, node_overrides=overrides or None
+    )
+    compiled.apply(cluster)
+    compiled.apply_network(cluster)
+    cluster.start()
+    for value, at in commands:
+        cluster.submit(value, at=at)
+    cluster.run_until(duration)
+
+    config = compiled.config
+    correct = sorted(set(range(fleet.n)) - set(config.failed_indices))
+    verdict = audit_run(
+        cluster.trace,
+        [value for value, _ in commands],
+        correct_nodes=correct,
+        partition_windows=compiled.partition_windows,
+        submit_times={value: at for value, at in commands},
+    )
+    predicted_live = spec.is_live(config)
+    missing = verdict.liveness.missing
+    partition_era = verdict.liveness.partition_era
+    return ReplicaVerdict(
+        unsafe=not verdict.safe,
+        stalled=not verdict.live,
+        predicate_mismatch=verdict.live != predicted_live,
+        partition_era_only=bool(missing) and set(missing) == set(partition_era),
+    )

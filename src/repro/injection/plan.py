@@ -1,0 +1,647 @@
+"""Declarative fault plans: typed events + adversary mix, JSON-embeddable.
+
+The simulator's historical injector (:mod:`repro.sim.failures`) answered
+one question shape — window-sampled fail-stops.  A :class:`FaultPlan` is
+the declarative superset: an ordered tuple of typed :class:`FaultEvent`
+rows (crash-stop, crash-recovery, partition/heal, delay/loss bursts,
+correlated bursts) plus an :class:`Adversary` section mapping Byzantine
+outcomes to registered misbehaviour classes.  Plans are frozen values
+with dict/JSON codecs, so they embed directly in scenario/query files and
+hash into the engine's campaign cache keys.
+
+Plans are *specifications*, not schedules: anything stochastic (sampled
+window outcomes, MTTR repair delays, burst lethality) is drawn at
+compile time from the per-replica spawned stream — see
+:func:`repro.injection.campaign.compile_faults` — which is what keeps
+campaign answers invariant to worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import ClassVar, Mapping, Type
+
+from repro.errors import InvalidConfigurationError
+
+
+def jsonable_value(value):
+    """JSON-ready form of one codec field value.
+
+    The single helper behind every fault-plan and query codec: objects
+    exposing ``to_dict`` serialize through it, tuples become lists
+    (recursively — partition groups nest), everything else passes through.
+    """
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    if isinstance(value, tuple):
+        return [jsonable_value(item) for item in value]
+    return value
+
+
+def _freeze(value):
+    """Canonical hashable form of a codec payload (for cache keys)."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _fields_to_dict(obj) -> dict:
+    """Serialize a frozen codec dataclass, omitting default-valued fields."""
+    data: dict = {}
+    for spec in fields(obj):
+        value = getattr(obj, spec.name)
+        if value != spec.default:
+            data[spec.name] = jsonable_value(value)
+    return data
+
+
+def _check_unknown_fields(label: str, payload: Mapping, known: set[str]) -> None:
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise InvalidConfigurationError(
+            f"unknown {label} fields {unknown}; expected a subset of {sorted(known)}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Typed fault events
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one declarative fault with a ``kind`` codec tag.
+
+    Subclasses add their parameters as dataclass fields (round-tripped by
+    :meth:`to_dict` / :func:`fault_event_from_dict` automatically) and
+    implement :meth:`validate` (bounds against the deployment) plus
+    :meth:`schedule` (compilation onto a :class:`FaultSchedule`, drawing
+    any randomness from the replica's stream).
+    """
+
+    #: Codec tag; also the ``"kind"`` field of the dict form.
+    kind: ClassVar[str] = ""
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **_fields_to_dict(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultEvent":
+        payload = dict(data)
+        payload.pop("kind", None)
+        _check_unknown_fields(
+            f"{cls.kind} event", payload, {spec.name for spec in fields(cls)}
+        )
+        return cls(**cls._coerce(payload))
+
+    @classmethod
+    def _coerce(cls, payload: dict) -> dict:
+        """Hook for subclasses to coerce JSON primitives into field types."""
+        return payload
+
+    # -- compilation -------------------------------------------------------
+    def validate(self, n: int, duration: float) -> None:
+        """Check the event fits an ``n``-node run of ``duration`` seconds."""
+
+    def schedule(self, schedule, rng) -> None:  # pragma: no cover - interface
+        """Compile onto a :class:`FaultSchedule` using the replica stream."""
+        raise NotImplementedError
+
+
+_EVENT_KINDS: dict[str, Type[FaultEvent]] = {}
+
+
+def register_fault_event(cls: Type[FaultEvent]) -> Type[FaultEvent]:
+    """Class decorator: make ``cls`` addressable by its :attr:`kind`.
+
+    Feeds :func:`fault_event_from_dict` (and therefore JSON fault-plan
+    sections).  Idempotent per kind — last registration wins.
+    """
+    if not cls.kind:
+        raise InvalidConfigurationError(f"{cls.__name__} must define a non-empty kind")
+    _EVENT_KINDS[cls.kind] = cls
+    return cls
+
+
+def registered_fault_events() -> tuple[str, ...]:
+    return tuple(sorted(_EVENT_KINDS))
+
+
+def fault_event_from_dict(data: Mapping) -> FaultEvent:
+    """Rebuild any registered fault event from its dict form."""
+    if not isinstance(data, Mapping):
+        raise InvalidConfigurationError(
+            f"fault event must be an object, got {type(data).__name__}"
+        )
+    kind = data.get("kind")
+    if kind is None:
+        raise InvalidConfigurationError("fault event dict needs a 'kind' field")
+    cls = _EVENT_KINDS.get(str(kind))
+    if cls is None:
+        raise InvalidConfigurationError(
+            f"unknown fault event kind {kind!r}; registered: {sorted(_EVENT_KINDS)}"
+        )
+    return cls.from_dict(data)
+
+
+def _check_node(node: int, n: int) -> None:
+    if not 0 <= node < n:
+        raise InvalidConfigurationError(
+            f"fault event references node {node} outside fleet of {n}"
+        )
+
+
+def _check_time(name: str, value: float, duration: float) -> None:
+    if not 0.0 <= value < duration:
+        raise InvalidConfigurationError(
+            f"fault event {name}={value:g} outside run [0, {duration:g})"
+        )
+
+
+@register_fault_event
+@dataclass(frozen=True)
+class CrashStop(FaultEvent):
+    """Fail-stop one node at ``at``; optionally recover it.
+
+    ``recover_at`` schedules a deterministic repair; ``mean_time_to_repair``
+    instead draws an exponential repair delay from the replica stream
+    (crash-recovery, the MTTR model of
+    :func:`repro.sim.failures.plan_from_curves`).  Repairs landing past the
+    run's duration are dropped — the node stays down, matching the
+    analysis model where an unrepaired window failure is terminal.
+    """
+
+    kind: ClassVar[str] = "crash"
+
+    node: int = 0
+    at: float = 0.0
+    recover_at: float | None = None
+    mean_time_to_repair: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise InvalidConfigurationError(f"node must be non-negative, got {self.node}")
+        if self.at < 0:
+            raise InvalidConfigurationError(f"crash time must be non-negative, got {self.at}")
+        if self.recover_at is not None and self.mean_time_to_repair is not None:
+            raise InvalidConfigurationError(
+                "crash event takes recover_at or mean_time_to_repair, not both"
+            )
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise InvalidConfigurationError(
+                f"recovery at {self.recover_at:g} precedes the crash at {self.at:g}"
+            )
+        if self.mean_time_to_repair is not None and self.mean_time_to_repair <= 0:
+            raise InvalidConfigurationError("mean_time_to_repair must be positive")
+
+    @classmethod
+    def _coerce(cls, payload: dict) -> dict:
+        if "node" in payload:
+            payload["node"] = int(payload["node"])
+        for name in ("at", "recover_at", "mean_time_to_repair"):
+            if payload.get(name) is not None:
+                payload[name] = float(payload[name])
+        return payload
+
+    def validate(self, n: int, duration: float) -> None:
+        _check_node(self.node, n)
+        _check_time("at", self.at, duration)
+
+    def schedule(self, schedule, rng) -> None:
+        from repro.sim.failures import draw_repair_time
+
+        recover = self.recover_at
+        if self.mean_time_to_repair is not None:
+            recover = draw_repair_time(
+                self.at, self.mean_time_to_repair, schedule.duration, rng
+            )
+        elif recover is not None and recover >= schedule.duration:
+            recover = None
+        schedule.crash(self.node, self.at, recover_at=recover)
+
+
+@register_fault_event
+@dataclass(frozen=True)
+class PartitionEvent(FaultEvent):
+    """Split the network into ``groups`` at ``at``; heal at ``heal_at``.
+
+    ``heal_at=None`` leaves the partition in place to the end of the run.
+    Nodes outside every group are isolated from grouped nodes (the
+    :meth:`repro.sim.network.Network.set_partition` semantics).
+    """
+
+    kind: ClassVar[str] = "partition"
+
+    groups: tuple[tuple[int, ...], ...] = ()
+    at: float = 0.0
+    heal_at: float | None = None
+
+    def __post_init__(self) -> None:
+        groups = tuple(tuple(int(node) for node in group) for group in self.groups)
+        object.__setattr__(self, "groups", groups)
+        if not groups:
+            raise InvalidConfigurationError("partition event needs at least one group")
+        seen: set[int] = set()
+        for group in groups:
+            if set(group) & seen:
+                raise InvalidConfigurationError("partition groups must be disjoint")
+            seen |= set(group)
+        if self.at < 0:
+            raise InvalidConfigurationError("partition time must be non-negative")
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise InvalidConfigurationError(
+                f"heal at {self.heal_at:g} precedes the partition at {self.at:g}"
+            )
+
+    @classmethod
+    def _coerce(cls, payload: dict) -> dict:
+        if "groups" in payload:
+            payload["groups"] = tuple(tuple(g) for g in payload["groups"])
+        for name in ("at", "heal_at"):
+            if payload.get(name) is not None:
+                payload[name] = float(payload[name])
+        return payload
+
+    def validate(self, n: int, duration: float) -> None:
+        for group in self.groups:
+            for node in group:
+                _check_node(node, n)
+        _check_time("at", self.at, duration)
+
+    def schedule(self, schedule, rng) -> None:
+        heal = self.heal_at if self.heal_at is not None else schedule.duration
+        schedule.partition(self.groups, self.at, min(heal, schedule.duration))
+
+
+@register_fault_event
+@dataclass(frozen=True)
+class LossBurst(FaultEvent):
+    """Raise the network's message-drop probability to ``drop_probability``
+    over ``[at, until)``, then restore the baseline."""
+
+    kind: ClassVar[str] = "loss-burst"
+
+    at: float = 0.0
+    until: float = 0.0
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.until <= self.at:
+            raise InvalidConfigurationError(
+                f"loss burst needs 0 <= at < until, got [{self.at:g}, {self.until:g})"
+            )
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise InvalidConfigurationError("drop_probability must be in [0, 1)")
+
+    @classmethod
+    def _coerce(cls, payload: dict) -> dict:
+        for name in ("at", "until", "drop_probability"):
+            if name in payload:
+                payload[name] = float(payload[name])
+        return payload
+
+    def validate(self, n: int, duration: float) -> None:
+        _check_time("at", self.at, duration)
+
+    def schedule(self, schedule, rng) -> None:
+        schedule.network_op("drop", self.at, self.drop_probability)
+        if self.until < schedule.duration:
+            # None = restore the baseline; closing ops yield to any burst
+            # opening at the same instant.
+            schedule.network_op("drop", self.until, None, closing=True)
+
+
+@register_fault_event
+@dataclass(frozen=True)
+class DelayBurst(FaultEvent):
+    """Add ``extra_delay`` seconds to every message over ``[at, until)``
+    (a congestion/gray-failure burst), then restore the baseline."""
+
+    kind: ClassVar[str] = "delay-burst"
+
+    at: float = 0.0
+    until: float = 0.0
+    extra_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.until <= self.at:
+            raise InvalidConfigurationError(
+                f"delay burst needs 0 <= at < until, got [{self.at:g}, {self.until:g})"
+            )
+        if self.extra_delay < 0:
+            raise InvalidConfigurationError("extra_delay must be non-negative")
+
+    @classmethod
+    def _coerce(cls, payload: dict) -> dict:
+        for name in ("at", "until", "extra_delay"):
+            if name in payload:
+                payload[name] = float(payload[name])
+        return payload
+
+    def validate(self, n: int, duration: float) -> None:
+        _check_time("at", self.at, duration)
+
+    def schedule(self, schedule, rng) -> None:
+        schedule.network_op("delay", self.at, self.extra_delay)
+        if self.until < schedule.duration:
+            schedule.network_op("delay", self.until, 0.0, closing=True)
+
+
+@register_fault_event
+@dataclass(frozen=True)
+class CorrelatedBurst(FaultEvent):
+    """A correlated group outage at ``at``, drawn per replica via
+    :class:`repro.faults.correlation.CommonShockModel`.
+
+    With probability ``probability`` the burst fires, killing each member
+    independently with probability ``lethality`` (the Marshall–Olkin shock
+    of §2).  ``mean_time_to_repair`` draws an exponential repair delay per
+    victim; without it victims stay down.  The draws come from the replica
+    stream, so which replicas suffer the burst is seeded and
+    jobs-invariant.
+    """
+
+    kind: ClassVar[str] = "correlated-burst"
+
+    members: tuple[int, ...] = ()
+    at: float = 0.0
+    probability: float = 1.0
+    lethality: float = 1.0
+    mean_time_to_repair: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", tuple(int(m) for m in self.members))
+        if not self.members:
+            raise InvalidConfigurationError("correlated burst needs at least one member")
+        if len(set(self.members)) != len(self.members):
+            raise InvalidConfigurationError("correlated burst has duplicate members")
+        if self.at < 0:
+            raise InvalidConfigurationError("burst time must be non-negative")
+        if not 0.0 <= self.probability <= 1.0:
+            raise InvalidConfigurationError("burst probability must be in [0, 1]")
+        if not 0.0 <= self.lethality <= 1.0:
+            raise InvalidConfigurationError("burst lethality must be in [0, 1]")
+        if self.mean_time_to_repair is not None and self.mean_time_to_repair <= 0:
+            raise InvalidConfigurationError("mean_time_to_repair must be positive")
+
+    @classmethod
+    def _coerce(cls, payload: dict) -> dict:
+        if "members" in payload:
+            payload["members"] = tuple(payload["members"])
+        for name in ("at", "probability", "lethality", "mean_time_to_repair"):
+            if payload.get(name) is not None:
+                payload[name] = float(payload[name])
+        return payload
+
+    def validate(self, n: int, duration: float) -> None:
+        for node in self.members:
+            _check_node(node, n)
+        _check_time("at", self.at, duration)
+
+    def _shock_model(self, n: int):
+        """The burst's :class:`CommonShockModel`, memoised per fleet size.
+
+        ``schedule`` runs once per replica; the model depends only on the
+        event's frozen fields and ``n``, so build it once (the same
+        frozen-dataclass memo pattern as :meth:`FaultPlan.validate`).
+        """
+        cache = getattr(self, "_models", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_models", cache)
+        model = cache.get(n)
+        if model is None:
+            from repro.faults.correlation import CommonShockModel, ShockGroup
+            from repro.faults.mixture import uniform_fleet
+
+            shock = ShockGroup(
+                self.members, self.probability, self.lethality, name="burst"
+            )
+            model = CommonShockModel(uniform_fleet(n, 0.0), (shock,))
+            cache[n] = model
+        return model
+
+    def schedule(self, schedule, rng) -> None:
+        import numpy as np
+
+        from repro.sim.failures import draw_repair_time
+
+        victims = np.flatnonzero(self._shock_model(schedule.n).sample(rng))
+        for node in victims:
+            recover = None
+            if self.mean_time_to_repair is not None:
+                recover = draw_repair_time(
+                    self.at, self.mean_time_to_repair, schedule.duration, rng
+                )
+            schedule.crash(int(node), self.at, recover_at=recover)
+
+
+# ---------------------------------------------------------------------------
+# Adversary mix
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Adversary:
+    """How Byzantine outcomes become running misbehaviour classes.
+
+    ``nodes`` pins an always-Byzantine set (on top of any window outcomes
+    sampled from the fleet/correlation model); behaviours are names from
+    the :mod:`repro.injection.behaviours` registry.  Node 0 — the initial
+    PBFT primary — runs ``primary_behaviour`` when Byzantine, every other
+    Byzantine node runs ``behaviour`` (the
+    :func:`repro.sim.pbft.byzantine.mixed_pbft_factory` convention).  The
+    defaults compose the paper's Theorem 3.1 attack: an equivocating,
+    double-voting primary with double-voting accomplices.
+    """
+
+    nodes: tuple[int, ...] = ()
+    behaviour: str = "double-vote"
+    primary_behaviour: str = "equivocate+double-vote"
+
+    def __post_init__(self) -> None:
+        nodes = tuple(int(node) for node in self.nodes)
+        object.__setattr__(self, "nodes", nodes)
+        if len(set(nodes)) != len(nodes):
+            raise InvalidConfigurationError("adversary has duplicate nodes")
+        if any(node < 0 for node in nodes):
+            raise InvalidConfigurationError("adversary nodes must be non-negative")
+        if not self.behaviour or not self.primary_behaviour:
+            raise InvalidConfigurationError("adversary behaviours must be non-empty")
+
+    def behaviour_for(self, node: int) -> str:
+        return self.primary_behaviour if node == 0 else self.behaviour
+
+    def to_dict(self) -> dict:
+        return _fields_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Adversary":
+        payload = dict(data)
+        _check_unknown_fields(
+            "adversary", payload, {spec.name for spec in fields(cls)}
+        )
+        if "nodes" in payload:
+            payload["nodes"] = tuple(payload["nodes"])
+        return cls(**payload)
+
+
+#: Default behaviour mix for fleets that sample Byzantine outcomes without
+#: declaring an adversary section.
+DEFAULT_ADVERSARY = Adversary()
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultPlan:
+    """One replica-independent fault specification for a campaign.
+
+    ``sample_faults`` keeps the historical per-replica window draw (from
+    the scenario's fleet, or its correlation model when present);
+    ``mean_time_to_repair`` turns those sampled crash-stops into
+    crash-recoveries (exponential repair, sim-seconds).  ``events`` add
+    deterministic or stochastic scheduled faults on top, in order, and
+    ``adversary`` maps Byzantine outcomes to behaviour classes.  The
+    default plan — no events, no adversary, sampling on — compiles to the
+    exact pre-fault-plan campaign behaviour, stream draw for stream draw.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    adversary: Adversary | None = None
+    sample_faults: bool = True
+    mean_time_to_repair: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        if not all(isinstance(event, FaultEvent) for event in self.events):
+            raise InvalidConfigurationError("plan events must be FaultEvent instances")
+        if self.adversary is not None and not isinstance(self.adversary, Adversary):
+            raise InvalidConfigurationError("adversary must be an Adversary instance")
+        if self.mean_time_to_repair is not None and self.mean_time_to_repair <= 0:
+            raise InvalidConfigurationError("mean_time_to_repair must be positive")
+
+    @property
+    def declares_byzantine(self) -> bool:
+        return self.adversary is not None and bool(self.adversary.nodes)
+
+    def validate(self, n: int, duration: float) -> None:
+        """Check every event (and the adversary set) fits the deployment.
+
+        Memoised per ``(n, duration)``: the plan is frozen, so a campaign
+        that validated at query-parse time costs nothing per replica.
+        """
+        memo = getattr(self, "_validated", None)
+        if memo is None:
+            memo = set()
+            object.__setattr__(self, "_validated", memo)
+        if (n, duration) in memo:
+            return
+        for event in self.events:
+            event.validate(n, duration)
+        if self.adversary is not None:
+            for node in self.adversary.nodes:
+                _check_node(node, n)
+        # The network holds one partition, one drop probability and one
+        # extra delay at a time: a second same-kind window opening before
+        # the first closes would silently overwrite it, and the first
+        # window's close would restore the baseline mid-burst (or heal the
+        # standing partition early), under-reporting the declared
+        # degradation.  Reject the overlap at parse time.
+        def window(event) -> tuple[float, float]:
+            if isinstance(event, PartitionEvent):
+                return (event.at, duration if event.heal_at is None else event.heal_at)
+            return (event.at, event.until)
+
+        for cls, what, advice in (
+            (PartitionEvent, "partition", "heal the first before declaring the next"),
+            (LossBurst, "loss-burst", "end the first burst before the next starts"),
+            (DelayBurst, "delay-burst", "end the first burst before the next starts"),
+        ):
+            windows = sorted(
+                window(event) for event in self.events if isinstance(event, cls)
+            )
+            for (start_a, end_a), (start_b, _) in zip(windows, windows[1:]):
+                if start_b < end_a:
+                    raise InvalidConfigurationError(
+                        f"{what} events overlap: [{start_a:g}, {end_a:g}) and one "
+                        f"starting at {start_b:g} — the network holds one "
+                        f"{what} at a time; {advice}"
+                    )
+        memo.add((n, duration))
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        data: dict = {}
+        if self.events:
+            data["events"] = [event.to_dict() for event in self.events]
+        if self.adversary is not None:
+            data["adversary"] = self.adversary.to_dict()
+        if not self.sample_faults:
+            data["sample_faults"] = False
+        if self.mean_time_to_repair is not None:
+            data["mean_time_to_repair"] = self.mean_time_to_repair
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultPlan":
+        payload = dict(data)
+        _check_unknown_fields(
+            "fault-plan",
+            payload,
+            {"events", "adversary", "sample_faults", "mean_time_to_repair"},
+        )
+        rows = payload.get("events", ())
+        if isinstance(rows, (Mapping, str)) or not hasattr(rows, "__iter__"):
+            raise InvalidConfigurationError(
+                "'events' must be a list of event objects "
+                "(a single event still needs the enclosing list)"
+            )
+        events = tuple(fault_event_from_dict(row) for row in rows)
+        adversary_data = payload.get("adversary")
+        adversary = None if adversary_data is None else Adversary.from_dict(adversary_data)
+        mttr = payload.get("mean_time_to_repair")
+        sample_faults = payload.get("sample_faults", True)
+        if not isinstance(sample_faults, bool):
+            # bool("false") is True: coercing strings would silently run the
+            # sampling the user disabled — reject like any malformed field.
+            raise InvalidConfigurationError(
+                f"sample_faults must be a JSON boolean, got {sample_faults!r}"
+            )
+        return cls(
+            events=events,
+            adversary=adversary,
+            sample_faults=sample_faults,
+            mean_time_to_repair=None if mttr is None else float(mttr),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if not isinstance(data, Mapping):
+            raise InvalidConfigurationError("fault-plan JSON must be an object")
+        return cls.from_dict(data)
+
+    def cache_key(self) -> tuple:
+        """Canonical hashable identity (campaign memo-cache component).
+
+        Built from the codec form *plus the concrete event classes*: two
+        plans that serialize identically share cache entries only when
+        their events are the same implementations, so shadowing a kind via
+        :func:`register_fault_event` never serves answers computed with
+        the replaced event class (the re-registration invariant the
+        behaviour registry and the engine's estimator keys uphold).
+        """
+        return (
+            _freeze(self.to_dict()),
+            tuple(type(event) for event in self.events),
+        )
+
+
+#: The plan a ``SimulationQuery`` without a ``faults`` section runs.
+DEFAULT_PLAN = FaultPlan()

@@ -14,7 +14,7 @@ verdicts against predicate verdicts is the validation loop of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.sim.trace import TraceRecorder
 
@@ -40,10 +40,25 @@ class SafetyVerdict:
 
 @dataclass(frozen=True)
 class LivenessVerdict:
-    """Result of the completion audit."""
+    """Result of the completion audit.
+
+    ``partition_era`` is the subset of ``missing`` whose command was
+    submitted while a declared network partition was in force — an
+    attribution by *timing*, not causality: it separates stalls the
+    injected partition plausibly explains from clear-network ones, but a
+    concurrent quorum-destroying crash can also stall a partition-era
+    command.  ``holds`` still demands *every* command complete;
+    :attr:`holds_outside_partitions` is the softer question ("was every
+    command submitted on a whole network decided?").
+    """
 
     holds: bool
     missing: tuple[tuple[int, object], ...] = field(default_factory=tuple)  # (node, value)
+    partition_era: tuple[tuple[int, object], ...] = field(default_factory=tuple)
+
+    @property
+    def holds_outside_partitions(self) -> bool:
+        return set(self.missing) <= set(self.partition_era)
 
 
 def check_agreement(
@@ -87,16 +102,36 @@ def check_completion(
     submitted: Sequence[object],
     *,
     correct_nodes: Iterable[int],
+    partition_windows: Sequence[tuple[float, float]] = (),
+    submit_times: Mapping[object, float] | None = None,
 ) -> LivenessVerdict:
-    """Every submitted value decided by every always-correct node."""
+    """Every submitted value decided by every always-correct node.
+
+    With ``partition_windows`` (half-open ``[start, heal)`` intervals) and
+    ``submit_times`` given, missing commands submitted inside a window are
+    additionally reported as ``partition_era`` — a timing-based
+    attribution separating stalls the injected partition plausibly
+    explains from clear-network ones.
+    """
     committed = trace.committed_by_node()
     missing: list[tuple[int, object]] = []
+    partition_era: list[tuple[int, object]] = []
     for node_id in sorted(set(correct_nodes)):
         decided = set(committed.get(node_id, {}).values())
         for value in submitted:
             if value not in decided:
                 missing.append((node_id, value))
-    return LivenessVerdict(holds=not missing, missing=tuple(missing))
+                if partition_windows and submit_times is not None:
+                    at = submit_times.get(value)
+                    if at is not None and any(
+                        start <= at < heal for start, heal in partition_windows
+                    ):
+                        partition_era.append((node_id, value))
+    return LivenessVerdict(
+        holds=not missing,
+        missing=tuple(missing),
+        partition_era=tuple(partition_era),
+    )
 
 
 @dataclass(frozen=True)
@@ -114,16 +149,34 @@ class RunVerdict:
     def live(self) -> bool:
         return self.liveness.holds
 
+    @property
+    def live_outside_partitions(self) -> bool:
+        return self.liveness.holds_outside_partitions
+
 
 def audit_run(
     trace: TraceRecorder,
     submitted: Sequence[object],
     *,
     correct_nodes: Iterable[int],
+    partition_windows: Sequence[tuple[float, float]] = (),
+    submit_times: Mapping[object, float] | None = None,
 ) -> RunVerdict:
-    """Safety + liveness audit for one run."""
+    """Safety + liveness audit for one run.
+
+    Agreement is always audited over correct replicas only (Byzantine
+    nodes may claim anything).  ``partition_windows``/``submit_times``
+    make the liveness verdict report partition-era stalls separately —
+    see :func:`check_completion`.
+    """
     correct = list(correct_nodes)
     return RunVerdict(
         safety=check_agreement(trace, correct_nodes=correct),
-        liveness=check_completion(trace, submitted, correct_nodes=correct),
+        liveness=check_completion(
+            trace,
+            submitted,
+            correct_nodes=correct,
+            partition_windows=partition_windows,
+            submit_times=submit_times,
+        ),
     )

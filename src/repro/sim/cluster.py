@@ -2,13 +2,16 @@
 
 ``Cluster`` owns the deterministic event loop and exposes the operations
 experiments need: start the protocol, submit client commands, crash or
-recover nodes at chosen times, run to a virtual deadline, and hand the
-trace to the checker.
+recover nodes at chosen times, partition and degrade the network on a
+schedule, run to a virtual deadline, and hand the trace to the checker.
+``node_overrides`` swaps individual nodes' factories — the hook the
+fault-plan subsystem uses to activate Byzantine behaviours — without
+perturbing any other node's seeded stream.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -34,9 +37,16 @@ class Cluster:
         latency: LatencyModel | None = None,
         drop_probability: float = 0.0,
         seed: SeedLike = None,
+        node_overrides: Mapping[int, NodeFactory] | None = None,
     ):
         if n <= 0:
             raise InvalidConfigurationError(f"cluster size must be positive, got {n}")
+        overrides = dict(node_overrides or {})
+        for node_id in overrides:
+            if not 0 <= node_id < n:
+                raise InvalidConfigurationError(
+                    f"node override id {node_id} outside cluster of {n}"
+                )
         root = as_generator(seed)
         network_rng, *node_rngs = spawn(root, n + 1)
         self.scheduler = EventScheduler()
@@ -49,7 +59,8 @@ class Cluster:
         )
         self.nodes: list[Process] = []
         for node_id in range(n):
-            process = node_factory(
+            factory = overrides.get(node_id, node_factory)
+            process = factory(
                 node_id, n, self.scheduler, self.network, node_rngs[node_id], self.trace
             )
             self.network.attach(process)
@@ -98,6 +109,52 @@ class Cluster:
                 self.trace.record_event(self.scheduler.now, node_id, "recover")
 
         self.scheduler.schedule_at(time, do_recover)
+
+    # ------------------------------------------------------------------
+    # Network control (partitions and degradation bursts)
+    # ------------------------------------------------------------------
+    def partition_at(self, groups: Iterable[Iterable[int]], time: float) -> None:
+        """Schedule a network split at virtual ``time`` (trace kind ``partition``)."""
+        normalized = tuple(tuple(group) for group in groups)
+
+        def do_partition() -> None:
+            self.network.set_partition(normalized)
+            self.trace.record_event(
+                self.scheduler.now, -1, "partition", detail=repr(normalized)
+            )
+
+        self.scheduler.schedule_at(time, do_partition)
+
+    def heal_partition_at(self, time: float) -> None:
+        """Schedule the partition's heal at virtual ``time`` (kind ``heal``)."""
+
+        def do_heal() -> None:
+            self.network.heal_partition()
+            self.trace.record_event(self.scheduler.now, -1, "heal")
+
+        self.scheduler.schedule_at(time, do_heal)
+
+    def set_drop_probability_at(self, probability: float | None, time: float) -> None:
+        """Schedule a message-loss change (``None`` restores the baseline)."""
+
+        def do_set() -> None:
+            self.network.set_drop_probability(probability)
+            self.trace.record_event(
+                self.scheduler.now, -1, "net-loss", detail=f"p={probability}"
+            )
+
+        self.scheduler.schedule_at(time, do_set)
+
+    def set_extra_delay_at(self, seconds: float, time: float) -> None:
+        """Schedule a constant added delay on every message (0 clears it)."""
+
+        def do_set() -> None:
+            self.network.set_extra_delay(seconds)
+            self.trace.record_event(
+                self.scheduler.now, -1, "net-delay", detail=f"extra={seconds:g}"
+            )
+
+        self.scheduler.schedule_at(time, do_set)
 
     def crashed_node_ids(self) -> frozenset[int]:
         return frozenset(p.node_id for p in self.nodes if p.is_crashed)

@@ -2,9 +2,12 @@
 
 Bridges :mod:`repro.faults` and the simulator: sample per-node failure
 times from fault curves (or fixed failure configurations from the
-analysis layer) and schedule the corresponding crash events on a
+analysis layer) and schedule the corresponding crash/recovery events on a
 :class:`repro.sim.cluster.Cluster`.  This is what lets protocol executions
-be checked against the predicate-level Safe/Live classification.
+be checked against the predicate-level Safe/Live classification.  For the
+declarative superset — partitions, loss/delay bursts, correlated bursts
+and Byzantine behaviour activation — see :mod:`repro.injection`, which
+compiles fault *plans* down to the schedules this module applies.
 """
 
 from __future__ import annotations
@@ -12,6 +15,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 from repro._rng import SeedLike, as_generator
 from repro.analysis.config import FailureConfig, FaultKind
@@ -48,33 +53,67 @@ class InjectionPlan:
             cluster.recover_at(node_id, recover_time)
 
 
+def draw_repair_time(
+    crash_time: float,
+    mean_time_to_repair: float,
+    duration: float,
+    rng: np.random.Generator,
+) -> float | None:
+    """One exponential repair draw, or ``None`` when it lands past the run.
+
+    The single definition of the crash-recovery draw shared by
+    :func:`plan_from_config` and the fault-plan events
+    (:class:`repro.injection.CrashStop`, :class:`repro.injection.CorrelatedBurst`),
+    so the drop-late-repairs guard cannot drift between them.
+    """
+    recover_time = crash_time + float(rng.exponential(mean_time_to_repair))
+    return recover_time if recover_time < duration else None
+
+
 def plan_from_config(
     config: FailureConfig,
     *,
     duration: float,
     crash_window: tuple[float, float] | None = None,
+    mean_time_to_repair: float | None = None,
     seed: SeedLike = None,
 ) -> InjectionPlan:
     """Materialise an analysis-layer configuration into a crash schedule.
 
-    Failed nodes (crash *or* Byzantine — the simulator's Byzantine
-    behaviours are configured at node construction; this injector only
-    schedules fail-stops for CRASH nodes) crash at a uniformly random time
-    inside ``crash_window`` (default: the first half of the run) and stay
-    down, matching the analysis model where a window failure is terminal.
+    CRASH nodes fail-stop at a uniformly random time inside
+    ``crash_window`` (default: the first half of the run); with
+    ``mean_time_to_repair`` set (sim-seconds), each draws an exponential
+    repair delay and recovers — crash-recovery parity with
+    :func:`plan_from_curves`, including its guard that repairs landing at
+    or past ``duration`` are dropped (the node stays down, matching the
+    analysis model where an unrepaired window failure is terminal).
+    BYZANTINE nodes are never scheduled here: their misbehaviour is
+    configured at node construction — use a
+    :class:`repro.injection.FaultPlan` adversary section, which activates
+    registered behaviour classes through the campaign runner.
     """
     if duration <= 0:
         raise InvalidConfigurationError("duration must be positive")
     window = crash_window if crash_window is not None else (0.0, duration / 2.0)
     if not 0.0 <= window[0] < window[1] <= duration:
         raise InvalidConfigurationError(f"invalid crash window {window}")
+    if mean_time_to_repair is not None and mean_time_to_repair <= 0:
+        raise InvalidConfigurationError("mean_time_to_repair must be positive")
     rng = as_generator(seed)
-    crash_times = {
-        node_id: float(rng.uniform(*window))
-        for node_id, kind in enumerate(config.kinds)
-        if kind is FaultKind.CRASH
-    }
-    return InjectionPlan(crash_times=crash_times, recovery_times={})
+    crash_times: dict[int, float] = {}
+    recovery_times: dict[int, float] = {}
+    for node_id, kind in enumerate(config.kinds):
+        if kind is not FaultKind.CRASH:
+            continue
+        crash_time = float(rng.uniform(*window))
+        crash_times[node_id] = crash_time
+        if mean_time_to_repair is not None:
+            recover_time = draw_repair_time(
+                crash_time, mean_time_to_repair, duration, rng
+            )
+            if recover_time is not None:
+                recovery_times[node_id] = recover_time
+    return InjectionPlan(crash_times=crash_times, recovery_times=recovery_times)
 
 
 def plan_from_curves(

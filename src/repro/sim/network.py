@@ -2,7 +2,9 @@
 
 Point-to-point delivery with pluggable latency distributions, independent
 message loss, and named partitions.  Delivery to crashed nodes is dropped;
-partitioned pairs cannot communicate until the partition heals.  All
+partitioned pairs cannot communicate until the partition heals.  Loss and
+delay can be degraded mid-run (:meth:`Network.set_drop_probability`,
+:meth:`Network.set_extra_delay`) — the hooks fault-plan bursts drive.  All
 randomness flows from a single seeded generator for reproducibility.
 """
 
@@ -105,6 +107,9 @@ class Network:
         self._scheduler = scheduler
         self._latency = latency if latency is not None else FixedLatency(0.001)
         self._drop_probability = drop_probability
+        #: Construction-time drop probability; bursts restore to this.
+        self.base_drop_probability = drop_probability
+        self._extra_delay = 0.0
         self._rng = as_generator(seed)
         self._processes: dict[int, "Process"] = {}
         self._partition: Optional[tuple[frozenset[int], ...]] = None
@@ -135,6 +140,27 @@ class Network:
     def heal_partition(self) -> None:
         self._partition = None
 
+    # ------------------------------------------------------------------
+    # Degradation hooks (delay/loss bursts)
+    # ------------------------------------------------------------------
+    def set_drop_probability(self, probability: float | None) -> None:
+        """Change the independent message-loss rate mid-run.
+
+        ``None`` restores the construction-time baseline — the shape the
+        fault-plan loss bursts use to end a burst.
+        """
+        if probability is None:
+            probability = self.base_drop_probability
+        if not 0.0 <= probability < 1.0:
+            raise InvalidConfigurationError("drop_probability must be in [0, 1)")
+        self._drop_probability = probability
+
+    def set_extra_delay(self, seconds: float) -> None:
+        """Add a constant to every sampled delay (congestion burst); 0 clears."""
+        if seconds < 0:
+            raise InvalidConfigurationError("extra delay must be non-negative")
+        self._extra_delay = seconds
+
     def _partitioned(self, src: int, dst: int) -> bool:
         if self._partition is None:
             return False
@@ -159,7 +185,7 @@ class Network:
             self.messages_dropped += 1
             return
         envelope = Envelope(src=src, dst=dst, payload=payload, send_time=self._scheduler.now)
-        delay = self._latency.sample(self._rng)
+        delay = self._latency.sample(self._rng) + self._extra_delay
         self._scheduler.schedule_after(delay, lambda: self._deliver(envelope))
 
     def broadcast(self, src: int, payload: object, *, include_self: bool = False) -> None:

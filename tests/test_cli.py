@@ -219,6 +219,45 @@ class TestQueryFile:
         assert main(["query", str(path)]) == 0
         assert "reliability" in capsys.readouterr().out
 
+    def test_query_file_with_fault_plan(self, capsys, tmp_path):
+        # A simulation row embedding a fault plan: the Theorem 3.1 PBFT
+        # attack plus a healed partition, straight from JSON.
+        import json
+
+        path = tmp_path / "attack.json"
+        path.write_text(
+            """
+            {"queries": [
+              {"kind": "simulation",
+               "scenario": {"spec": {"protocol": "pbft", "n": 4},
+                            "fleet": {"uniform": {"n": 4, "p_fail": 0.0}},
+                            "seed": 13, "label": "thm31"},
+               "replicas": 2, "duration": 8.0, "commands": 1,
+               "faults": {"sample_faults": false,
+                          "adversary": {"nodes": [0, 2]},
+                          "events": [{"kind": "partition",
+                                      "groups": [[0, 1], [2, 3]],
+                                      "at": 6.0, "heal_at": 7.0}]}}
+            ]}
+            """
+        )
+        assert main(["query", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["kind"] == "simulation"
+        # the embedded adversary splits the cluster in every replica
+        assert payload[0]["answer"]["safety_violations"] == 2
+
+    def test_query_file_bad_fault_plan_rejected(self, tmp_path):
+        path = tmp_path / "bad-plan.json"
+        path.write_text(
+            '{"queries": [{"kind": "simulation",'
+            ' "scenario": {"spec": {"protocol": "raft", "n": 3},'
+            ' "fleet": {"uniform": {"n": 3, "p_fail": 0.0}}},'
+            ' "faults": {"events": [{"kind": "fnord"}]}}]}'
+        )
+        with pytest.raises(SystemExit, match="invalid query file"):
+            main(["query", str(path)])
+
     def test_query_jobs_deterministic(self, capsys, tmp_path):
         import json
 

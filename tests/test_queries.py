@@ -65,10 +65,11 @@ class TestQueryTypes:
                 window_hours=0.0,
             )
 
-    def test_simulation_query_rejects_correlated_scenarios(self):
-        # The campaign injector samples independent faults; answering a
-        # correlated scenario with independent draws (and sharing cache
-        # entries with the uncorrelated twin) would misreport shock risk.
+    def test_simulation_query_accepts_correlated_scenarios(self):
+        # Correlated scenarios sample their window outcomes from the
+        # correlation model (repro.injection), and the campaign memo key
+        # carries the model, so shock campaigns never share cache entries
+        # with their independent twins.
         from repro.faults.correlation import CommonShockModel, ShockGroup
 
         fleet = uniform_fleet(3, 0.05)
@@ -80,8 +81,21 @@ class TestQueryTypes:
                 fleet, (ShockGroup(members=(0, 1), probability=0.5),)
             ),
         )
-        with pytest.raises(InvalidConfigurationError, match="correlated"):
-            SimulationQuery(correlated, replicas=2, duration=4.0)
+        independent = Scenario(spec=RaftSpec(3), fleet=fleet, seed=7)
+        engine = ReliabilityEngine()
+        shocked = engine.run_query(
+            SimulationQuery(correlated, replicas=4, duration=4.0, commands=2)
+        )
+        plain = engine.run_query(
+            SimulationQuery(independent, replicas=4, duration=4.0, commands=2)
+        )
+        assert shocked.value.replicas == plain.value.replicas == 4
+        assert not plain.provenance.cache_hit  # distinct memo entries
+        again = engine.run_query(
+            SimulationQuery(correlated, replicas=4, duration=4.0, commands=2)
+        )
+        assert again.provenance.cache_hit
+        assert again.value is shocked.value
 
     def test_simulation_query_validation(self):
         with pytest.raises(InvalidConfigurationError):
@@ -91,14 +105,30 @@ class TestQueryTypes:
         with pytest.raises(InvalidConfigurationError):
             SimulationQuery(scenario(), duration=5.0, crash_window=(0.0, 6.0))
 
-    def test_simulation_query_rejects_byzantine_fleets(self):
-        # Only fail-stops are injected; a "Byzantine" node would run honest
-        # code while the audit counts it faulty — a silent misreport.
+    def test_simulation_query_byzantine_needs_registered_behaviour(self):
+        # Byzantine outcomes need a registered misbehaviour class for the
+        # spec's family; a Raft fleet has none, and running "Byzantine"
+        # nodes as honest code would silently misreport safety.  The error
+        # names the fault-plan subsystem as the way in.
         byzantine = Scenario(
             spec=RaftSpec(3), fleet=uniform_fleet(3, 0.1, byzantine_fraction=0.5)
         )
-        with pytest.raises(InvalidConfigurationError, match="Byzantine"):
+        with pytest.raises(InvalidConfigurationError, match="repro.injection"):
             SimulationQuery(byzantine, replicas=2, duration=4.0)
+        # PBFT fleets have built-in behaviours, so the same mix is accepted.
+        from repro.protocols.pbft import PBFTSpec
+
+        accepted = SimulationQuery(
+            Scenario(
+                spec=PBFTSpec(4),
+                fleet=uniform_fleet(4, 0.1, byzantine_fraction=0.5),
+                seed=3,
+            ),
+            replicas=2,
+            duration=4.0,
+            commands=2,
+        )
+        assert accepted.replicas == 2
 
     def test_simulation_query_rejects_commands_past_duration(self):
         # All submits happen at 1.0 + 0.1k; commands past the deadline
