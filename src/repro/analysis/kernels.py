@@ -514,15 +514,17 @@ def plan_shards(trials: int, shard_trials: int | None = None) -> ShardPlan:
     return ShardPlan(trials=trials, shard_trials=shard_trials, shards=shards)
 
 
-def spawn_shard_generators(seed, count: int) -> list[np.random.Generator]:
-    """``count`` independent per-shard generators via ``SeedSequence.spawn``.
+def spawn_shard_sequences(seed, count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent per-shard seed sequences via ``SeedSequence.spawn``.
 
     An ``int``/``None`` seed roots a fresh :class:`numpy.random.SeedSequence`;
     a ready-made generator spawns children off its own seed sequence (which
     advances its spawn counter — deterministic, since every sharded run
-    spawns exactly the plan's shard count).  Child streams are statistically
-    independent of each other *and* of the legacy single stream, which is why
-    spawned-stream mode is opt-in rather than the seeded default.
+    spawns exactly the plan's shard count).  The children — not generators —
+    are the retry-determinism anchor: a generator advances as it draws, but
+    ``np.random.default_rng(child)`` rebuilds the *same* stream from the
+    same child every time, which is how the supervised runtime re-executes
+    a failed shard bit-identically.
     """
     if count <= 0:
         raise InvalidConfigurationError(f"shard count must be positive, got {count}")
@@ -530,7 +532,20 @@ def spawn_shard_generators(seed, count: int) -> list[np.random.Generator]:
         seq = seed.bit_generator.seed_seq
     else:
         seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seq.spawn(count)]
+    return list(seq.spawn(count))
+
+
+def spawn_shard_generators(seed, count: int) -> list[np.random.Generator]:
+    """``count`` independent per-shard generators via ``SeedSequence.spawn``.
+
+    Generator view of :func:`spawn_shard_sequences` (one per child, same
+    spawn order).  Child streams are statistically independent of each
+    other *and* of the legacy single stream, which is why spawned-stream
+    mode is opt-in rather than the seeded default.
+    """
+    return [
+        np.random.default_rng(child) for child in spawn_shard_sequences(seed, count)
+    ]
 
 
 def use_spawned_streams(jobs: int | None, sharding: str) -> bool:
@@ -567,30 +582,20 @@ def run_sharded(worker, payloads: Sequence, *, jobs: int, mode: str = "process")
     (fully parallel Python; payloads and results must pickle).  Results come
     back in payload order regardless of completion order, so merges are
     deterministic under any worker count.
+
+    This is the *bare* dispatch — one attempt per shard, first worker
+    exception propagates.  It delegates to
+    :func:`repro.engine.runtime.dispatch`; callers that want timeouts,
+    retries, degradation or checkpointing use
+    :func:`repro.engine.runtime.run_supervised` instead (the engine
+    backends route there when the :class:`~repro.engine.execution.ExecutionPolicy`
+    asks for supervision).
     """
-    if mode not in EXECUTOR_MODES:
-        raise InvalidConfigurationError(
-            f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}"
-        )
-    count = len(payloads)
-    if jobs <= 1 or count <= 1 or mode == "serial":
-        return [worker(payload) for payload in payloads]
-    workers = min(jobs, count)
-    if mode == "thread":
-        from concurrent.futures import ThreadPoolExecutor
+    # Lazy import: kernels sits below the engine layer, and nothing calls
+    # run_sharded while the engine package is importing, so there's no cycle.
+    from repro.engine.runtime import dispatch
 
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(worker, payloads))
-    import multiprocessing
-    from concurrent.futures import ProcessPoolExecutor
-
-    context = (
-        multiprocessing.get_context("fork")
-        if "fork" in multiprocessing.get_all_start_methods()
-        else None
-    )
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        return list(pool.map(worker, payloads))
+    return dispatch(worker, payloads, jobs=jobs, mode=mode)
 
 
 def merge_tallies(tallies: Sequence[BatchTally]) -> BatchTally:
@@ -620,6 +625,8 @@ def monte_carlo_tally_sharded(
     jobs: int = 1,
     shard_trials: int | None = None,
     mode: str = "process",
+    supervision=None,
+    chaos=None,
 ) -> tuple[BatchTally, ShardPlan]:
     """Spawned-stream Monte-Carlo tally, fanned out over a worker pool.
 
@@ -627,16 +634,48 @@ def monte_carlo_tally_sharded(
     its own :func:`spawn_shard_generators` stream, and the per-shard tallies
     are merged in shard order — so the result depends on ``(trials, seed,
     shard_trials)`` but never on ``jobs`` or ``mode``.
+
+    With ``supervision`` (a :class:`repro.engine.runtime.Supervision`) the
+    fan-out runs under the fault-tolerant runtime: failed shards retry on a
+    generator rebuilt from the *same* spawned child, so a retried run stays
+    bit-identical to a clean one; under ``on_shard_failure='degrade'`` the
+    surviving shards merge into a smaller tally (``tally.trials`` reports
+    the effective count).  ``chaos`` injects worker faults for self-tests.
     """
     plan = plan_shards(trials, shard_trials)
-    rngs = spawn_shard_generators(seed, plan.num_shards)
+    children = spawn_shard_sequences(seed, plan.num_shards)
     if spec.symmetric:
         verdict_masks(spec)  # warm the per-spec cache once, outside the pool
     payloads = [
-        (spec, fleet, shard, rng) for shard, rng in zip(plan.shards, rngs)
+        (spec, fleet, shard, np.random.default_rng(child))
+        for shard, child in zip(plan.shards, children)
     ]
-    tallies = run_sharded(_tally_shard, payloads, jobs=jobs, mode=mode)
-    return merge_tallies(tallies), plan
+    if supervision is None and chaos is None:
+        tallies = run_sharded(_tally_shard, payloads, jobs=jobs, mode=mode)
+        return merge_tallies(tallies), plan
+
+    from repro.engine.runtime import run_supervised
+
+    def rebuild(index: int):
+        # Thread/serial workers advance the payload generator in place, so a
+        # retry must restart the stream from the original spawned child.
+        return (
+            spec,
+            fleet,
+            plan.shards[index],
+            np.random.default_rng(children[index]),
+        )
+
+    tallies, _report = run_supervised(
+        _tally_shard,
+        payloads,
+        jobs=jobs,
+        mode=mode,
+        supervision=supervision,
+        rebuild=rebuild,
+        chaos=chaos,
+    )
+    return merge_tallies([tally for tally in tallies if tally is not None]), plan
 
 
 # ---------------------------------------------------------------------------

@@ -41,6 +41,16 @@ spawned-stream Monte-Carlo; simulation replica fan-out).  Results are
 identical for any ``N``; leaving ``--jobs`` unset keeps the serial
 legacy-stream path, byte-identical to older releases.
 
+``query`` additionally takes the fault-tolerance flags of the supervised
+campaign runtime (:mod:`repro.engine.runtime`): ``--timeout SECONDS``
+bounds each campaign shard's wall clock, ``--retries K`` re-executes a
+failed shard up to ``K`` times (bit-identically — retried shards replay
+the same spawned stream), ``--on-shard-failure degrade`` keeps a partial
+answer with ``degraded`` provenance instead of failing the run, and
+``--resume DIR`` journals completed shards to ``DIR`` so an interrupted
+campaign resumes from where it stopped.  None of these flags changes any
+printed number.
+
 Prints paper-style tables to stdout; exits non-zero on invalid input.
 """
 
@@ -57,17 +67,29 @@ from repro.protocols.raft import RaftSpec
 
 
 def _policy_from_args(args: argparse.Namespace):
-    """Translate ``--jobs`` into an engine :class:`ExecutionPolicy`.
+    """Translate ``--jobs`` (and fault-tolerance flags) into a policy.
 
-    Unset keeps the serial legacy-stream path (byte-identical output).
-    Any explicit ``N >= 1`` switches to spawned-stream sharding over ``N``
-    worker processes — the printed numbers are identical for every ``N``
-    (shard plans never depend on the worker count); negative means one
-    worker per CPU.
+    ``--jobs`` unset keeps the serial legacy-stream path (byte-identical
+    output).  Any explicit ``N >= 1`` switches to spawned-stream sharding
+    over ``N`` worker processes — the printed numbers are identical for
+    every ``N`` (shard plans never depend on the worker count); negative
+    means one worker per CPU.  ``--timeout``/``--retries``/
+    ``--on-shard-failure``/``--resume`` (where the subcommand offers
+    them) route execution through the supervised campaign runtime; none
+    of them changes any printed value.
     """
     from repro.engine import ExecutionPolicy
 
-    return ExecutionPolicy.from_jobs(getattr(args, "jobs", None))
+    supervision = {}
+    if getattr(args, "timeout", None) is not None:
+        supervision["timeout"] = args.timeout
+    if getattr(args, "retries", None):
+        supervision["retries"] = args.retries
+    if getattr(args, "on_shard_failure", None) not in (None, "raise"):
+        supervision["on_shard_failure"] = args.on_shard_failure
+    if getattr(args, "resume", None) is not None:
+        supervision["checkpoint_dir"] = args.resume
+    return ExecutionPolicy.from_jobs(getattr(args, "jobs", None), **supervision)
 
 
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
@@ -524,6 +546,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON answers"
     )
     _add_jobs_flag(query)
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-shard wall-clock timeout in seconds for campaign shards",
+    )
+    query.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-execution budget per failed campaign shard "
+        "(retries are bit-identical; answers never change)",
+    )
+    query.add_argument(
+        "--on-shard-failure",
+        choices=("raise", "degrade"),
+        default="raise",
+        help="what to do when a shard exhausts its retries: fail the run "
+        "(default) or keep a partial answer with degraded provenance",
+    )
+    query.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="checkpoint directory: journal completed campaign shards there "
+        "and resume interrupted campaigns from it (bit-identical)",
+    )
     query.set_defaults(func=_cmd_query)
 
     return parser

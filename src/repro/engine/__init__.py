@@ -33,10 +33,33 @@ simulation replicas across the :class:`ExecutionPolicy` pool.
 partitions, bursts and Byzantine adversary mixes.  Answers come back as a
 typed :class:`AnswerSet` whose :class:`Provenance` records backend, batch
 and shard counts.
+
+Campaign execution is fault-tolerant: an :class:`ExecutionPolicy` with
+supervision knobs (``timeout``, ``retries``, ``on_shard_failure``,
+``checkpoint_dir``) routes shard fan-out through
+:func:`repro.engine.runtime.run_supervised` — per-shard timeouts, retries
+that re-execute the same spawned stream bit-identically, worker-loss
+recovery, graceful degradation with ``degraded`` provenance, and
+checkpoint/resume journals (:class:`~repro.engine.runtime.CampaignCheckpoint`).
+:mod:`repro.engine.chaos` injects deterministic worker faults to prove
+every recovery path in CI.
 """
 
+from repro.engine.chaos import (
+    ChaosInjectedError,
+    ChaosPlan,
+    ShardFault,
+    chaos_from_fault_plan,
+)
 from repro.engine.engine import ReliabilityEngine, default_engine
 from repro.engine.execution import ExecutionPolicy
+from repro.engine.runtime import (
+    CampaignCheckpoint,
+    RunReport,
+    Supervision,
+    dispatch,
+    run_supervised,
+)
 from repro.engine.query import (
     AvailabilityQuery,
     MTTFQuery,
@@ -87,6 +110,15 @@ __all__ = [
     "SimulationQuery",
     "ReliabilityEngine",
     "ExecutionPolicy",
+    "Supervision",
+    "RunReport",
+    "CampaignCheckpoint",
+    "dispatch",
+    "run_supervised",
+    "ChaosPlan",
+    "ShardFault",
+    "ChaosInjectedError",
+    "chaos_from_fault_plan",
     "EngineResult",
     "ScenarioOutcome",
     "Answer",

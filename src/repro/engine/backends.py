@@ -30,6 +30,17 @@ Each backend answers one same-kind batch of queries from a single
     campaign cache keys carry the plan's canonical form and the
     correlation model, so adversary mixes never share memo entries.
 
+    Campaigns are *not* all-or-nothing: a policy with supervision knobs
+    (``timeout``, ``retries``, ``on_shard_failure``, ``checkpoint_dir``)
+    routes the fan-out through :func:`repro.engine.runtime.run_supervised`
+    — failed shards retry on generators rebuilt from the same spawned
+    children (bit-identical), a broken pool requeues only the in-flight
+    shards, ``on_shard_failure="degrade"`` returns a partial answer over
+    the surviving replicas with ``degraded`` provenance instead of
+    raising, and ``checkpoint_dir`` journals completed shards so an
+    interrupted campaign resumes bit-identically.  Degraded answers never
+    enter the memo (a later run may complete the campaign).
+
 Deterministic time-domain answers (Markov always; simulation when the
 scenario seed is an ``int``) participate in the engine's bounded LRU memo
 under kind-prefixed keys, so repeated questions — a planner loop asking
@@ -374,18 +385,58 @@ def _campaign_cache_key(query: SimulationQuery):
     )
 
 
+def _encode_verdicts(verdicts) -> list[list[bool]]:
+    """Checkpoint form of one shard's verdict list (4 bools per replica)."""
+    return [
+        [v.unsafe, v.stalled, v.predicate_mismatch, v.partition_era_only]
+        for v in verdicts
+    ]
+
+
+def _decode_verdicts(rows):
+    from repro.injection.campaign import ReplicaVerdict
+
+    return [ReplicaVerdict(*(bool(flag) for flag in row)) for row in rows]
+
+
+def _campaign_checkpoint(policy: "ExecutionPolicy", key, shards: int):
+    """The campaign's checkpoint journal, or ``None`` when not resumable.
+
+    Checkpointing needs a stable campaign identity, so it requires both a
+    policy ``checkpoint_dir`` and a memoisable cache key (int seed,
+    hashable correlation) — the same precondition as the engine memo.
+    """
+    if policy.checkpoint_dir is None or key is None:
+        return None
+    from pathlib import Path
+
+    from repro.engine.runtime import CampaignCheckpoint
+
+    digest = CampaignCheckpoint.digest(key)
+    return CampaignCheckpoint(
+        Path(policy.checkpoint_dir) / f"campaign-{digest}.jsonl",
+        key=digest,
+        shards=shards,
+        encode=_encode_verdicts,
+        decode=_decode_verdicts,
+    )
+
+
 @register_backend("simulation")
 def simulation_backend(
     engine: "ReliabilityEngine",
     queries: Sequence[SimulationQuery],
     policy: "ExecutionPolicy",
 ) -> list[Answer]:
+    import numpy as np
+
     from repro.analysis.kernels import (
         plan_shards,
         run_sharded,
-        spawn_shard_generators,
+        spawn_shard_sequences,
     )
     from repro.analysis.montecarlo import estimate_from_counts
+    from repro.engine.runtime import run_supervised
 
     answers: list[Answer] = []
     for query in queries:
@@ -409,33 +460,76 @@ def simulation_backend(
         # One spawned stream per *replica* (not per shard): replica i's
         # verdict depends only on (seed, i), making the campaign invariant
         # to worker count AND chunking.  plan_shards then merely groups
-        # replicas into pool-sized work items.
-        rngs = spawn_shard_generators(seed, query.replicas)
+        # replicas into pool-sized work items.  Keeping the spawned
+        # *children* (not generators) is what makes retries and resumes
+        # bit-identical: a shard's payload can be rebuilt from the same
+        # children at any time.
+        children = spawn_shard_sequences(seed, query.replicas)
         chunk = policy.shard_trials or max(1, -(-query.replicas // _SIM_SHARD_GRAIN))
         plan = plan_shards(query.replicas, chunk)
-        payloads = []
+        slices = []
         offset = 0
         for shard in plan.shards:
-            payloads.append((query, rngs[offset : offset + shard]))
+            slices.append((offset, offset + shard))
             offset += shard
+
+        def build_payload(bounds, query=query, children=children):
+            low, high = bounds
+            return (
+                query,
+                [np.random.default_rng(child) for child in children[low:high]],
+            )
+
+        payloads = [build_payload(bounds) for bounds in slices]
         jobs = policy.jobs if policy.parallel else 1
         mode = policy.mode if policy.parallel else "serial"
-        chunks = run_sharded(_campaign_chunk, payloads, jobs=jobs, mode=mode)
-        verdicts = [verdict for chunk_result in chunks for verdict in chunk_result]
+        supervision = policy.supervision
+        if supervision is None:
+            chunks = run_sharded(_campaign_chunk, payloads, jobs=jobs, mode=mode)
+            report = None
+        else:
+            chunks, report = run_supervised(
+                _campaign_chunk,
+                payloads,
+                jobs=jobs,
+                mode=mode,
+                supervision=supervision,
+                rebuild=lambda index, slices=slices, build=build_payload: build(
+                    slices[index]
+                ),
+                checkpoint=_campaign_checkpoint(policy, key, plan.num_shards),
+                chaos=policy.chaos,
+            )
+        verdicts = [
+            verdict
+            for chunk_result in chunks
+            if chunk_result is not None
+            for verdict in chunk_result
+        ]
+        degraded = report is not None and report.degraded
+        effective = len(verdicts)
+        if degraded and not effective:
+            raise EstimationError(
+                f"campaign for {query.label or query.scenario.spec!r} degraded "
+                "to zero surviving replicas; nothing to aggregate"
+            )
         unsafe = sum(1 for v in verdicts if v.unsafe)
         stalled = sum(1 for v in verdicts if v.stalled)
         mismatched = sum(1 for v in verdicts if v.predicate_mismatch)
         partition_era = sum(1 for v in verdicts if v.partition_era_only)
         value = SimulationAnswer(
-            replicas=query.replicas,
+            replicas=effective,
             safety_violations=unsafe,
             liveness_violations=stalled,
             predicate_mismatches=mismatched,
-            safety_violation_rate=estimate_from_counts(unsafe, query.replicas),
-            liveness_violation_rate=estimate_from_counts(stalled, query.replicas),
+            safety_violation_rate=estimate_from_counts(unsafe, effective),
+            liveness_violation_rate=estimate_from_counts(stalled, effective),
             partition_era_liveness_violations=partition_era,
         )
-        if key is not None:
+        # A degraded answer is a partial view of the campaign: it never
+        # enters the memo (a later run may complete it) and its provenance
+        # carries the dropped shard ids and the effective replica count.
+        if key is not None and not degraded:
             engine.cache_store(key, value)
         answers.append(
             Answer(
@@ -446,6 +540,9 @@ def simulation_backend(
                     seconds=time.perf_counter() - start,
                     shards=plan.num_shards,
                     backend="simulation",
+                    degraded=degraded,
+                    dropped_shards=report.dropped if degraded else (),
+                    effective_trials=effective if degraded else None,
                 ),
             )
         )

@@ -23,6 +23,7 @@ import os
 from dataclasses import dataclass
 
 from repro.errors import InvalidConfigurationError
+from repro.engine.runtime import FAILURE_MODES, Supervision
 
 #: Executor modes a policy may request.
 POLICY_MODES = ("serial", "thread", "process")
@@ -46,16 +47,43 @@ class ExecutionPolicy:
         this policy; ``None`` uses the kernel layer's default plan.  Part
         of the determinism key (a different shard size is a different
         spawned-stream plan).
+    ``timeout`` / ``retries`` / ``backoff`` / ``on_shard_failure``
+        Fault-tolerance knobs, forwarded to the supervised runtime as a
+        :class:`~repro.engine.runtime.Supervision` (see
+        :attr:`supervision`).  None of them changes any result value —
+        a retried shard re-executes the same spawned stream, so they are
+        *not* part of the determinism key.  ``on_shard_failure="degrade"``
+        opts campaigns into partial, provenance-flagged answers instead
+        of a raised :class:`~repro.errors.ShardExecutionError`.
+    ``checkpoint_dir``
+        Directory for campaign checkpoint journals; ``None`` disables
+        checkpoint/resume.  With it set, completed campaign shards journal
+        as they finish and a rerun of the same campaign resumes from the
+        journal, bit-identical to an uninterrupted run.
+    ``chaos``
+        Deterministic worker-fault injection for the runtime's own
+        self-tests (a :class:`~repro.engine.chaos.ChaosPlan`); never set
+        in production use.
     """
 
     mode: str = "serial"
     jobs: int = 1
     shard_trials: int | None = None
+    timeout: float | None = None
+    retries: int = 0
+    backoff: float = 0.05
+    on_shard_failure: str = "raise"
+    checkpoint_dir: str | None = None
+    chaos: object | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in POLICY_MODES:
             raise InvalidConfigurationError(
                 f"unknown execution mode {self.mode!r}; expected one of {POLICY_MODES}"
+            )
+        if not isinstance(self.jobs, int) or isinstance(self.jobs, bool):
+            raise InvalidConfigurationError(
+                f"jobs must be an integer, got {self.jobs!r}"
             )
         if self.jobs < 1:
             raise InvalidConfigurationError(f"jobs must be >= 1, got {self.jobs}")
@@ -64,10 +92,54 @@ class ExecutionPolicy:
                 "serial execution cannot use multiple workers; pick mode='thread' "
                 "or mode='process'"
             )
-        if self.shard_trials is not None and self.shard_trials <= 0:
+        if self.shard_trials is not None:
+            if not isinstance(self.shard_trials, int) or isinstance(
+                self.shard_trials, bool
+            ):
+                raise InvalidConfigurationError(
+                    f"shard_trials must be an integer, got {self.shard_trials!r}"
+                )
+            if self.shard_trials <= 0:
+                raise InvalidConfigurationError(
+                    f"shard_trials must be positive, got {self.shard_trials}"
+                )
+        if self.on_shard_failure not in FAILURE_MODES:
             raise InvalidConfigurationError(
-                f"shard_trials must be positive, got {self.shard_trials}"
+                f"unknown on_shard_failure {self.on_shard_failure!r}; "
+                f"expected one of {FAILURE_MODES}"
             )
+        # Delegate timeout/retries/backoff validation to Supervision so the
+        # policy and the runtime can never disagree on what's legal.
+        self._supervision()
+
+    def _supervision(self) -> Supervision:
+        return Supervision(
+            timeout=self.timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            on_shard_failure=self.on_shard_failure,
+        )
+
+    @property
+    def supervised(self) -> bool:
+        """Whether this policy asks for the fault-tolerant runtime.
+
+        True when any supervision knob, the checkpoint directory or chaos
+        injection departs from the defaults; the bare dispatcher handles
+        everything else (and stays on the historical fast path).
+        """
+        return (
+            self.timeout is not None
+            or self.retries != 0
+            or self.on_shard_failure != "raise"
+            or self.checkpoint_dir is not None
+            or self.chaos is not None
+        )
+
+    @property
+    def supervision(self) -> Supervision | None:
+        """The runtime :class:`~repro.engine.runtime.Supervision`, if any."""
+        return self._supervision() if self.supervised else None
 
     @property
     def parallel(self) -> bool:
@@ -86,7 +158,9 @@ class ExecutionPolicy:
         return self.mode != "serial"
 
     @classmethod
-    def from_jobs(cls, jobs: int | None, *, mode: str = "process") -> "ExecutionPolicy":
+    def from_jobs(
+        cls, jobs: int | None, *, mode: str = "process", **supervision
+    ) -> "ExecutionPolicy":
         """CLI-style constructor: ``--jobs N`` → a policy.
 
         ``None``/``0`` → the serial (legacy-stream) policy.  Any explicit
@@ -94,13 +168,24 @@ class ExecutionPolicy:
         ``mode`` — including ``N = 1``, so the numbers a user sees are
         identical for *every* ``--jobs`` value, as documented.  Negative
         → one worker per available CPU (still the same numbers: shard
-        plans never depend on the worker count).
+        plans never depend on the worker count).  Extra keyword arguments
+        (``timeout=...``, ``retries=...``, ``on_shard_failure=...``,
+        ``checkpoint_dir=...``) forward to the policy so ``--jobs`` and
+        the fault-tolerance flags compose; supervision on a serial policy
+        builds an explicit serial policy rather than returning
+        :data:`SERIAL`.
         """
+        if jobs is not None and (
+            not isinstance(jobs, int) or isinstance(jobs, bool)
+        ):
+            raise InvalidConfigurationError(
+                f"jobs must be an integer (or None), got {jobs!r}"
+            )
         if jobs is None or jobs == 0:
-            return SERIAL
+            return cls(**supervision) if supervision else SERIAL
         if jobs < 0:
             jobs = os.cpu_count() or 1
-        return cls(mode=mode, jobs=jobs)
+        return cls(mode=mode, jobs=jobs, **supervision)
 
 
 #: The default policy: the historical serial, legacy-stream execution.

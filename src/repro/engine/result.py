@@ -42,6 +42,14 @@ class Provenance:
     the legacy single-stream mode).  ``backend`` names the query backend
     that produced a time-domain answer; it is empty on the legacy
     scenario path, whose provenance strings are frozen by golden tests.
+
+    ``degraded`` marks a partial answer: the supervised runtime dropped
+    ``dropped_shards`` after exhausting their retries (opt-in via
+    ``ExecutionPolicy(on_shard_failure="degrade")``), and
+    ``effective_trials`` is the trial/replica count actually aggregated.
+    All three stay at their defaults on complete answers so complete-run
+    provenance (including :meth:`describe` strings and JSON forms) is
+    byte-identical with and without supervision.
     """
 
     estimator: str
@@ -51,12 +59,17 @@ class Provenance:
     seconds: float = 0.0
     shards: int = 1
     backend: str = ""
+    degraded: bool = False
+    dropped_shards: tuple[int, ...] = ()
+    effective_trials: int | None = None
 
     def describe(self) -> str:
         source = "cache" if self.cache_hit else (
             f"batch[{self.batch_size}]" if self.batched else "solo"
         )
         suffix = f"/shards[{self.shards}]" if self.shards > 1 else ""
+        if self.degraded:
+            suffix += f"/degraded[{len(self.dropped_shards)}]"
         head = f"{self.backend}:{self.estimator}" if self.backend else self.estimator
         return f"{head}/{source}{suffix}"
 
@@ -301,8 +314,13 @@ class Answer:
         return self.query.kind
 
     def to_dict(self) -> dict:
-        """JSON-ready row: question identity + value + provenance."""
-        return {
+        """JSON-ready row: question identity + value + provenance.
+
+        Degradation keys appear only on degraded answers, so complete
+        runs — supervised or not, resumed or not — serialise to
+        byte-identical JSON.
+        """
+        data = {
             "kind": self.kind,
             "label": self.query.label,
             "n": self.query.n,
@@ -312,6 +330,12 @@ class Answer:
             "batched": self.provenance.batched,
             "shards": self.provenance.shards,
         }
+        if self.provenance.degraded:
+            data["degraded"] = True
+            data["dropped_shards"] = list(self.provenance.dropped_shards)
+            if self.provenance.effective_trials is not None:
+                data["effective_trials"] = self.provenance.effective_trials
+        return data
 
 
 @dataclass(frozen=True)

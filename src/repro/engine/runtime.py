@@ -1,0 +1,605 @@
+"""Fault-tolerant shard execution: the supervised campaign runtime.
+
+Every sharded execution path in this repository — spawned-stream
+Monte-Carlo tallies, engine scenario fan-out, simulation campaigns —
+used to assume a perfect executor: one hung or crashed worker killed the
+whole run, and a long rare-event campaign restarted from zero.  This
+module is the runtime that survives its own failures the way the
+simulated clusters survive theirs:
+
+* :func:`dispatch` — the bare pool fan-out previously inlined in
+  :func:`repro.analysis.kernels.run_sharded` (which now delegates here).
+  Thread pools propagate the *chronologically first* worker exception
+  with its original traceback instead of whichever future the submission
+  order iterated first, so a root cause is never masked by secondary
+  cancellation errors.
+
+* :func:`run_supervised` — the fault-tolerant dispatcher.  Per-shard
+  wall-clock **timeouts**; bounded **retry** with exponential backoff;
+  **worker-loss recovery** (a ``BrokenProcessPool`` or dead worker
+  requeues only the in-flight shards onto a rebuilt pool instead of
+  raising); **graceful degradation** (a shard that exhausts its retries
+  can be dropped and reported instead of failing the campaign); and
+  **checkpoint/resume** through a :class:`CampaignCheckpoint` journal.
+
+**Determinism contract.**  A retried shard must be bit-identical to a
+first-try shard.  Workers may mutate their payload's generator in place
+(thread and serial pools share objects with the caller), so retries
+never reuse a possibly-advanced payload: callers pass ``rebuild(index)``,
+which reconstructs shard ``index``'s payload from its original
+``SeedSequence.spawn`` child (see
+:func:`repro.analysis.kernels.spawn_shard_sequences`).  Rebuilding from
+the same child sequence yields the same stream, so every jobs/mode
+invariance contract survives timeouts, retries and pool rebuilds.
+Results merge in shard order regardless of completion order, exactly as
+in the bare dispatcher.
+
+Layering note: this module depends only on the standard library and
+:mod:`repro.errors`, so the analysis kernels can delegate to it without
+an import cycle through the engine package.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.errors import InvalidConfigurationError, ShardExecutionError
+
+#: Executor modes accepted by :func:`dispatch` / :func:`run_supervised`.
+EXECUTOR_MODES = ("serial", "thread", "process")
+
+#: What to do with a shard that exhausted its retries.
+FAILURE_MODES = ("raise", "degrade")
+
+
+# ---------------------------------------------------------------------------
+# Supervision policy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Supervision:
+    """Fault-tolerance parameters of one supervised execution.
+
+    ``timeout``
+        Per-shard wall clock in seconds; ``None`` disables.  A timed-out
+        thread attempt is abandoned (threads cannot be interrupted — the
+        stray attempt's result is discarded when it eventually lands); a
+        timed-out process attempt terminates the worker pool, and the
+        other in-flight shards are requeued onto a rebuilt pool at no
+        cost to their retry budgets.  Serial execution cannot preempt the
+        calling thread, so ``timeout`` is inert there.
+    ``retries``
+        How many times one shard may be re-executed after a failed
+        attempt (worker exception or timeout).  Retries re-execute the
+        same spawned shard stream via ``rebuild`` — bit-identical to a
+        first-try shard.
+    ``backoff``
+        Base of the exponential retry delay: attempt ``k``'s retry waits
+        ``backoff * 2**(k-1)`` seconds before resubmission.
+    ``on_shard_failure``
+        ``"raise"`` (default): a shard that exhausts its retries raises
+        :class:`~repro.errors.ShardExecutionError`, chaining the original
+        worker exception.  ``"degrade"``: the shard is dropped, its
+        result slot stays ``None``, and the :class:`RunReport` records the
+        drop so callers can return a partial, provenance-flagged answer.
+    ``max_pool_rebuilds``
+        Bound on *unattributed* pool losses (``BrokenProcessPool`` — the
+        runtime cannot know which shard killed the worker, so requeues do
+        not consume retry budgets).  Once exceeded, the shards in flight
+        at the break are treated as failed (raise or degrade per
+        ``on_shard_failure``) so a poisoned shard cannot rebuild forever.
+        Timeout-triggered rebuilds are attributed to the overdue shard
+        and never count against this bound.
+    """
+
+    timeout: float | None = None
+    retries: int = 0
+    backoff: float = 0.05
+    on_shard_failure: str = "raise"
+    max_pool_rebuilds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and not self.timeout > 0:
+            raise InvalidConfigurationError(
+                f"timeout must be positive (or None), got {self.timeout}"
+            )
+        if not isinstance(self.retries, int) or isinstance(self.retries, bool):
+            raise InvalidConfigurationError(
+                f"retries must be an integer, got {self.retries!r}"
+            )
+        if self.retries < 0:
+            raise InvalidConfigurationError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.backoff < 0:
+            raise InvalidConfigurationError(
+                f"backoff must be >= 0, got {self.backoff}"
+            )
+        if self.on_shard_failure not in FAILURE_MODES:
+            raise InvalidConfigurationError(
+                f"unknown on_shard_failure {self.on_shard_failure!r}; "
+                f"expected one of {FAILURE_MODES}"
+            )
+        if self.max_pool_rebuilds < 0:
+            raise InvalidConfigurationError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """What one supervised execution survived.
+
+    ``dropped`` holds the shard indices abandoned after exhausting their
+    retries (empty unless ``on_shard_failure="degrade"`` let the run
+    continue); ``failures`` pairs each dropped shard with its last
+    failure kind (``"error"``, ``"timeout"`` or ``"worker-loss"``).
+    ``attempts`` counts worker invocations actually dispatched,
+    ``restored`` the shards served straight from a checkpoint journal.
+    """
+
+    shards: int
+    completed: int
+    dropped: tuple[int, ...] = ()
+    retried: tuple[int, ...] = ()
+    failures: tuple[tuple[int, str], ...] = ()
+    attempts: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    restored: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the run dropped shards (partial results)."""
+        return bool(self.dropped)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint journal
+# ---------------------------------------------------------------------------
+class CampaignCheckpoint:
+    """Append-only journal of completed shard results, keyed by campaign.
+
+    One JSON-lines file per campaign: a header line pinning the campaign
+    key digest and shard count, then one ``{"shard": i, "value": ...}``
+    line per completed shard.  :meth:`load` returns the completed shards
+    of a *matching* journal (a header from a different campaign or shard
+    plan discards the stale file), tolerating a torn final line from an
+    interrupted write.  Because every shard draws an independent
+    ``SeedSequence.spawn`` stream, a resumed campaign — journalled shards
+    loaded, only the missing ones re-run — is bit-identical to an
+    uninterrupted one.
+
+    ``encode``/``decode`` convert one shard's result to/from its JSON
+    form (identity by default).
+    """
+
+    FORMAT = "repro-campaign-checkpoint/1"
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        key: str,
+        shards: int,
+        encode: Callable | None = None,
+        decode: Callable | None = None,
+    ):
+        self.path = Path(path)
+        self.key = str(key)
+        self.shards = int(shards)
+        self._encode = encode if encode is not None else (lambda value: value)
+        self._decode = decode if decode is not None else (lambda value: value)
+        self._stale = False
+        self._loaded = False
+
+    @staticmethod
+    def digest(key: object) -> str:
+        """Stable filename-safe digest of a campaign cache key."""
+        return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:24]
+
+    def _header(self) -> str:
+        return json.dumps(
+            {"format": self.FORMAT, "key": self.key, "shards": self.shards}
+        )
+
+    def load(self) -> dict[int, object]:
+        """Completed ``{shard_index: result}`` entries of a matching journal."""
+        self._loaded = True
+        if not self.path.exists():
+            return {}
+        completed: dict[int, object] = {}
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            self._stale = True
+            return {}
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            header = None
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != self.FORMAT
+            or header.get("key") != self.key
+            or header.get("shards") != self.shards
+        ):
+            # A different campaign (or shard plan) owns this file: discard.
+            self._stale = True
+            return {}
+        for line in lines[1:]:
+            try:
+                row = json.loads(line)
+                index = int(row["shard"])
+                value = self._decode(row["value"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                # Torn trailing write from an interrupted run; skip the row.
+                continue
+            if 0 <= index < self.shards:
+                completed[index] = value
+        return completed
+
+    def record(self, index: int, value: object) -> None:
+        """Append one completed shard (flushed so a crash loses at most it)."""
+        if not self._loaded:
+            # Callers normally load() first; keep the journal coherent anyway.
+            self.load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = self._stale or not self.path.exists() or not self.path.stat().st_size
+        mode = "w" if fresh else "a"
+        with self.path.open(mode) as handle:
+            if fresh:
+                handle.write(self._header() + "\n")
+                self._stale = False
+            handle.write(
+                json.dumps({"shard": int(index), "value": self._encode(value)})
+                + "\n"
+            )
+            handle.flush()
+
+
+# ---------------------------------------------------------------------------
+# Bare dispatch (the run_sharded fast path)
+# ---------------------------------------------------------------------------
+def _make_pool(mode: str, workers: int):
+    if mode == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(max_workers=workers)
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    context = (
+        multiprocessing.get_context("fork")
+        if "fork" in multiprocessing.get_all_start_methods()
+        else None
+    )
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in EXECUTOR_MODES:
+        raise InvalidConfigurationError(
+            f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}"
+        )
+
+
+def dispatch(worker, payloads: Sequence, *, jobs: int, mode: str = "process") -> list:
+    """Map ``worker`` over shard payloads, preserving shard order.
+
+    ``jobs <= 1`` (or a single payload, or ``mode='serial'``) runs
+    in-process — the degenerate pool every sharded estimator uses for its
+    determinism guarantee.  ``'thread'`` uses a thread pool, ``'process'``
+    a fork-based process pool.  On a thread-pool worker exception, the
+    *chronologically first* exception is raised with its original
+    traceback and the not-yet-started shards are cancelled — submission
+    order can no longer mask the root cause behind secondary errors.
+    """
+    _check_mode(mode)
+    count = len(payloads)
+    if jobs <= 1 or count <= 1 or mode == "serial":
+        return [worker(payload) for payload in payloads]
+    workers = min(jobs, count)
+    with _make_pool(mode, workers) as pool:
+        if mode == "thread":
+            from concurrent.futures import as_completed
+
+            futures = [pool.submit(worker, payload) for payload in payloads]
+            for future in as_completed(futures):
+                error = future.exception()
+                if error is not None:
+                    for pending in futures:
+                        pending.cancel()
+                    raise error
+            return [future.result() for future in futures]
+        return list(pool.map(worker, payloads))
+
+
+# ---------------------------------------------------------------------------
+# Supervised dispatch
+# ---------------------------------------------------------------------------
+class _ShardDropped(Exception):
+    """Internal control flow: current shard failed permanently (degrade)."""
+
+
+def _terminate_pool(pool) -> None:
+    """Tear a process pool down even when its workers are hung.
+
+    ``shutdown`` alone would join busy workers forever; terminating the
+    worker processes directly is the only way to reclaim a hung shard.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+    for process in processes:
+        process.join(timeout=2.0)
+
+
+def run_supervised(
+    worker,
+    payloads: Sequence,
+    *,
+    jobs: int,
+    mode: str = "process",
+    supervision: Supervision | None = None,
+    rebuild: Callable[[int], object] | None = None,
+    checkpoint: CampaignCheckpoint | None = None,
+    chaos=None,
+) -> tuple[list, RunReport]:
+    """Fault-tolerant :func:`dispatch`: returns ``(results, report)``.
+
+    ``results`` holds one entry per payload in shard order; dropped
+    shards (degrade mode only) leave ``None`` in their slot and are
+    listed in the report.  ``rebuild(index)`` must return a fresh,
+    never-executed payload for shard ``index`` — it is used for every
+    re-execution so retried shards consume pristine spawned streams (see
+    the module determinism contract).  Without it, retries reuse
+    ``payloads[index]``, which is only sound under a process pool (the
+    parent's payload is never advanced by a child).  ``checkpoint``
+    journals completed shards and pre-loads any shards a previous
+    interrupted run already completed.  ``chaos`` injects deterministic
+    worker faults for self-tests (see :mod:`repro.engine.chaos`).
+    """
+    _check_mode(mode)
+    sup = supervision if supervision is not None else Supervision()
+    count = len(payloads)
+    results: list = [None] * count
+    done = [False] * count
+    failures_used = [0] * count  # failed attempts so far, per shard
+    dropped: list[int] = []
+    drop_reasons: list[tuple[int, str]] = []
+    retried: set[int] = set()
+    stats = {"attempts": 0, "timeouts": 0, "rebuilds": 0}
+
+    restored = 0
+    if checkpoint is not None:
+        for index, value in checkpoint.load().items():
+            if 0 <= index < count and not done[index]:
+                results[index] = value
+                done[index] = True
+                restored += 1
+
+    if chaos is not None:
+        worker = chaos.bind(worker, mode)
+
+    def payload_for(index: int) -> object:
+        base = (
+            rebuild(index)
+            if rebuild is not None and failures_used[index] > 0
+            else payloads[index]
+        )
+        return (index, base) if chaos is not None else base
+
+    def finish(index: int, value) -> None:
+        results[index] = value
+        done[index] = True
+        if checkpoint is not None:
+            checkpoint.record(index, value)
+
+    def fail(index: int, kind: str, error: BaseException | None) -> float | None:
+        """Book one failed attempt; returns the retry-ready time, or
+        ``None`` when the shard is permanently failed (raise or drop)."""
+        failures_used[index] += 1
+        if kind == "timeout":
+            stats["timeouts"] += 1
+        if failures_used[index] <= sup.retries:
+            retried.add(index)
+            return time.monotonic() + sup.backoff * (2 ** (failures_used[index] - 1))
+        if sup.on_shard_failure == "raise":
+            raise ShardExecutionError(
+                f"shard {index} failed permanently after "
+                f"{failures_used[index]} attempt(s) (last failure: {kind}); "
+                "set on_shard_failure='degrade' to keep partial results"
+            ) from error
+        dropped.append(index)
+        drop_reasons.append((index, kind))
+        raise _ShardDropped
+
+    pending = [index for index in range(count) if not done[index]]
+
+    if jobs <= 1 or count <= 1 or mode == "serial":
+        # In-process execution: retries and degradation apply; the calling
+        # thread cannot be preempted, so `timeout` is inert here.
+        for index in pending:
+            while True:
+                stats["attempts"] += 1
+                try:
+                    value = worker(payload_for(index))
+                except Exception as error:
+                    try:
+                        ready_at = fail(index, "error", error)
+                    except _ShardDropped:
+                        break
+                    delay = ready_at - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                else:
+                    finish(index, value)
+                    break
+    elif pending:
+        _run_pooled(
+            worker,
+            payload_for,
+            pending,
+            jobs=jobs,
+            mode=mode,
+            sup=sup,
+            fail=fail,
+            finish=finish,
+            stats=stats,
+        )
+
+    report = RunReport(
+        shards=count,
+        completed=sum(done),
+        dropped=tuple(sorted(dropped)),
+        retried=tuple(sorted(retried)),
+        failures=tuple(sorted(drop_reasons)),
+        attempts=stats["attempts"],
+        timeouts=stats["timeouts"],
+        pool_rebuilds=stats["rebuilds"],
+        restored=restored,
+    )
+    return results, report
+
+
+def _run_pooled(
+    worker,
+    payload_for,
+    pending: list[int],
+    *,
+    jobs: int,
+    mode: str,
+    sup: Supervision,
+    fail,
+    finish,
+    stats: dict,
+) -> None:
+    """The supervised pool loop shared by thread and process modes."""
+    from concurrent.futures import BrokenExecutor, wait as wait_futures
+
+    workers = min(jobs, len(pending))
+    queue: list[tuple[int, float]] = [(index, 0.0) for index in pending]
+    inflight: dict = {}  # future -> (index, deadline or None)
+    abandoned = False  # thread attempts we gave up waiting on
+    pool = _make_pool(mode, workers)
+
+    def submit_ready(now: float) -> None:
+        index_at = 0
+        while index_at < len(queue) and len(inflight) < workers:
+            index, ready_at = queue[index_at]
+            if ready_at <= now:
+                queue.pop(index_at)
+                stats["attempts"] += 1
+                deadline = None if sup.timeout is None else now + sup.timeout
+                inflight[pool.submit(worker, payload_for(index))] = (index, deadline)
+            else:
+                index_at += 1
+
+    def requeue_inflight(now: float) -> None:
+        """Put every in-flight shard back, retry budgets untouched."""
+        for index, _ in inflight.values():
+            queue.append((index, now))
+        inflight.clear()
+
+    def retry_or_drop(index: int, kind: str, error) -> None:
+        try:
+            ready_at = fail(index, kind, error)
+        except _ShardDropped:
+            return
+        queue.append((index, ready_at))
+
+    try:
+        while queue or inflight:
+            now = time.monotonic()
+            submit_ready(now)
+            if not inflight:
+                # Everything queued is backing off; sleep to the earliest.
+                time.sleep(max(0.0, min(at for _, at in queue) - now))
+                continue
+
+            horizons = [
+                deadline - now
+                for _, deadline in inflight.values()
+                if deadline is not None
+            ]
+            if queue and len(inflight) < workers:
+                horizons.append(min(at for _, at in queue) - now)
+            wait_s = max(0.0, min(horizons)) if horizons else None
+            completed, _ = wait_futures(
+                list(inflight), timeout=wait_s, return_when="FIRST_COMPLETED"
+            )
+
+            broken: list[int] = []
+            for future in completed:
+                index, _ = inflight.pop(future)
+                try:
+                    value = future.result()
+                except BrokenExecutor:
+                    # The pool died under this shard; the loss is not
+                    # attributable to any one shard, so no retry is burnt.
+                    broken.append(index)
+                except Exception as error:
+                    retry_or_drop(index, "error", error)
+                else:
+                    finish(index, value)
+
+            if broken:
+                stats["rebuilds"] += 1
+                now = time.monotonic()
+                doomed = broken + [index for index, _ in inflight.values()]
+                inflight.clear()
+                if stats["rebuilds"] > sup.max_pool_rebuilds:
+                    # Some in-flight shard keeps killing workers; fail the
+                    # whole in-flight set rather than rebuilding forever.
+                    for index in doomed:
+                        retry_or_drop(index, "worker-loss", None)
+                else:
+                    for index in doomed:
+                        queue.append((index, now))
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = _make_pool(mode, workers)
+                continue
+
+            # Enforce per-shard deadlines on whatever is still in flight.
+            now = time.monotonic()
+            overdue = [
+                future
+                for future, (_, deadline) in inflight.items()
+                if deadline is not None and now >= deadline
+            ]
+            if not overdue:
+                continue
+            for future in overdue:
+                index, _ = inflight.pop(future)
+                if mode == "thread":
+                    # Threads cannot be interrupted: abandon the attempt
+                    # (its eventual result is discarded) and move on.
+                    future.cancel()
+                    abandoned = True
+                retry_or_drop(index, "timeout", None)
+            if mode == "process":
+                # The hung worker still occupies a process; terminate the
+                # pool and requeue the innocent in-flight shards.
+                requeue_inflight(now)
+                _terminate_pool(pool)
+                pool = _make_pool(mode, workers)
+    finally:
+        clean = not queue and not inflight
+        if mode == "process" and not clean:
+            # Bailing out mid-run (raise mode): workers may be hung, and a
+            # waiting shutdown would join them forever.
+            _terminate_pool(pool)
+        else:
+            # Abandoned (timed-out) threads would block a waiting shutdown.
+            pool.shutdown(wait=not abandoned, cancel_futures=True)

@@ -32,5 +32,15 @@ class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulator reached an inconsistent internal state."""
 
 
+class ShardExecutionError(ReproError, RuntimeError):
+    """A supervised shard exhausted its retry budget (or its worker pool
+    could not be kept alive) and the execution policy said to raise.
+
+    Raised by :mod:`repro.engine.runtime` with the failing shard's index
+    and failure kind in the message; the original worker exception, when
+    there is one, is chained as ``__cause__``.
+    """
+
+
 class FittingError(ReproError, RuntimeError):
     """Fault-curve fitting failed (degenerate data, non-convergence, ...)."""

@@ -17,6 +17,15 @@ features only *append* draws (MTTR exponentials after each crash uniform,
 event draws after the sampled schedule), and uniform draws and
 ``SeedSequence.spawn`` advance independent counters, so reordering one
 never perturbs the other.
+
+**Execution.**  The simulation backend fans replicas across workers and,
+under a supervising :class:`~repro.engine.ExecutionPolicy`, through the
+fault-tolerant runtime (:mod:`repro.engine.runtime`): a crashed or hung
+shard of replicas retries on generators rebuilt from the same spawned
+children — sound precisely because of the stream contract above — and
+:func:`repro.engine.chaos.chaos_from_fault_plan` turns a
+:class:`~repro.injection.plan.FaultPlan` loose on the runtime itself for
+its self-tests.
 """
 
 from __future__ import annotations
