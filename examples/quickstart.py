@@ -248,6 +248,37 @@ def main() -> None:
     print(f"  resume from checkpoint journal: byte-identical? {same}")
     print("  -> timeouts, retries, degradation and resume never change answers")
 
+    # -- 8. Determinism contracts: the linter that guards all of the above
+    # Everything demonstrated so far leans on one invariant: answers are a
+    # pure function of (inputs, seed).  `repro.contracts` checks that
+    # statically — ambient RNG construction, wall-clock reads, unsorted
+    # set iteration into codecs, unpicklable pool workers, cache-key field
+    # drift, swallowed worker errors, half-registered query kinds.  The
+    # same checker runs in tier-1 (tests/test_contracts_self.py) and from
+    # the CLI: `repro-analyze lint` / `repro-analyze lint --explain RULE`.
+    from textwrap import dedent
+
+    from repro.contracts import lint_sources
+
+    sneaky = dedent(
+        """
+        import numpy as np
+
+        def estimate(spec, trials):
+            rng = np.random.default_rng()   # ambient entropy!
+            return rng.random(trials).mean()
+        """
+    )
+    findings = lint_sources({"repro/analysis/new_estimator.py": sneaky})
+    print("\nDeterminism contracts: what review no longer has to catch by eye:")
+    for found in findings:
+        print(f"  {found.render()}")
+    assert lint_sources({"repro/analysis/new_estimator.py": sneaky.replace(
+        "rng = np.random.default_rng()   # ambient entropy!",
+        "rng = np.random.default_rng()   # repro: allow[rng-discipline] -- demo",
+    )}) == [], "justified suppressions keep the lint quiet"
+    print("  -> a seeded campaign cannot silently grow a hidden entropy source")
+
 
 if __name__ == "__main__":
     main()

@@ -548,6 +548,20 @@ def spawn_shard_generators(seed, count: int) -> list[np.random.Generator]:
     ]
 
 
+def rebuild_shard_generators(
+    children: Sequence[np.random.SeedSequence],
+) -> list[np.random.Generator]:
+    """Fresh generators from already-spawned ``SeedSequence`` children.
+
+    The rebuild half of the :func:`spawn_shard_sequences` contract: callers
+    that keep the children (the campaign backend, the supervised runtime's
+    retry path) mint identical streams from them any number of times.
+    Living here keeps generator construction inside the declared
+    stream-boundary module (see ``repro.contracts``).
+    """
+    return [np.random.default_rng(child) for child in children]
+
+
 def use_spawned_streams(jobs: int | None, sharding: str) -> bool:
     """Resolve the stream mode from a ``jobs``/``sharding`` parameter pair.
 

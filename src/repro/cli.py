@@ -443,6 +443,52 @@ def _cmd_report(_args: argparse.Namespace) -> int:
     return 0 if all(c.matches for c in evaluate_claims()) else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static determinism/concurrency contract check (repro.contracts).
+
+    Exit status 0 means no *new* findings (baselined debt is reported but
+    not fatal), so the command is directly usable as a pre-commit hook.
+    """
+    import pathlib
+
+    from repro.contracts import (
+        lint_paths,
+        registered_rules,
+        render_json,
+        render_text,
+        save_baseline,
+    )
+
+    if args.explain is not None:
+        rule = registered_rules().get(args.explain)
+        if rule is None:
+            print(
+                f"unknown rule {args.explain!r}; "
+                f"rules: {', '.join(sorted(registered_rules()))}",
+                file=sys.stderr,
+            )
+            return 2
+        print(rule.explain())
+        return 0
+
+    if args.paths:
+        paths = [pathlib.Path(p) for p in args.paths]
+    else:
+        # Default scope: the installed package itself, wherever it lives.
+        paths = [pathlib.Path(__file__).resolve().parent]
+    rules = None if args.rules is None else args.rules.split(",")
+    result = lint_paths(paths, rules=rules, baseline=args.baseline)
+    if args.write_baseline is not None:
+        save_baseline(result.findings, args.write_baseline)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {args.write_baseline}; "
+            "justify each entry in review"
+        )
+        return 0
+    print(render_json(result) if args.json else render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
@@ -452,6 +498,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="full paper-vs-measured reproduction report")
     report.set_defaults(func=_cmd_report)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism & concurrency contract check "
+        "(AST-level; exits non-zero on new findings)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="committed baseline of known findings; only NEW findings fail",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write current findings as a new baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="RULE-ID",
+        default=None,
+        help="print a rule's rationale and a minimal bad/good example",
+    )
+    lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined findings in the text report",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     raft = sub.add_parser("raft", help="analyze one Raft deployment")
     raft.add_argument("--n", type=int, required=True, help="cluster size")

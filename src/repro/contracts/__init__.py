@@ -1,0 +1,85 @@
+"""``repro.contracts`` — static determinism & concurrency contract checks.
+
+Every landed PR leans on the same invariants: seed-stream discipline
+(``SeedSequence.spawn`` children, never ambient RNG), jobs-invariance,
+picklable process-pool workers, cache keys that cover every field that
+changes an answer, and worker errors that are attributed instead of
+swallowed.  Until now these were enforced only *dynamically*, by
+bit-identity tests that can't see a violation until someone writes the
+exact regression.  This package enforces the statically-detectable
+classes at the AST level — stdlib :mod:`ast`, no new dependencies — and
+runs in tier-1 (``tests/test_contracts_self.py``) so a violation fails
+``pytest -x -q`` before it can ship.
+
+Rule families (``repro-analyze lint --explain RULE-ID`` for details):
+
+``rng-discipline``
+    No ``np.random.default_rng``/``SeedSequence``/``random.*`` calls
+    outside ``repro._rng`` and the declared stream boundaries — library
+    code threads ``rng``/``seed`` parameters (the PR 3 spawn contract).
+``wall-clock``
+    No ``time.time``/``datetime.now``/``perf_counter``/``os.urandom``/
+    ``uuid`` in deterministic paths; supervision (``engine.runtime``) and
+    provenance timing are declared clock boundaries (PR 6).
+``iter-order``
+    No unsorted set iteration anywhere; no raw dict-view iteration inside
+    codec methods (``to_dict``/``cache_key``/...) — hash order must never
+    leak into serialized or hashed output.
+``pool-safety``
+    Workers handed to ``run_sharded``/``run_supervised`` must be
+    module-level callables — lambdas/closures break process-pool pickling
+    only at runtime (PR 3/PR 6).
+``cache-key-coverage``
+    Every field of the frozen query/scenario/plan dataclasses must flow
+    into both ``to_dict`` and the cache key (including out-of-class key
+    builders like the campaign key) — the ``behaviour_build`` drift class
+    from PR 5's review, caught statically.
+``except-hygiene``
+    No bare ``except:``; a broad ``except Exception`` must re-raise or
+    use the bound error (attribution into a ``RunReport`` counts) — the
+    swallowed-worker-error class PR 6 fixed by hand.
+``registry-drift``
+    Every ``register_query_kind`` class has a ``register_backend`` twin
+    and vice versa, so a new query kind can't land half-wired (PR 4).
+
+Single-site escapes are inline ``# repro: allow[rule-id] -- reason``
+comments; whole-module boundaries live in the
+:data:`~repro.contracts.config.DEFAULT_CONFIG` allowlist, each entry with
+its justification.  Pre-existing debt can be carried in a committed
+baseline file (``repro-analyze lint --baseline FILE``) — new findings
+still fail.
+"""
+
+from __future__ import annotations
+
+from repro.contracts.checker import (
+    ContractViolationError,
+    LintResult,
+    lint_paths,
+    lint_sources,
+    load_baseline,
+    save_baseline,
+    split_against_baseline,
+)
+from repro.contracts.config import DEFAULT_CONFIG, KeyBinding, LintConfig
+from repro.contracts.core import Finding, Rule, register_rule, registered_rules
+from repro.contracts.report import render_json, render_text
+
+__all__ = [
+    "ContractViolationError",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "KeyBinding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "lint_paths",
+    "lint_sources",
+    "load_baseline",
+    "register_rule",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "save_baseline",
+    "split_against_baseline",
+]

@@ -1,0 +1,148 @@
+"""Path-scoped allowlist configuration for the contract checker.
+
+A :class:`LintConfig` declares, per rule, *where* otherwise-banned
+constructs are legitimate — the boundary modules that are allowed to
+construct RNGs, the supervision/metrology modules that may read wall
+clocks, which functions hand workers to pools, and which frozen
+dataclasses must keep ``to_dict``/``cache_key`` field coverage in sync.
+
+:data:`DEFAULT_CONFIG` encodes this repository's contracts.  Every
+allowlist entry is a *justified* hole: the comment next to it says why
+the path is exempt, exactly like an inline ``# repro: allow[...]``
+comment justifies a single site.  Paths are matched with
+:func:`fnmatch.fnmatch` against posix paths relative to the lint root,
+so the same config works whether the checker is pointed at ``src/``,
+``src/repro/`` or a temp tree in a test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Dict, Mapping, Tuple
+
+
+def path_matches(path: str, patterns: Tuple[str, ...]) -> bool:
+    """Whether a root-relative posix path matches any allowlist pattern."""
+    return any(fnmatch(path, pattern) for pattern in patterns)
+
+
+@dataclass(frozen=True)
+class KeyBinding:
+    """A module-level function that builds the memo key for a dataclass.
+
+    Some cache keys live outside the class they cover (the simulation
+    campaign key is assembled by ``_campaign_cache_key`` in
+    ``engine/backends.py``).  Binding the function to its class lets the
+    coverage rule demand that every field of the class is read — directly
+    or through the class's own key helper methods — by that function.
+    """
+
+    function: str  # module-level function name
+    class_name: str  # dataclass whose fields it must cover
+    path_pattern: str = "*"  # where the function is defined
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything the rules need to know about one codebase's contracts."""
+
+    #: Files never linted (globs against root-relative posix paths).
+    exclude: Tuple[str, ...] = ()
+
+    #: rule id -> path globs where the rule does not apply at all.
+    rule_allow: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    #: Function names (worker-arg position 0) that hand callables to
+    #: thread/process pools — workers must be module-level for pickling.
+    pool_entry_points: Tuple[str, ...] = ("run_sharded", "run_supervised", "dispatch")
+
+    #: Method names whose bodies feed serialized/hashed output; unsorted
+    #: dict-view iteration inside them is an ordering hazard.
+    codec_methods: Tuple[str, ...] = (
+        "to_dict",
+        "to_dicts",
+        "to_json",
+        "cache_key",
+        "fleet_key",
+        "chain_key",
+        "fault_key",
+        "behaviour_key",
+        "grouping_key",
+        "baseline_key",
+    )
+
+    #: Globs of modules whose frozen dataclasses must keep
+    #: ``to_dict``/``cache_key`` field coverage complete.
+    cache_key_modules: Tuple[str, ...] = ()
+
+    #: Out-of-class cache-key builders (see :class:`KeyBinding`).
+    key_bindings: Tuple[KeyBinding, ...] = ()
+
+    #: "ClassName.field" -> justification for exemption from coverage.
+    #: Provenance-only fields (labels, display hints) belong here.
+    field_exemptions: Mapping[str, str] = field(default_factory=dict)
+
+    def allowed(self, rule_id: str, path: str) -> bool:
+        return path_matches(path, tuple(self.rule_allow.get(rule_id, ())))
+
+    def exempt_field(self, class_name: str, field_name: str) -> bool:
+        return f"{class_name}.{field_name}" in self.field_exemptions
+
+
+#: The contracts of this repository.  Each allowlist entry is a declared,
+#: justified boundary — everything else must thread ``rng``/``seed``
+#: parameters, stay clock-free, and keep its keys covered.
+DEFAULT_CONFIG = LintConfig(
+    exclude=(
+        # Generated/cache artifacts; tests and benchmarks are linted only
+        # when explicitly pointed at (the self-lint scope is src/repro).
+        "*/__pycache__/*",
+    ),
+    rule_allow={
+        "rng-discipline": (
+            # The seed-coercion module itself: the single place ambient
+            # construction is the job.
+            "*repro/_rng.py",
+            # Shard-stream boundary: SeedSequence.spawn children are minted
+            # and rebuilt into generators here (PR 3's worker-count-
+            # independent plans); everything downstream receives streams.
+            "*repro/analysis/kernels.py",
+            # Per-trajectory spawn streams for batched Gillespie runs
+            # (PR 4); the module is the declared trajectory-stream boundary.
+            "*repro/markov/simulate.py",
+        ),
+        "wall-clock": (
+            # Supervision reads real deadlines/backoff clocks by design;
+            # no estimator output flows from them (PR 6).
+            "*repro/engine/runtime.py",
+            # Provenance timing (Provenance.seconds) is metrology, not an
+            # input to any answer.
+            "*repro/engine/engine.py",
+            "*repro/engine/backends.py",
+        ),
+    },
+    cache_key_modules=(
+        "*repro/engine/scenario.py",
+        "*repro/engine/query.py",
+        "*repro/injection/plan.py",
+    ),
+    key_bindings=(
+        # The campaign memo key lives in the backend, not on the query:
+        # every SimulationQuery field must flow into it (this is the rule
+        # that catches behaviour_build-style provenance drift statically).
+        KeyBinding(
+            function="_campaign_cache_key",
+            class_name="SimulationQuery",
+            path_pattern="*repro/engine/backends.py",
+        ),
+    ),
+    field_exemptions={
+        # Estimator *name* is resolved before keying: the engine keys on
+        # the concrete resolved method (see Scenario.cache_key docstring).
+        "Scenario.method": "cache_key takes the post-'auto' resolved_method",
+        # Provenance-only metadata: never influences estimator output.
+        "Scenario.label": "display-only provenance",
+        "Scenario.window_hours": "display-only provenance (horizon stamp)",
+    },
+)

@@ -1,0 +1,244 @@
+"""Core types of the contract checker: findings, rules, file/project context.
+
+The checker is a plain :mod:`ast` pass — no new dependencies, no runtime
+imports of the code under analysis.  Each :class:`Rule` walks parsed
+sources and yields :class:`Finding`\\ s; the driver in
+:mod:`repro.contracts.checker` applies the path-scoped allowlist
+(:mod:`repro.contracts.config`), inline ``# repro: allow[rule-id]``
+suppressions and an optional committed baseline before anything reaches a
+reporter.
+
+Rules carry their own documentation — ``rationale`` (why the contract
+exists, pointing at the PR that motivated it) plus minimal
+``bad_example``/``good_example`` snippets — so ``repro-analyze lint
+--explain RULE-ID`` and baseline entries are self-explanatory.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Inline suppression grammar: ``# repro: allow[rule-id]`` (comma-separated
+#: ids; ``*`` allows every rule).  A suppression applies to findings on its
+#: own line or, when written on a line of its own, to the line below.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One contract violation at a source location."""
+
+    path: str  # posix path relative to the lint root
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-independent identity used for baseline matching.
+
+        Unrelated edits move line numbers constantly; a baselined finding
+        stays recognised as long as the file, rule and message hold.
+        """
+        return (self.path, self.rule, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def parse_suppressions(source: str) -> Dict[int, frozenset]:
+    """Map 1-based line numbers to the rule ids allowed on that line."""
+    allows: Dict[int, frozenset] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        ids = frozenset(part.strip() for part in match.group(1).split(",") if part.strip())
+        if ids:
+            allows[lineno] = ids
+    return allows
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus everything rules need to judge it."""
+
+    path: str  # posix, relative to the lint root
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, frozenset] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "FileContext":
+        return cls(
+            path=path,
+            source=source,
+            tree=ast.parse(source, filename=path),
+            suppressions=parse_suppressions(source),
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Inline-allowed on the finding's line or the full-comment line above."""
+        for lineno in (finding.line, finding.line - 1):
+            ids = self.suppressions.get(lineno)
+            if ids and (finding.rule in ids or "*" in ids):
+                return True
+        return False
+
+    # -- import-alias resolution ------------------------------------------
+    def import_aliases(self) -> Dict[str, str]:
+        """Local name -> fully qualified name, from every import statement.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random
+        import default_rng as rng`` maps ``rng -> numpy.random.default_rng``.
+        Relative imports resolve against nothing (level > 0 keeps the bare
+        module path) — good enough for contract checks, which only care
+        about absolute stdlib/numpy targets.
+        """
+        cached = getattr(self, "_aliases", None)
+        if cached is not None:
+            return cached
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".")[0]
+                    target = item.name if item.asname else item.name.split(".")[0]
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    local = item.asname or item.name
+                    aliases[local] = f"{node.module}.{item.name}"
+        self._aliases = aliases
+        return aliases
+
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to a dotted absolute name.
+
+        Returns ``None`` when the chain does not start at an imported
+        module/object (e.g. a method on a local variable) — callers treat
+        that as "not ours to judge".
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = self.import_aliases().get(node.id)
+        if head is None:
+            return None
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class Project:
+    """Every parsed file of one lint invocation, for cross-file rules."""
+
+    files: List[FileContext]
+
+    def by_path(self) -> Dict[str, FileContext]:
+        return {ctx.path: ctx for ctx in self.files}
+
+
+class Rule:
+    """Base class: one contract family.
+
+    Subclasses set the class attributes and implement either
+    :meth:`check_file` (per-file rules) or :meth:`check_project`
+    (cross-file rules such as registry drift).
+    """
+
+    id: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+    bad_example: ClassVar[str] = ""
+    good_example: ClassVar[str] = ""
+
+    def check_project(self, project: Project, config) -> Iterator[Finding]:
+        for ctx in project.files:
+            yield from self.check_file(ctx, project, config)
+
+    def check_file(
+        self, ctx: FileContext, project: Project, config
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def explain(self) -> str:
+        return (
+            f"{self.id} — {self.summary}\n\n"
+            f"{self.rationale.strip()}\n\n"
+            f"Bad:\n{_indent(self.bad_example)}\n\n"
+            f"Good:\n{_indent(self.good_example)}\n\n"
+            f"Suppress one confirmed-safe site with "
+            f"`# repro: allow[{self.id}] -- <justification>`."
+        )
+
+
+def _indent(snippet: str) -> str:
+    return "\n".join("    " + line for line in snippet.strip().splitlines())
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator: instantiate and publish a rule under its id."""
+    if not cls.id:
+        raise ValueError(f"{cls.__name__} must define a non-empty id")
+    _RULES[cls.id] = cls()
+    return cls
+
+
+def registered_rules() -> Dict[str, Rule]:
+    """All rules, keyed by id (import-time registrations included)."""
+    # Importing the rule modules here (not at module import) avoids a cycle:
+    # the rule modules import Rule/register_rule from this module.
+    from repro.contracts import rules_determinism, rules_structure  # noqa: F401
+
+    return dict(_RULES)
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """Bare callable name of a call (``foo(...)`` or ``obj.foo(...)``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def decorator_names(node: ast.AST) -> Iterable[str]:
+    """Bare names of every decorator on a def/class (calls unwrapped)."""
+    for deco in getattr(node, "decorator_list", ()):
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name is not None:
+            yield name

@@ -1,0 +1,74 @@
+"""Text and JSON reporters for lint results.
+
+The JSON schema is versioned and covered by a stability test — downstream
+tooling (pre-commit hooks, CI annotations) may rely on exactly these keys:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "files_checked": 42,
+      "counts": {"total": 3, "new": 1, "baselined": 2},
+      "ok": false,
+      "findings": [
+        {"path": "...", "line": 7, "col": 4, "rule": "rng-discipline",
+         "message": "...", "baselined": false}
+      ],
+      "stale_baseline": [{"path": "...", "rule": "...", "message": "..."}]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.contracts.checker import LintResult
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """Human-readable report: one line per new finding plus a summary."""
+    lines = []
+    baselined_keys = {id(f) for f in result.baselined}
+    for finding in result.findings:
+        if id(finding) in baselined_keys:
+            if verbose:
+                lines.append(f"{finding.render()} [baselined]")
+            continue
+        lines.append(finding.render())
+    for path, rule, _message in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {path}: {rule} — violation fixed; "
+            "remove it from the baseline file"
+        )
+    summary = (
+        f"{len(result.new)} new finding(s), {len(result.baselined)} baselined, "
+        f"{result.files_checked} file(s) checked"
+    )
+    lines.append(("FAIL: " if result.new else "ok: ") + summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report with the stable schema documented above."""
+    baselined_ids = {id(f) for f in result.baselined}
+    payload = {
+        "version": REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "counts": {
+            "total": len(result.findings),
+            "new": len(result.new),
+            "baselined": len(result.baselined),
+        },
+        "ok": result.ok,
+        "findings": [
+            {**finding.to_dict(), "baselined": id(finding) in baselined_ids}
+            for finding in result.findings
+        ],
+        "stale_baseline": [
+            {"path": path, "rule": rule, "message": message}
+            for path, rule, message in result.stale_baseline
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

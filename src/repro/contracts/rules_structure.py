@@ -1,0 +1,532 @@
+"""Structural rules: pool safety, cache-key coverage, exception hygiene,
+registry drift.
+
+These families guard the engine's execution and caching contracts: workers
+handed to process pools must survive pickling, memo keys must cover every
+field that changes an answer, worker errors must be attributed or
+re-raised, and a query kind must never land half-wired into the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.contracts.config import path_matches
+from repro.contracts.core import (
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    call_name,
+    decorator_names,
+    register_rule,
+)
+
+
+@register_rule
+class PoolSafetyRule(Rule):
+    id = "pool-safety"
+    summary = "pool workers must be module-level callables (picklable)"
+    rationale = """
+``run_sharded``/``run_supervised`` fan payloads over thread *or* process
+pools depending on the :class:`ExecutionPolicy`; a lambda or closure
+worker happens to work under threads, then fails to pickle (or silently
+captures stale state) the first time a user passes ``mode="process"`` —
+exactly the class of late failure PR 6 hardened the runtime against.
+Workers must be module-level functions or picklable callable instances;
+closures belong in the *payloads*, which are built in the parent.
+"""
+    bad_example = """
+run_sharded(lambda payload: simulate(spec, payload), payloads, jobs=4)
+"""
+    good_example = """
+def _simulate_chunk(payload):          # module level: pickles cleanly
+    return simulate(*payload)
+
+run_sharded(_simulate_chunk, payloads, jobs=4)
+"""
+
+    def check_file(
+        self, ctx: FileContext, project: Project, config
+    ) -> Iterator[Finding]:
+        entry_points = set(config.pool_entry_points)
+        findings: List[Finding] = []
+
+        def visit(node: ast.AST, local_defs: Set[str]) -> None:
+            if isinstance(node, ast.Call):
+                worker = self._worker_arg(node, entry_points)
+                if worker is not None:
+                    findings.extend(self._judge(ctx, node, worker, local_defs))
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                # Defs nested inside this one are closures from the POV of
+                # any pool call made while they are in scope.
+                nested = set(local_defs)
+                for child in ast.walk(node):
+                    if child is not node and isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        nested.add(child.name)
+                for child in ast.iter_child_nodes(node):
+                    visit(child, nested)
+                return
+            for child in ast.iter_child_nodes(node):
+                visit(child, local_defs)
+
+        visit(ctx.tree, set())
+        yield from findings
+
+    @staticmethod
+    def _worker_arg(call: ast.Call, entry_points: Set[str]) -> Optional[ast.AST]:
+        name = call_name(call)
+        if name in entry_points and call.args:
+            return call.args[0]
+        # executor.submit(lambda: ...) — only the obviously-wrong shape.
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "submit"
+            and call.args
+            and isinstance(call.args[0], ast.Lambda)
+        ):
+            return call.args[0]
+        return None
+
+    def _judge(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        worker: ast.AST,
+        local_defs: Set[str],
+    ) -> Iterator[Finding]:
+        if any(isinstance(sub, ast.Lambda) for sub in ast.walk(worker)):
+            reason = "a lambda"
+        elif isinstance(worker, ast.Name) and worker.id in local_defs:
+            reason = f"the nested function `{worker.id}`"
+        else:
+            return
+        yield Finding(
+            path=ctx.path,
+            line=worker.lineno,
+            col=worker.col_offset,
+            rule=self.id,
+            message=(
+                f"pool worker is {reason} — process pools cannot pickle it; "
+                "hoist to module level and move captured state into the payload"
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Cache-key field coverage
+# ---------------------------------------------------------------------------
+#: Calls that read every dataclass field generically.
+_FULL_COVERAGE_CALLS = frozenset({"fields", "asdict", "_fields_to_dict"})
+
+
+class _ClassInfo:
+    """Fields and methods of one dataclass, extracted syntactically."""
+
+    def __init__(self, ctx: FileContext, node: ast.ClassDef):
+        self.ctx = ctx
+        self.node = node
+        self.name = node.name
+        self.base_names = [
+            base.id for base in node.bases if isinstance(base, ast.Name)
+        ]
+        self.is_dataclass = "dataclass" in set(decorator_names(node))
+        self.methods: Dict[str, ast.FunctionDef] = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, ast.FunctionDef)
+        }
+        self.own_fields: Tuple[str, ...] = tuple(
+            item.target.id
+            for item in node.body
+            if isinstance(item, ast.AnnAssign)
+            and isinstance(item.target, ast.Name)
+            and not item.target.id.startswith("_")
+            and "ClassVar" not in ast.dump(item.annotation)
+        )
+
+    def reads_of(self, method_name: str, seen: Optional[Set[str]] = None) -> Set[str]:
+        """Names read as ``self.<name>`` by a method, helpers included.
+
+        Reading ``self.helper`` (attribute or call) unions the helper
+        method's own reads, so ``cache_key -> self.fleet_key()`` covers the
+        fields ``fleet_key`` touches; a call of a ``_FULL_COVERAGE_CALLS``
+        helper on ``self`` covers everything (returned as ``{"*"}``).
+        """
+        seen = set() if seen is None else seen
+        if method_name in seen:
+            return set()
+        seen.add(method_name)
+        method = self.methods.get(method_name)
+        if method is None:
+            return set()
+        reads: Set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                fn = call_name(node)
+                if fn in _FULL_COVERAGE_CALLS and any(
+                    isinstance(arg, ast.Name) and arg.id == "self"
+                    for arg in node.args
+                ):
+                    return {"*"}
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                reads.add(node.attr)
+                if node.attr in self.methods:
+                    nested = self.reads_of(node.attr, seen)
+                    if "*" in nested:
+                        return {"*"}
+                    reads |= nested
+        return reads
+
+
+def _class_index(project: Project) -> Dict[str, _ClassInfo]:
+    index: Dict[str, _ClassInfo] = {}
+    for ctx in project.files:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                index[node.name] = _ClassInfo(ctx, node)
+    return index
+
+
+def _all_fields(info: _ClassInfo, index: Dict[str, _ClassInfo]) -> Tuple[str, ...]:
+    """Own plus inherited dataclass fields (base classes resolved by name)."""
+    names: List[str] = []
+    stack = [info]
+    seen = set()
+    while stack:
+        current = stack.pop()
+        if current.name in seen:
+            continue
+        seen.add(current.name)
+        names.extend(current.own_fields)
+        for base in current.base_names:
+            if base in index:
+                stack.append(index[base])
+    return tuple(dict.fromkeys(names))
+
+
+@register_rule
+class CacheKeyCoverageRule(Rule):
+    id = "cache-key-coverage"
+    summary = "every dataclass field must flow into to_dict and cache_key"
+    rationale = """
+The engine memoises answers by frozen-value keys; a field added to a
+query/scenario/plan but forgotten in ``cache_key`` (or an out-of-class
+key builder) makes two *different* questions share one cache entry — the
+``behaviour_build`` drift PR 5's review caught by hand, now caught
+statically.  The same goes for ``to_dict``: a field missing from the
+codec silently drops on the first JSON round-trip.  Provenance-only
+fields are exempted in the lint config, with the justification recorded
+next to the exemption.
+"""
+    bad_example = """
+@dataclass(frozen=True)
+class Plan:
+    events: tuple
+    adversary: str = "none"            # new field...
+
+    def cache_key(self):
+        return (self.events,)          # ...not keyed: stale cache hits
+"""
+    good_example = """
+    def cache_key(self):
+        return (self.events, self.adversary)
+"""
+
+    def check_project(self, project: Project, config) -> Iterator[Finding]:
+        index = _class_index(project)
+        for info in index.values():
+            if not info.is_dataclass:
+                continue
+            if not path_matches(info.ctx.path, tuple(config.cache_key_modules)):
+                continue
+            required = _all_fields(info, index)
+            if not required:
+                continue
+            for method_name in ("to_dict", "cache_key"):
+                if method_name not in info.methods:
+                    continue
+                yield from self._coverage_findings(
+                    info,
+                    required,
+                    info.reads_of(method_name),
+                    where=f"{info.name}.{method_name}",
+                    site=info.methods[method_name],
+                    config=config,
+                )
+        yield from self._binding_findings(project, index, config)
+
+    def _binding_findings(self, project: Project, index, config) -> Iterator[Finding]:
+        for binding in config.key_bindings:
+            info = index.get(binding.class_name)
+            if info is None:
+                continue
+            for ctx in project.files:
+                if not path_matches(ctx.path, (binding.path_pattern,)):
+                    continue
+                for node in ast.walk(ctx.tree):
+                    if (
+                        isinstance(node, ast.FunctionDef)
+                        and node.name == binding.function
+                        and node.args.args
+                    ):
+                        param = node.args.args[0].arg
+                        reads = self._param_reads(node, param, info)
+                        yield from self._coverage_findings(
+                            info,
+                            _all_fields(info, index),
+                            reads,
+                            where=f"{ctx.path}::{binding.function}",
+                            site=node,
+                            config=config,
+                            ctx=ctx,
+                        )
+
+    @staticmethod
+    def _param_reads(fn: ast.FunctionDef, param: str, info: _ClassInfo) -> Set[str]:
+        """Fields of ``info`` read off ``param`` (class key helpers chased)."""
+        reads: Set[str] = set()
+        for node in ast.walk(fn):
+            attr = None
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == param
+            ):
+                attr = node.attr
+            elif (
+                # one indirection deep: `scenario = query.scenario` is
+                # still query.scenario at the read site; deeper aliasing
+                # is out of scope for a syntactic pass.
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Attribute)
+                and isinstance(node.value.value, ast.Name)
+                and node.value.value.id == param
+            ):
+                reads.add(node.value.attr)
+                continue
+            if attr is None:
+                continue
+            reads.add(attr)
+            if attr in info.methods:
+                nested = info.reads_of(attr)
+                if "*" in nested:
+                    return {"*"}
+                reads |= nested
+        return reads
+
+    def _coverage_findings(
+        self, info, required, reads, *, where, site, config, ctx=None
+    ) -> Iterator[Finding]:
+        ctx = info.ctx if ctx is None else ctx
+        if "*" in reads:
+            return
+        for field_name in required:
+            if field_name in reads:
+                continue
+            if config.exempt_field(info.name, field_name):
+                continue
+            yield Finding(
+                path=ctx.path,
+                line=site.lineno,
+                col=site.col_offset,
+                rule=self.id,
+                message=(
+                    f"{where} does not cover field `{field_name}` of "
+                    f"{info.name} — key/codec drift; include it or exempt it "
+                    "with a justification in the lint config"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Exception hygiene
+# ---------------------------------------------------------------------------
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+@register_rule
+class ExceptionHygieneRule(Rule):
+    id = "except-hygiene"
+    summary = "broad except must attribute or re-raise, never drop the error"
+    rationale = """
+A worker error swallowed by ``except Exception: pass`` turns a failing
+shard into silently-missing data — PR 6 had to fix exactly this in the
+sharded dispatcher (worker exceptions are now propagated with their
+original traceback, or attributed to a shard in the ``RunReport``).  A
+broad handler is legal only if it re-raises or *uses* the bound
+exception (logging it into a report counts); a bare ``except:`` is never
+legal — it eats ``KeyboardInterrupt``.
+"""
+    bad_example = """
+try:
+    value = worker(payload)
+except Exception:
+    value = None                       # error evaporates
+"""
+    good_example = """
+try:
+    value = worker(payload)
+except Exception as error:
+    report.attribute(shard, error)     # or: raise ShardExecutionError(...) from error
+"""
+
+    def check_file(
+        self, ctx: FileContext, project: Project, config
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message="bare `except:` — it even eats KeyboardInterrupt; "
+                    "catch the narrowest type that can actually occur",
+                )
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._handles_error(node):
+                continue
+            yield Finding(
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=self.id,
+                message=(
+                    "broad `except "
+                    + (ast.unparse(node.type) if hasattr(ast, "unparse") else "Exception")
+                    + "` drops the error — re-raise, or bind it and attribute "
+                    "it (report/RunReport/log)"
+                ),
+            )
+
+    @staticmethod
+    def _is_broad(type_node: ast.AST) -> bool:
+        names = []
+        nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        for node in nodes:
+            if isinstance(node, ast.Name):
+                names.append(node.id)
+        return any(name in _BROAD_EXCEPTIONS for name in names)
+
+    @staticmethod
+    def _handles_error(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                handler.name is not None
+                and isinstance(node, ast.Name)
+                and node.id == handler.name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Registry drift
+# ---------------------------------------------------------------------------
+@register_rule
+class RegistryDriftRule(Rule):
+    id = "registry-drift"
+    summary = "every registered query kind needs a backend, and vice versa"
+    rationale = """
+A query kind is wired in two registries: ``register_query_kind`` makes it
+parseable from JSON, ``register_backend`` makes it answerable.  A kind
+registered in only one of them parses-but-never-answers (or answers a
+kind no file can express) — and nothing fails until a user submits one.
+The self-lint test additionally asserts the runtime registries agree
+after import, so dynamically-registered kinds are held to the same bar.
+"""
+    bad_example = """
+@register_query_kind
+@dataclass(frozen=True)
+class LatencyQuery(Query):
+    kind = "latency"                   # parseable...
+# ...but no @register_backend("latency") anywhere: never answerable
+"""
+    good_example = """
+@register_backend("latency")
+def latency_backend(engine, queries, policy): ...
+"""
+
+    def check_project(self, project: Project, config) -> Iterator[Finding]:
+        kinds: Dict[str, Tuple[FileContext, ast.ClassDef]] = {}
+        backends: Dict[str, Tuple[FileContext, ast.AST]] = {}
+        saw_kind_registry = saw_backend_registry = False
+        for ctx in project.files:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef) and "register_query_kind" in set(
+                    decorator_names(node)
+                ):
+                    saw_kind_registry = True
+                    kind = self._class_kind(node)
+                    if kind:
+                        kinds[kind] = (ctx, node)
+                for kind, deco in self._backend_registrations(node):
+                    saw_backend_registry = True
+                    backends[kind] = (ctx, deco)
+        # Either registry absent from the lint scope (single-file runs):
+        # nothing meaningful to cross-check.
+        if not (saw_kind_registry and saw_backend_registry):
+            return
+        for kind, (ctx, node) in sorted(kinds.items()):
+            if kind not in backends:
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=f"query kind {kind!r} has no register_backend({kind!r}) "
+                    "— it parses from JSON but can never be answered",
+                )
+        for kind, (ctx, node) in sorted(backends.items()):
+            if kind not in kinds:
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=f"backend registered for kind {kind!r} but no "
+                    "register_query_kind class declares it — unreachable from "
+                    "query files",
+                )
+
+    @staticmethod
+    def _class_kind(node: ast.ClassDef) -> Optional[str]:
+        for item in node.body:
+            target = None
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                target, value = item.target.id, item.value
+            elif isinstance(item, ast.Assign) and len(item.targets) == 1 and isinstance(
+                item.targets[0], ast.Name
+            ):
+                target, value = item.targets[0].id, item.value
+            if target == "kind" and isinstance(value, ast.Constant):
+                return str(value.value)
+        return None
+
+    @staticmethod
+    def _backend_registrations(node: ast.AST):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        for deco in node.decorator_list:
+            if (
+                isinstance(deco, ast.Call)
+                and call_name(deco) == "register_backend"
+                and deco.args
+                and isinstance(deco.args[0], ast.Constant)
+            ):
+                yield str(deco.args[0].value), deco

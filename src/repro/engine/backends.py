@@ -428,10 +428,9 @@ def simulation_backend(
     queries: Sequence[SimulationQuery],
     policy: "ExecutionPolicy",
 ) -> list[Answer]:
-    import numpy as np
-
     from repro.analysis.kernels import (
         plan_shards,
+        rebuild_shard_generators,
         run_sharded,
         spawn_shard_sequences,
     )
@@ -475,10 +474,7 @@ def simulation_backend(
 
         def build_payload(bounds, query=query, children=children):
             low, high = bounds
-            return (
-                query,
-                [np.random.default_rng(child) for child in children[low:high]],
-            )
+            return (query, rebuild_shard_generators(children[low:high]))
 
         payloads = [build_payload(bounds) for bounds in slices]
         jobs = policy.jobs if policy.parallel else 1

@@ -213,8 +213,7 @@ def chaos_from_fault_plan(
     permanently; adversary (Byzantine) shards hang for ``hang_seconds``
     once.  Network events have no runtime analogue and are ignored.
     """
-    import numpy as np
-
+    from repro._rng import as_generator
     from repro.faults.mixture import uniform_fleet
     from repro.injection.campaign import compile_faults
 
@@ -226,7 +225,7 @@ def chaos_from_fault_plan(
         fleet=uniform_fleet(shards, 0.0),
         duration=span,
         crash_window=(0.0, span / 2),
-        rng=np.random.default_rng(seed),
+        rng=as_generator(seed),
     )
     faults: dict[int, ShardFault] = {}
     for shard, _, recover in compiled.outages:

@@ -428,6 +428,7 @@ class ReliabilityEngine:
                     return result, shards, time.perf_counter() - start
 
                 completed = run_sharded(
+                    # repro: allow[pool-safety] -- thread-only branch; never pickled
                     worker, pool_items, jobs=policy.jobs, mode="thread"
                 )
             else:

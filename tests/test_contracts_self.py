@@ -1,0 +1,127 @@
+"""Tier-1 self-lint: the contract checker run over this repository.
+
+The baseline at ``tests/data/contracts_baseline.json`` is empty on
+purpose — every historical violation was either fixed (ambient RNG
+construction in engine.chaos / engine.backends) or justified in place
+(path allowlists in :data:`repro.contracts.DEFAULT_CONFIG`, inline
+``# repro: allow[...]`` markers).  A new violation anywhere in
+``src/repro`` therefore fails ``pytest -x -q`` with the offending
+file:line, and ``repro-analyze lint`` exits non-zero with the same list.
+
+The registry-drift rule is static; the runtime half of the same contract
+is asserted here directly: after importing the backend module, the query
+and backend registries must agree kind-for-kind, and every registered
+query class must round-trip through its dict codec and build a hashable
+cache key.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.contracts import DEFAULT_CONFIG, lint_paths
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "tests" / "data" / "contracts_baseline.json"
+
+
+def test_package_is_contract_clean():
+    result = lint_paths([PACKAGE_ROOT], baseline=BASELINE)
+    assert result.files_checked > 50, "lint scope collapsed — wrong root?"
+    rendered = "\n".join(f.render() for f in result.new)
+    assert result.ok, f"new contract violations in src/repro:\n{rendered}"
+
+
+def test_baseline_has_no_stale_entries():
+    # Fixed violations must be deleted from the baseline, not left as
+    # standing permission to regress.
+    result = lint_paths([PACKAGE_ROOT], baseline=BASELINE)
+    assert result.stale_baseline == ()
+
+
+def test_seeded_violation_is_caught(tmp_path):
+    """An ambient ``default_rng()`` added under analysis/ must fail the lint.
+
+    This is the end-to-end proof the self-lint has teeth: the tmp tree
+    mirrors the package layout (so the DEFAULT_CONFIG path allowlists
+    apply exactly as they would in ``src/repro``) and the seeded file is
+    *not* one of the declared stream-boundary modules.
+    """
+    bad = tmp_path / "repro" / "analysis" / "ambient.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            def sample(trials):
+                return np.random.default_rng().random(trials)
+            """
+        ),
+        encoding="utf-8",
+    )
+    result = lint_paths([tmp_path], baseline=BASELINE)
+    assert not result.ok
+    assert [f.rule for f in result.new] == ["rng-discipline"]
+    assert result.new[0].path == "repro/analysis/ambient.py"
+
+    # The same construct in a declared boundary module stays legal.
+    boundary = tmp_path / "repro" / "analysis" / "kernels.py"
+    boundary.write_text(bad.read_text(encoding="utf-8"), encoding="utf-8")
+    bad.unlink()
+    assert lint_paths([tmp_path], baseline=BASELINE).ok
+
+
+def test_subtree_lint_agrees_with_full_tree():
+    # Path anchoring: linting a subpackage must apply the same allowlists
+    # as the full-tree run (findings are reported package-relative).
+    result = lint_paths([PACKAGE_ROOT / "engine"])
+    rendered = "\n".join(f.render() for f in result.new)
+    assert result.new == (), f"engine subtree lint disagrees:\n{rendered}"
+
+
+# ---------------------------------------------------------------------------
+# Runtime registry agreement (the dynamic half of registry-drift)
+# ---------------------------------------------------------------------------
+def test_runtime_registries_agree():
+    import repro.engine.backends  # noqa: F401 — registers the built-ins
+
+    from repro.engine.query import registered_query_kinds
+    from repro.engine.registry import registered_backends
+
+    kinds = set(registered_query_kinds())
+    backends = set(registered_backends())
+    assert kinds == backends
+    assert {"reliability", "availability", "mttf", "simulation"} <= kinds
+
+
+def test_every_query_kind_round_trips_and_keys():
+    import repro.engine.backends  # noqa: F401
+
+    from repro.engine.query import _QUERY_KINDS, query_from_dict
+    from repro.engine.scenario import Scenario
+    from repro.faults.mixture import uniform_fleet
+    from repro.protocols.raft import RaftSpec
+
+    scenario = Scenario(spec=RaftSpec(3), fleet=uniform_fleet(3, 0.01), seed=7)
+    extras = {
+        "availability": {"failure_rate_per_hour": 0.1, "repair_rate_per_hour": 1.0},
+        "mttf": {"failure_rate_per_hour": 0.1, "repair_rate_per_hour": 1.0},
+    }
+    for kind, cls in sorted(_QUERY_KINDS.items()):
+        query = cls(scenario=scenario, **extras.get(kind, {}))
+        rebuilt = query_from_dict(query.to_dict())
+        assert type(rebuilt) is cls
+        # Specs compare by identity, so round-trip equality is asserted on
+        # the codec form — a dropped field would change the second dict.
+        assert rebuilt.to_dict() == query.to_dict(), (
+            f"{kind} does not round-trip through to_dict"
+        )
+        key = rebuilt.scenario.cache_key(resolved_method="counting")
+        assert hash(key) == hash(
+            query.scenario.cache_key(resolved_method="counting")
+        ), f"{kind} scenario cache_key unstable across the codec"
