@@ -1,0 +1,270 @@
+"""P8 — the query daemon under concurrent load: coalescing and cache reuse.
+
+Two workloads against a real :class:`repro.serve.BackgroundServer` over
+loopback HTTP, at client concurrency 1 / 16 / 64:
+
+* **burst** — every client in a round POSTs the *identical* campaign
+  query while it is still in flight.  Single-flight coalescing turns the
+  round into one engine execution fanned out to all clients, so
+  completed queries/sec scales with the client count (the acceptance
+  gate: ≥ 5x at concurrency 16 vs 1).  The engine cache-miss counter
+  proves exactly one execution per round and the coalesced counter
+  accounts for every other client.
+* **steady** — clients hammer one warm (memoised) query.  Every answer
+  is a cache hit; throughput gains here come only from overlapping
+  request handling in a GIL-bound loop, so the scaling is modest — the
+  honest contrast that shows *where* the daemon's concurrency win lives.
+
+Emits ``BENCH_serve.json`` at the repo root.  Run as pytest
+(``pytest benchmarks/bench_serve.py -s``) or directly
+(``python benchmarks/bench_serve.py``); both write the JSON.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import QuerySet, Scenario, SimulationQuery
+from repro.faults.mixture import uniform_fleet
+from repro.protocols.raft import RaftSpec
+from repro.serve import BackgroundServer, ServiceConfig
+
+from conftest import print_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_serve.json"
+
+CONCURRENCIES = (1, 16, 64)
+BURST_ROUNDS = 6
+STEADY_SECONDS = 1.5
+SPEEDUP_TARGET = 5.0
+
+STEADY_PAYLOAD = json.dumps(
+    {"grid": {"protocols": ["raft"], "sizes": [5], "probabilities": [0.01]}}
+)
+
+
+def _campaign_payload(seed: int) -> str:
+    """One moderately expensive campaign (~0.2 s), unique per seed."""
+    query = SimulationQuery(
+        Scenario(
+            spec=RaftSpec(3),
+            fleet=uniform_fleet(3, 0.01),
+            seed=seed,
+            label=f"burst-{seed}",
+        ),
+        replicas=16,
+        duration=5.0,
+        commands=2,
+    )
+    return QuerySet.build([query]).to_json()
+
+
+def _post(connection: http.client.HTTPConnection, payload: str) -> dict:
+    connection.request("POST", "/v1/query", body=payload)
+    response = connection.getresponse()
+    return json.loads(response.read())
+
+
+def _metrics(port: int) -> dict:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        connection.request("GET", "/metrics")
+        return json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+
+
+def measure_burst(port: int, clients: int, *, seed_base: int) -> dict:
+    """Rounds of identical in-flight campaign queries; coalescing proof.
+
+    Each round uses a fresh seed (fresh cache key), so steady state is
+    one engine execution plus ``clients - 1`` coalesced joins per round.
+    """
+    before = _metrics(port)
+    connections = [
+        http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        for _ in range(clients)
+    ]
+    completed = [0] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(slot: int) -> None:
+        for round_ in range(BURST_ROUNDS):
+            payload = _campaign_payload(seed_base + round_)
+            barrier.wait(timeout=120)  # the whole fleet fires together
+            body = _post(connections[slot], payload)
+            assert body["count"] == 1
+            completed[slot] += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,)) for slot in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start = time.perf_counter()
+    for _ in range(BURST_ROUNDS):
+        barrier.wait(timeout=120)
+    for thread in threads:
+        thread.join(timeout=300)
+    elapsed = time.perf_counter() - start
+    for connection in connections:
+        connection.close()
+    after = _metrics(port)
+
+    executions = after["engine_cache"]["misses"] - before["engine_cache"]["misses"]
+    coalesced = after["coalesced_total"] - before["coalesced_total"]
+    queries = sum(completed)
+    assert queries == clients * BURST_ROUNDS
+    return {
+        "clients": clients,
+        "rounds": BURST_ROUNDS,
+        "queries": queries,
+        "seconds": elapsed,
+        "queries_per_second": queries / elapsed,
+        "engine_executions": executions,
+        "coalesced": coalesced,
+    }
+
+
+def measure_steady(port: int, clients: int) -> dict:
+    """Sustained repeats of one warm query — pure memo-hit traffic."""
+    before = _metrics(port)
+    completed = [0] * clients
+    deadline = time.perf_counter() + STEADY_SECONDS
+
+    def worker(slot: int) -> None:
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            while time.perf_counter() < deadline:
+                body = _post(connection, STEADY_PAYLOAD)
+                assert body["cache_hits"] == 1
+                completed[slot] += 1
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,)) for slot in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    elapsed = time.perf_counter() - start
+    after = _metrics(port)
+    queries = sum(completed)
+    return {
+        "clients": clients,
+        "queries": queries,
+        "seconds": elapsed,
+        "queries_per_second": queries / elapsed,
+        "cache_hits": after["engine_cache"]["hits"] - before["engine_cache"]["hits"],
+    }
+
+
+def measure_all() -> dict:
+    with BackgroundServer(ServiceConfig(port=0, executor_workers=8)) as server:
+        port = server.port
+        # Warm the steady query (and the import paths) off the clock.
+        warm = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        _post(warm, STEADY_PAYLOAD)
+        _post(warm, _campaign_payload(9_000))
+        warm.close()
+
+        burst_rows = [
+            measure_burst(port, clients, seed_base=10_000 + 100 * index)
+            for index, clients in enumerate(CONCURRENCIES)
+        ]
+        steady_rows = [measure_steady(port, clients) for clients in CONCURRENCIES]
+        final_metrics = _metrics(port)
+
+    by_clients = {row["clients"]: row for row in burst_rows}
+    speedup = (
+        by_clients[16]["queries_per_second"] / by_clients[1]["queries_per_second"]
+    )
+    steady_by_clients = {row["clients"]: row for row in steady_rows}
+    payload = {
+        "burst": burst_rows,
+        "burst_speedup_16_vs_1": speedup,
+        "speedup_target": SPEEDUP_TARGET,
+        "steady": steady_rows,
+        "steady_speedup_16_vs_1": (
+            steady_by_clients[16]["queries_per_second"]
+            / steady_by_clients[1]["queries_per_second"]
+        ),
+        "engine_cache_hit_rate": final_metrics["engine_cache"]["hit_rate"],
+        "coalescing_single_execution": all(
+            row["engine_executions"] == row["rounds"]
+            and row["coalesced"] == (row["clients"] - 1) * row["rounds"]
+            for row in burst_rows
+        ),
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def _print_report(payload: dict) -> None:
+    print_table(
+        "P8: burst workload — identical in-flight campaign queries "
+        "(single-flight coalescing)",
+        ["clients", "queries", "q/s", "executions", "coalesced"],
+        [
+            [
+                str(row["clients"]),
+                str(row["queries"]),
+                f"{row['queries_per_second']:.1f}",
+                str(row["engine_executions"]),
+                str(row["coalesced"]),
+            ]
+            for row in payload["burst"]
+        ],
+    )
+    print_table(
+        "P8: steady workload — repeated warm cache-hit query",
+        ["clients", "queries", "q/s"],
+        [
+            [
+                str(row["clients"]),
+                str(row["queries"]),
+                f"{row['queries_per_second']:.1f}",
+            ]
+            for row in payload["steady"]
+        ],
+    )
+    print(
+        f"\nburst speedup 16 vs 1: {payload['burst_speedup_16_vs_1']:.1f}x "
+        f"(target ≥ {payload['speedup_target']:.0f}x); "
+        f"steady speedup 16 vs 1: {payload['steady_speedup_16_vs_1']:.1f}x; "
+        f"engine cache hit rate {payload['engine_cache_hit_rate']:.3f}"
+    )
+
+
+@pytest.mark.bench
+def test_serve_throughput_and_coalescing():
+    payload = measure_all()
+    _print_report(payload)
+    assert payload["coalescing_single_execution"], (
+        "identical in-flight queries must execute exactly once per round"
+    )
+    assert payload["burst_speedup_16_vs_1"] >= SPEEDUP_TARGET, (
+        f"concurrency-16 repeated-query throughput is only "
+        f"{payload['burst_speedup_16_vs_1']:.1f}x the single-client rate "
+        f"(target ≥ {SPEEDUP_TARGET:.0f}x)"
+    )
+
+
+def main() -> None:
+    payload = measure_all()
+    _print_report(payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

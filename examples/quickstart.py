@@ -279,6 +279,54 @@ def main() -> None:
     )}) == [], "justified suppressions keep the lint quiet"
     print("  -> a seeded campaign cannot silently grow a hidden entropy source")
 
+    # -- 9. Serving queries: the engine as a long-running daemon ---------
+    # Everything above is batch: the process answers and exits, taking
+    # its warm caches with it.  `repro-analyze serve` keeps one engine
+    # resident behind an HTTP API — the same Query/QuerySet JSON over
+    # POST /v1/query, GET /healthz + /metrics, identical in-flight
+    # queries coalesced into a single execution, and every campaign
+    # supervised (timeouts, retries, degradation, checkpoint/resume
+    # across daemon restarts).  The answers are bit-identical to the
+    # batch path; BackgroundServer is the embeddable form used here and
+    # in tests.
+    import http.client
+
+    from repro.serve import BackgroundServer, ServiceConfig
+
+    request = QuerySet.build(
+        [
+            ReliabilityQuery(
+                Scenario(spec=RaftSpec(3), fleet=uniform_fleet(3, 0.01),
+                         label="served")
+            )
+        ]
+    ).to_json()
+    with BackgroundServer(ServiceConfig(port=0)) as server:
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        conn.request("POST", "/v1/query", body=request)
+        first = json.loads(conn.getresponse().read())
+        conn.request("POST", "/v1/query", body=request)  # now memo-warm
+        second = json.loads(conn.getresponse().read())
+        conn.request("GET", "/metrics")
+        metrics = json.loads(conn.getresponse().read())
+        conn.close()
+    direct = default_engine().run_query(
+        ReliabilityQuery(
+            Scenario(spec=RaftSpec(3), fleet=uniform_fleet(3, 0.01),
+                     label="served")
+        )
+    )
+    served = first["answers"][0]["answer"]
+    assert served == second["answers"][0]["answer"]
+    assert served["safe_and_live"] == direct.value.safe_and_live.value
+    print("\nServing queries: one warm engine behind POST /v1/query:")
+    print(f"  served answer: {served['safe_and_live']:.6f} "
+          f"(== batch answer? {served['safe_and_live'] == direct.value.safe_and_live.value})")
+    print(f"  second request was a cache hit: {bool(second['cache_hits'])}")
+    print(f"  /metrics: {metrics['queries_total']} queries, engine hit rate "
+          f"{metrics['engine_cache']['hit_rate']:.2f}")
+    print("  -> the daemon changes where answers come from, never what they are")
+
 
 if __name__ == "__main__":
     main()

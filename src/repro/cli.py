@@ -436,6 +436,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived query daemon (see :mod:`repro.serve`)."""
+    from repro.serve import ServiceConfig, serve_forever
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        shard_timeout=args.timeout,
+        retries=args.retries,
+        on_shard_failure=args.on_shard_failure,
+        cache_size=args.cache_size,
+    )
+    serve_forever(config)
+    return 0
+
+
 def _cmd_report(_args: argparse.Namespace) -> int:
     from repro.report import evaluate_claims, full_report
 
@@ -663,6 +681,55 @@ def build_parser() -> argparse.ArgumentParser:
         "and resume interrupted campaigns from it (bit-identical)",
     )
     query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve queries over HTTP from one warm engine "
+        "(POST /v1/query, GET /healthz, GET /metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker threads per campaign fan-out (default: 1; -1 = one per "
+        "CPU; values never depend on the worker count)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="journal completed campaign shards here so a daemon restart "
+        "resumes interrupted campaigns bit-identically",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-shard wall-clock timeout in seconds for campaign shards",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="re-execution budget per failed campaign shard "
+        "(retries are bit-identical; answers never change)",
+    )
+    serve.add_argument(
+        "--on-shard-failure",
+        choices=("raise", "degrade"),
+        default="degrade",
+        help="what to do when a shard exhausts its retries: keep a partial "
+        "answer with degraded provenance (default) or fail the query",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="engine memo capacity shared across all requests",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

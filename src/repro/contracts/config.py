@@ -120,6 +120,11 @@ DEFAULT_CONFIG = LintConfig(
             # input to any answer.
             "*repro/engine/engine.py",
             "*repro/engine/backends.py",
+            # The serving daemon measures request latency and uptime —
+            # wall-clock by nature (PR 8); no answer value flows from
+            # either, which tests/test_serve.py proves by bit-comparing
+            # daemon answers against direct engine runs.
+            "*repro/serve/*",
         ),
     },
     cache_key_modules=(

@@ -23,6 +23,7 @@ operation-for-operation and the reductions use the ordered
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Iterable, Mapping, Sequence
@@ -100,6 +101,11 @@ class ReliabilityEngine:
         self._cache_size = max(0, int(cache_size))
         self._policy = policy if policy is not None else SERIAL
         self._memo: OrderedDict[tuple, object] = OrderedDict()
+        # One engine may be shared across request threads (repro.serve):
+        # every memo access and counter update happens under this lock —
+        # get + move_to_end must be atomic or a concurrent eviction turns
+        # the recency refresh into a KeyError.
+        self._lock = threading.RLock()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -122,7 +128,22 @@ class ReliabilityEngine:
 
     # -- memo cache --------------------------------------------------------
     def cache_clear(self) -> None:
-        self._memo.clear()
+        with self._lock:
+            self._memo.clear()
+
+    def cache_info(self) -> dict:
+        """Consistent snapshot of the memo counters (for /metrics et al.)."""
+        with self._lock:
+            hits, misses = self.cache_hits, self.cache_misses
+            size = len(self._memo)
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "size": size,
+            "max_size": self._cache_size,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+        }
 
     def cache_lookup(self, key: tuple | None):
         """Public memo probe for query backends.
@@ -134,12 +155,13 @@ class ReliabilityEngine:
         """
         if key is None or self._cache_size == 0:
             return None
-        value = self._memo.get(key)
-        if value is not None:
-            self._memo.move_to_end(key)
-            self.cache_hits += 1
-        else:
-            self.cache_misses += 1
+        with self._lock:
+            value = self._memo.get(key)
+            if value is not None:
+                self._memo.move_to_end(key)
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
         return value
 
     def cache_store(self, key: tuple | None, value) -> None:
@@ -149,9 +171,10 @@ class ReliabilityEngine:
     def _cache_get(self, key: tuple | None) -> ReliabilityResult | None:
         if key is None or self._cache_size == 0:
             return None
-        result = self._memo.get(key)
-        if result is not None:
-            self._memo.move_to_end(key)
+        with self._lock:
+            result = self._memo.get(key)
+            if result is not None:
+                self._memo.move_to_end(key)
         return result
 
     def _cache_put(self, key: tuple | None, result: ReliabilityResult) -> None:
@@ -159,9 +182,10 @@ class ReliabilityEngine:
             return
         # Fresh keys land at the end (insertion order); _cache_get already
         # refreshes recency on hits, so no extra move is needed here.
-        self._memo[key] = result
-        while len(self._memo) > self._cache_size:
-            self._memo.popitem(last=False)
+        with self._lock:
+            self._memo[key] = result
+            while len(self._memo) > self._cache_size:
+                self._memo.popitem(last=False)
 
     # -- execution ---------------------------------------------------------
     def run_one(
@@ -263,10 +287,12 @@ class ReliabilityEngine:
                     if spawned:
                         key = key + ("spawn", active.shard_trials)
                 if memo is not None and key is not None:
-                    cached = memo.get(key)
+                    with self._lock:
+                        cached = memo.get(key)
+                        if cached is not None:
+                            memo.move_to_end(key)
+                            self.cache_hits += 1
                     if cached is not None:
-                        memo.move_to_end(key)
-                        self.cache_hits += 1
                         outcomes[index] = ScenarioOutcome(
                             scenario,
                             cached,
@@ -279,7 +305,8 @@ class ReliabilityEngine:
                         aliases.append((index, first))
                         continue
                     inflight[key] = index
-            self.cache_misses += 1
+            with self._lock:
+                self.cache_misses += 1
             # Invalid counting combinations (asymmetric spec, size
             # mismatch) fall through to the scalar estimator so they raise
             # the exact errors counting_reliability always raised.  The
@@ -332,7 +359,8 @@ class ReliabilityEngine:
                     batch_size=source.provenance.batch_size,
                 ),
             )
-            self.cache_hits += 1
+            with self._lock:
+                self.cache_hits += 1
 
         assert all(outcome is not None for outcome in outcomes)
         return EngineResult(tuple(outcomes))  # type: ignore[arg-type]

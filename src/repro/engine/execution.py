@@ -187,6 +187,45 @@ class ExecutionPolicy:
             jobs = os.cpu_count() or 1
         return cls(mode=mode, jobs=jobs, **supervision)
 
+    @classmethod
+    def for_service(
+        cls,
+        jobs: int | None,
+        *,
+        timeout: float | None = 60.0,
+        retries: int = 1,
+        on_shard_failure: str = "degrade",
+        checkpoint_dir: str | None = None,
+        shard_trials: int | None = None,
+    ) -> "ExecutionPolicy":
+        """The always-supervised policy a long-running daemon executes under.
+
+        A shared service cannot afford the batch defaults: one hung or
+        poisoned shard must never wedge a request thread (``timeout`` +
+        ``retries``), a campaign that exhausts its retries should return a
+        partial, provenance-flagged answer instead of a 500
+        (``on_shard_failure="degrade"``), and completed shards journal to
+        ``checkpoint_dir`` so a daemon restart resumes campaigns instead
+        of recomputing them.  The mode is always ``"thread"`` — even at
+        ``jobs=1`` — so sampling stays on the spawned-stream plan and the
+        numbers a client sees are identical for every ``--jobs`` value
+        (the :meth:`from_jobs` contract); threads rather than processes
+        because the campaign payloads share the daemon's warm engine and
+        the NumPy kernels release the GIL on the hot path.  As everywhere
+        else, none of the supervision knobs changes any answer value.
+        """
+        if jobs is not None and jobs < 0:
+            jobs = os.cpu_count() or 1
+        return cls(
+            mode="thread",
+            jobs=max(1, jobs or 1),
+            shard_trials=shard_trials,
+            timeout=timeout,
+            retries=retries,
+            on_shard_failure=on_shard_failure,
+            checkpoint_dir=checkpoint_dir,
+        )
+
 
 #: The default policy: the historical serial, legacy-stream execution.
 SERIAL = ExecutionPolicy()

@@ -43,6 +43,8 @@ from __future__ import annotations
 
 import json
 import hashlib
+import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -161,6 +163,24 @@ class RunReport:
 # ---------------------------------------------------------------------------
 # Checkpoint journal
 # ---------------------------------------------------------------------------
+#: Per-journal-path locks: concurrent `record` calls on the same journal
+#: (a long-running daemon sharing a checkpoint directory across request
+#: threads) serialize in-process, so header creation and row appends can
+#: never interleave.  Keyed by resolved path; never pruned (bounded by the
+#: number of distinct campaigns a process touches).
+_JOURNAL_LOCKS: dict[str, threading.Lock] = {}
+_JOURNAL_LOCKS_GUARD = threading.Lock()
+
+
+def _journal_lock(path: Path) -> threading.Lock:
+    key = str(path)
+    with _JOURNAL_LOCKS_GUARD:
+        lock = _JOURNAL_LOCKS.get(key)
+        if lock is None:
+            lock = _JOURNAL_LOCKS[key] = threading.Lock()
+        return lock
+
+
 class CampaignCheckpoint:
     """Append-only journal of completed shard results, keyed by campaign.
 
@@ -168,17 +188,35 @@ class CampaignCheckpoint:
     key digest and shard count, then one ``{"shard": i, "value": ...}``
     line per completed shard.  :meth:`load` returns the completed shards
     of a *matching* journal (a header from a different campaign or shard
-    plan discards the stale file), tolerating a torn final line from an
-    interrupted write.  Because every shard draws an independent
-    ``SeedSequence.spawn`` stream, a resumed campaign — journalled shards
-    loaded, only the missing ones re-run — is bit-identical to an
-    uninterrupted one.
+    plan discards the stale file), tolerating a torn *final* line from an
+    interrupted write; a malformed row anywhere earlier is real corruption
+    and discards the whole journal (the next :meth:`record` rewrites it
+    from scratch) rather than silently resuming from a damaged prefix.
+    Because every shard draws an independent ``SeedSequence.spawn``
+    stream, a resumed campaign — journalled shards loaded, only the
+    missing ones re-run — is bit-identical to an uninterrupted one.
+
+    Durability: :meth:`record` appends each row with a single
+    ``os.write`` on an ``O_APPEND`` descriptor (the header rides the
+    first row's write on a fresh file) and ``os.fsync``\\ s before
+    returning, so a crash loses at most the shard being recorded — the
+    same fsync-before-trust discipline as :mod:`repro.engine.chaos`'s
+    marker files.  Writers of the *same* campaign may interleave freely:
+    two racing first writes can at worst duplicate the header line, which
+    :meth:`load` tolerates; a writer that saw a stale (foreign or
+    corrupt) journal re-loads it under the journal lock before replacing
+    the file, so it can never truncate rows a concurrent same-campaign
+    writer already recorded.
 
     ``encode``/``decode`` convert one shard's result to/from its JSON
     form (identity by default).
     """
 
     FORMAT = "repro-campaign-checkpoint/1"
+
+    #: :meth:`load` refuses journals larger than this (corrupt or runaway
+    #: files must not be slurped whole into a request thread's memory).
+    MAX_JOURNAL_BYTES = 64 * 1024 * 1024
 
     def __init__(
         self,
@@ -210,16 +248,27 @@ class CampaignCheckpoint:
     def load(self) -> dict[int, object]:
         """Completed ``{shard_index: result}`` entries of a matching journal."""
         self._loaded = True
+        with _journal_lock(self.path):
+            return self._load_locked()
+
+    def _load_locked(self) -> dict[int, object]:
         if not self.path.exists():
             return {}
         completed: dict[int, object] = {}
         try:
+            if self.path.stat().st_size > self.MAX_JOURNAL_BYTES:
+                # A sane journal is header + one small row per shard; a
+                # file this large is corrupt or not ours.  Discard rather
+                # than read it whole into memory.
+                self._stale = True
+                return {}
             lines = self.path.read_text().splitlines()
         except OSError:
             self._stale = True
             return {}
         if not lines:
             return {}
+        header_text = self._header()
         try:
             header = json.loads(lines[0])
         except json.JSONDecodeError:
@@ -233,35 +282,78 @@ class CampaignCheckpoint:
             # A different campaign (or shard plan) owns this file: discard.
             self._stale = True
             return {}
-        for line in lines[1:]:
+        last = len(lines) - 1
+        for position, line in enumerate(lines[1:], start=1):
+            if line == header_text:
+                # Duplicate header: two racing first writes on a fresh
+                # file each carried the header with their row.  Benign.
+                continue
             try:
                 row = json.loads(line)
                 index = int(row["shard"])
                 value = self._decode(row["value"])
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                # Torn trailing write from an interrupted run; skip the row.
-                continue
-            if 0 <= index < self.shards:
-                completed[index] = value
+                if position == last:
+                    # Torn final line from an interrupted write: the rows
+                    # before it are intact and fsync'd — keep them.
+                    continue
+                # A malformed row *before* the tail is real corruption,
+                # not a torn write; nothing after it can be trusted.
+                self._stale = True
+                return {}
+            if not 0 <= index < self.shards:
+                if position == last:
+                    continue
+                self._stale = True
+                return {}
+            completed[index] = value
         return completed
 
     def record(self, index: int, value: object) -> None:
-        """Append one completed shard (flushed so a crash loses at most it)."""
+        """Append one completed shard (fsync'd so a crash loses at most it)."""
         if not self._loaded:
             # Callers normally load() first; keep the journal coherent anyway.
             self.load()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fresh = self._stale or not self.path.exists() or not self.path.stat().st_size
-        mode = "w" if fresh else "a"
-        with self.path.open(mode) as handle:
-            if fresh:
-                handle.write(self._header() + "\n")
+        row = json.dumps({"shard": int(index), "value": self._encode(value)}) + "\n"
+        with _journal_lock(self.path):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self._stale:
+                # The journal we loaded was foreign, oversized or corrupt.
+                # Re-load under the lock before replacing: another writer
+                # of *our* campaign may have rewritten it cleanly since we
+                # loaded, and blindly truncating would lose its rows — the
+                # exact stale-truncation race the `"w"`-mode journal had.
                 self._stale = False
-            handle.write(
-                json.dumps({"shard": int(index), "value": self._encode(value)})
-                + "\n"
-            )
-            handle.flush()
+                self._load_locked()
+                if self._stale:
+                    # Still foreign/corrupt on disk: ours now, from scratch.
+                    self._replace_with(self._header() + "\n" + row)
+                    self._stale = False
+                    return
+                # A clean journal of our campaign is on disk: append to it.
+            flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+            handle = os.open(self.path, flags, 0o644)
+            try:
+                payload = row
+                if os.fstat(handle).st_size == 0:
+                    # Fresh file: the header rides the first row's write,
+                    # so no interleaving can separate them.
+                    payload = self._header() + "\n" + row
+                os.write(handle, payload.encode("utf-8"))
+                os.fsync(handle)
+            finally:
+                os.close(handle)
+
+    def _replace_with(self, text: str) -> None:
+        """Atomically install ``text`` as the whole journal (fsync'd)."""
+        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
+        handle = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(handle, text.encode("utf-8"))
+            os.fsync(handle)
+        finally:
+            os.close(handle)
+        os.replace(tmp, self.path)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,460 @@
+"""``repro.serve`` daemon: the reliability engine as a query service.
+
+Everything below PR 7 is batch: a process starts, answers its scenario
+file, and exits — the memo cache dies with it.  The daemon turns the
+same engine into shared infrastructure: one long-lived
+:class:`~repro.engine.ReliabilityEngine` (thread-safe LRU memo + campaign
+cache) warm across *all* requests, the existing ``Query``/``QuerySet``
+JSON accepted over ``POST /v1/query``, identical in-flight queries
+coalesced into a single execution (:mod:`repro.serve.coalesce`), and
+every simulation campaign run under the supervised runtime — per-shard
+timeouts, retries and graceful degradation, so a hung shard costs one
+shard's deadline, never a wedged request thread.  Completed campaign
+shards journal to the checkpoint directory, so a daemon restart resumes
+interrupted campaigns bit-identically instead of recomputing them.
+
+Request execution happens on a bounded thread pool (the engine's NumPy
+hot paths release the GIL; campaign fan-out adds its own policy workers
+per query), while the asyncio loop only parses, routes and streams.
+Long campaigns can opt into progress streaming
+(``POST /v1/query?stream=1`` → chunked JSON lines, one per answer as it
+completes).  ``GET /healthz`` and ``GET /metrics`` expose liveness and
+the service counters (request counts, latency percentiles, engine cache
+hit rate, coalescing and campaign/degradation aggregates).
+
+Determinism note: the daemon never changes any answer value.  Its
+policy (:meth:`~repro.engine.ExecutionPolicy.for_service`) is a
+spawned-stream thread policy, so a response is bit-identical to running
+the same query file through ``repro-analyze query --jobs N`` for any
+``N`` — proven in ``tests/test_serve.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+
+from repro.engine import ExecutionPolicy, QuerySet, ReliabilityEngine
+from repro.errors import InvalidConfigurationError, ReproError
+from repro.serve.coalesce import InflightRegistry, canonical_query_key
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    end_chunked_response,
+    read_request,
+    start_chunked_response,
+    write_chunk,
+    write_response,
+)
+from repro.serve.metrics import ServiceMetrics
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one daemon process.
+
+    ``jobs`` is the per-campaign shard fan-out (the policy's worker
+    count); ``executor_workers`` bounds how many *requests'* queries
+    execute concurrently.  ``shard_timeout`` / ``retries`` /
+    ``on_shard_failure`` are the supervision knobs every campaign runs
+    under; ``checkpoint_dir`` enables the restart-resume journal.  None
+    of them changes any answer value.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    jobs: int | None = None
+    checkpoint_dir: str | None = None
+    shard_timeout: float | None = 60.0
+    retries: int = 1
+    on_shard_failure: str = "degrade"
+    shard_trials: int | None = None
+    cache_size: int = 4096
+    executor_workers: int = 8
+    max_body_bytes: int = 8 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise InvalidConfigurationError(f"port {self.port} outside [0, 65535]")
+        if self.executor_workers < 1:
+            raise InvalidConfigurationError(
+                f"executor_workers must be >= 1, got {self.executor_workers}"
+            )
+        if self.max_body_bytes <= 0:
+            raise InvalidConfigurationError(
+                f"max_body_bytes must be positive, got {self.max_body_bytes}"
+            )
+        if self.cache_size < 0:
+            raise InvalidConfigurationError(
+                f"cache_size must be >= 0, got {self.cache_size}"
+            )
+
+    def policy(self) -> ExecutionPolicy:
+        return ExecutionPolicy.for_service(
+            self.jobs,
+            timeout=self.shard_timeout,
+            retries=self.retries,
+            on_shard_failure=self.on_shard_failure,
+            checkpoint_dir=self.checkpoint_dir,
+            shard_trials=self.shard_trials,
+        )
+
+
+class ReliabilityService:
+    """One warm engine behind an asyncio HTTP front end."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        engine: ReliabilityEngine | None = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.engine = (
+            engine
+            if engine is not None
+            else ReliabilityEngine(cache_size=self.config.cache_size)
+        )
+        self.policy = self.config.policy()
+        self.metrics = ServiceMetrics()
+        self.inflight = InflightRegistry()
+        self.port: int | None = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._started_at = time.monotonic()
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> asyncio.AbstractServer:
+        """Bind and start serving; resolves ``self.port`` (``port=0`` ok)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self._server
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.config.max_body_bytes
+                    )
+                except HttpError as error:
+                    await self._error_response(
+                        writer, error.status, error.reason, keep_alive=False
+                    )
+                    break
+                if request is None:
+                    break
+                started = time.perf_counter()
+                status = await self._dispatch(request, writer)
+                self.metrics.record_request(
+                    request.method,
+                    request.path,
+                    status,
+                    time.perf_counter() - started,
+                )
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            # The client went away (or the server is shutting down)
+            # mid-exchange; there is nobody left to answer.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+                # A shutdown cancel can land while we drain the close; the
+                # connection is going away either way, so end the task
+                # cleanly rather than spamming the loop's exception hook.
+                asyncio.CancelledError,
+            ):
+                pass
+
+    async def _dispatch(self, request: HttpRequest, writer) -> int:
+        if request.path == "/healthz":
+            if request.method != "GET":
+                return await self._error_response(writer, 405, "GET only")
+            body = json.dumps(
+                {
+                    "status": "ok",
+                    "uptime_seconds": time.monotonic() - self._started_at,
+                }
+            ).encode("utf-8")
+            await write_response(writer, 200, body, keep_alive=request.keep_alive)
+            return 200
+        if request.path == "/metrics":
+            if request.method != "GET":
+                return await self._error_response(writer, 405, "GET only")
+            body = json.dumps(
+                self.metrics.snapshot(
+                    engine=self.engine,
+                    extra={
+                        "uptime_seconds": time.monotonic() - self._started_at,
+                        "inflight_queries": len(self.inflight),
+                    },
+                )
+            ).encode("utf-8")
+            await write_response(writer, 200, body, keep_alive=request.keep_alive)
+            return 200
+        if request.path == "/v1/query":
+            if request.method != "POST":
+                return await self._error_response(writer, 405, "POST only")
+            return await self._handle_query(request, writer)
+        return await self._error_response(
+            writer, 404, f"no route for {request.path!r}"
+        )
+
+    async def _error_response(
+        self, writer, status: int, message: str, *, keep_alive: bool = True
+    ) -> int:
+        body = json.dumps({"error": message}).encode("utf-8")
+        await write_response(writer, status, body, keep_alive=keep_alive)
+        return status
+
+    # -- the query route ---------------------------------------------------
+    async def _handle_query(self, request: HttpRequest, writer) -> int:
+        try:
+            text = request.body.decode("utf-8")
+            query_set = QuerySet.from_json(text)
+        except (
+            ReproError,
+            json.JSONDecodeError,
+            UnicodeDecodeError,
+            KeyError,
+            TypeError,
+            ValueError,
+        ) as error:
+            return await self._error_response(
+                writer, 400, f"invalid query payload: {error}"
+            )
+        if not len(query_set):
+            return await self._error_response(writer, 400, "no queries in payload")
+        stream = request.query.get("stream") not in (None, "", "0")
+        started = time.perf_counter()
+        tasks = [
+            asyncio.ensure_future(self._tagged_answer(index, query))
+            for index, query in enumerate(query_set)
+        ]
+        if stream:
+            self.metrics.record_streamed_request()
+            return await self._stream_answers(request, writer, tasks, started)
+        outcomes = await asyncio.gather(*tasks)
+        failures = [
+            (index, error) for index, _, error, _ in outcomes if error is not None
+        ]
+        if failures:
+            index, error = failures[0]
+            status = 422 if isinstance(error, ReproError) else 500
+            body = json.dumps(
+                {
+                    "error": str(error),
+                    "failed_index": index,
+                    "failures": len(failures),
+                }
+            ).encode("utf-8")
+            await write_response(writer, status, body, keep_alive=request.keep_alive)
+            return status
+        rows = [answer.to_dict() for _, answer, _, _ in outcomes]
+        coalesced = sum(1 for _, _, _, joined in outcomes if joined)
+        body = json.dumps(
+            {
+                "answers": rows,
+                "count": len(rows),
+                "coalesced": coalesced,
+                "cache_hits": sum(1 for row in rows if row.get("cache_hit")),
+                "seconds": time.perf_counter() - started,
+            }
+        ).encode("utf-8")
+        await write_response(writer, 200, body, keep_alive=request.keep_alive)
+        return 200
+
+    async def _stream_answers(
+        self, request: HttpRequest, writer, tasks, started: float
+    ) -> int:
+        """Chunked JSON-lines: one row per answer as it completes.
+
+        Completion order, each line tagged with its submission ``index``
+        — a long campaign's finished answers arrive while slower ones
+        still run; the final line is the run summary.
+        """
+        await start_chunked_response(writer, 200, keep_alive=request.keep_alive)
+        answered = errors = coalesced = 0
+        for finished in asyncio.as_completed(tasks):
+            index, answer, error, joined = await finished
+            coalesced += 1 if joined else 0
+            if error is not None:
+                errors += 1
+                line: dict = {"index": index, "error": str(error)}
+            else:
+                answered += 1
+                line = {"index": index}
+                line.update(answer.to_dict())
+            await write_chunk(writer, (json.dumps(line) + "\n").encode("utf-8"))
+        summary = {
+            "done": True,
+            "answers": answered,
+            "errors": errors,
+            "coalesced": coalesced,
+            "seconds": time.perf_counter() - started,
+        }
+        await write_chunk(writer, (json.dumps(summary) + "\n").encode("utf-8"))
+        await end_chunked_response(writer)
+        return 200
+
+    async def _tagged_answer(self, index: int, query):
+        """(index, answer, error, joined) — never raises, streams need all."""
+        key = canonical_query_key(query)
+        loop = asyncio.get_running_loop()
+        try:
+            answer, joined = await self.inflight.run(
+                key,
+                lambda: loop.run_in_executor(
+                    self._pool, partial(self._run_query, query)
+                ),
+            )
+        except Exception as error:
+            return index, None, error, False
+        self.metrics.record_query(coalesced=joined)
+        self.metrics.record_answer(answer)
+        return index, answer, None, joined
+
+    def _run_query(self, query):
+        """Executor-thread entry: one query through the shared warm engine.
+
+        Per-query submissions (rather than whole request batches) are
+        what make single-flight coalescing and streaming possible; the
+        in-batch sharing they give up (same-size DP groups, same-chain
+        CTMC solves) is exactly what the engine memo provides across
+        requests instead, and per-query values are bit-identical to
+        batched ones by the engine's batching contracts.
+        """
+        return self.engine.run([query], policy=self.policy)[0]
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+async def _serve_async(config: ServiceConfig, *, announce: bool = True) -> None:
+    service = ReliabilityService(config)
+    server = await service.start()
+    if announce:
+        print(
+            f"repro-serve listening on http://{config.host}:{service.port} "
+            f"(jobs={config.jobs or 1}, checkpoint_dir={config.checkpoint_dir})",
+            flush=True,
+        )
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await service.aclose()
+
+
+def serve_forever(config: ServiceConfig | None = None) -> None:
+    """Blocking CLI entry: serve until interrupted."""
+    try:
+        asyncio.run(_serve_async(config if config is not None else ServiceConfig()))
+    except KeyboardInterrupt:
+        return
+
+
+class BackgroundServer:
+    """A daemon on its own event-loop thread (tests, benches, demos).
+
+    ``with BackgroundServer(config) as server:`` yields a running server
+    whose ``server.port`` is resolved (use ``port=0`` for an ephemeral
+    port) and whose ``server.service`` exposes the live engine/metrics.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        engine: ReliabilityEngine | None = None,
+    ):
+        self.config = config if config is not None else ServiceConfig(port=0)
+        self._engine = engine
+        self.service: ReliabilityService | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.port is None:
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        except Exception as error:
+            self._startup_error = error
+            self._ready.set()
+        finally:
+            loop.close()
+
+    async def _serve(self) -> None:
+        self.service = ReliabilityService(self.config, engine=self._engine)
+        await self.service.start()
+        self.port = self.service.port
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.aclose()
+        # Keep-alive connection handlers may still be parked in
+        # read_request; cancel them so the loop closes without orphans.
+        pending = [
+            task
+            for task in asyncio.all_tasks()
+            if task is not asyncio.current_task()
+        ]
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pending, return_exceptions=True)
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

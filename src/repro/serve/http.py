@@ -1,0 +1,167 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the query daemon.
+
+The container ships no third-party HTTP stack, so the daemon speaks the
+small slice of HTTP/1.1 it actually needs over raw asyncio streams:
+request-line + header parsing, ``Content-Length`` bodies, keep-alive
+connections, fixed-length JSON responses, and chunked transfer encoding
+for the streaming answer feed.  Nothing here knows about queries or
+engines — :mod:`repro.serve.daemon` owns the routes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+#: Upper bound on one request head (request line + headers).
+MAX_HEAD_BYTES = 32 * 1024
+
+
+class HttpError(Exception):
+    """A malformed or unserviceable request, mapped to a status code."""
+
+    def __init__(self, status: int, reason: str):
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+
+def status_text(status: int) -> str:
+    return _STATUS_TEXT.get(status, "Unknown")
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int
+) -> HttpRequest | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` for anything malformed — the caller turns
+    that into an error response and closes the connection.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close between keep-alive requests
+        raise HttpError(400, "truncated request head") from error
+    except asyncio.LimitOverrunError as error:
+        raise HttpError(431, "request head too large") from error
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(431, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError as error:
+            raise HttpError(400, f"bad Content-Length: {raw_length!r}") from error
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length: {raw_length!r}")
+        if length > max_body:
+            raise HttpError(413, f"body of {length} bytes exceeds limit {max_body}")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise HttpError(400, "truncated request body") from error
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return HttpRequest(
+        method=method, path=split.path, query=query, headers=headers, body=body
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+) -> None:
+    """One fixed-length response (the non-streaming routes)."""
+    head = (
+        f"HTTP/1.1 {status} {status_text(status)}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+
+
+async def start_chunked_response(
+    writer: asyncio.StreamWriter,
+    status: int = 200,
+    *,
+    content_type: str = "application/x-ndjson",
+    keep_alive: bool = True,
+) -> None:
+    """Open a chunked response; follow with :func:`write_chunk` calls."""
+    head = (
+        f"HTTP/1.1 {status} {status_text(status)}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1"))
+    await writer.drain()
+
+
+async def write_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+    """One chunk, flushed immediately — a streamed partial answer."""
+    if not data:
+        return
+    writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+    await writer.drain()
+
+
+async def end_chunked_response(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()

@@ -1,0 +1,122 @@
+"""Thread-safe service counters behind ``GET /metrics``.
+
+The daemon's answer path runs on executor threads while the HTTP loop
+runs on the event-loop thread, so every counter update and the snapshot
+read take one lock — the same discipline the engine memo now follows.
+Latencies keep a bounded reservoir (most recent ``reservoir`` requests)
+from which the snapshot derives percentiles; everything else is plain
+monotonic counters, including the campaign aggregates lifted from answer
+:class:`~repro.engine.result.Provenance` (shard counts, degradation,
+cache hits) — the service-level view of the supervised runtime's
+:class:`~repro.engine.runtime.RunReport` outcomes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: Percentiles reported for request latency, as (label, fraction).
+_PERCENTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+
+class ServiceMetrics:
+    """Counters + latency reservoir for one daemon process."""
+
+    def __init__(self, *, reservoir: int = 4096):
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=max(1, reservoir))
+        self._responses: dict[str, int] = {}  # "METHOD path -> status" counts
+        self.requests_total = 0
+        self.queries_total = 0
+        self.answers_total = 0
+        #: Queries served by joining an identical in-flight execution
+        #: instead of starting their own (the single-flight proof).
+        self.coalesced_total = 0
+        self.streamed_requests = 0
+        self.error_responses = 0
+        # Campaign aggregates from answer provenance.
+        self.answer_cache_hits = 0
+        self.campaign_shards = 0
+        self.degraded_answers = 0
+        self.dropped_shards = 0
+
+    # -- recording ---------------------------------------------------------
+    def record_request(
+        self, method: str, path: str, status: int, seconds: float
+    ) -> None:
+        key = f"{method} {path} -> {status}"
+        with self._lock:
+            self.requests_total += 1
+            self._responses[key] = self._responses.get(key, 0) + 1
+            self._latencies.append(seconds)
+            if status >= 400:
+                self.error_responses += 1
+
+    def record_query(self, *, coalesced: bool) -> None:
+        with self._lock:
+            self.queries_total += 1
+            if coalesced:
+                self.coalesced_total += 1
+
+    def record_streamed_request(self) -> None:
+        with self._lock:
+            self.streamed_requests += 1
+
+    def record_answer(self, answer) -> None:
+        """Fold one answer's provenance into the campaign aggregates."""
+        provenance = answer.provenance
+        with self._lock:
+            self.answers_total += 1
+            if provenance.cache_hit:
+                self.answer_cache_hits += 1
+            self.campaign_shards += provenance.shards
+            if provenance.degraded:
+                self.degraded_answers += 1
+                self.dropped_shards += len(provenance.dropped_shards)
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(self, *, engine=None, extra: dict | None = None) -> dict:
+        """JSON-ready metrics document (one consistent read)."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            responses = {key: self._responses[key] for key in sorted(self._responses)}
+            answers = self.answers_total
+            data = {
+                "requests_total": self.requests_total,
+                "responses": responses,
+                "error_responses": self.error_responses,
+                "queries_total": self.queries_total,
+                "answers_total": answers,
+                "coalesced_total": self.coalesced_total,
+                "streamed_requests": self.streamed_requests,
+                "campaigns": {
+                    "shards_total": self.campaign_shards,
+                    "degraded_answers": self.degraded_answers,
+                    "dropped_shards": self.dropped_shards,
+                    "answer_cache_hits": self.answer_cache_hits,
+                    "answer_cache_hit_rate": (
+                        self.answer_cache_hits / answers if answers else 0.0
+                    ),
+                },
+            }
+        data["latency_seconds"] = _latency_summary(latencies)
+        if engine is not None:
+            data["engine_cache"] = engine.cache_info()
+        if extra:
+            data.update(extra)
+        return data
+
+
+def _latency_summary(latencies: list[float]) -> dict:
+    if not latencies:
+        return {"count": 0}
+    summary: dict = {
+        "count": len(latencies),
+        "mean": sum(latencies) / len(latencies),
+        "max": latencies[-1],
+    }
+    last = len(latencies) - 1
+    for label, fraction in _PERCENTILES:
+        summary[label] = latencies[min(last, int(fraction * len(latencies)))]
+    return summary

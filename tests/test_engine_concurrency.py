@@ -1,0 +1,240 @@
+"""Thread-safety regressions: the engine memo and the campaign journal.
+
+PR 8 turns the engine into shared service infrastructure
+(:mod:`repro.serve`), which makes two latent races load-bearing:
+
+* the LRU memo (``ReliabilityEngine._memo`` + hit/miss counters) was
+  updated without a lock — concurrent ``move_to_end``/eviction corrupts
+  the ``OrderedDict`` (``KeyError``) and drops counter increments;
+* ``CampaignCheckpoint.record`` opened fresh/stale journals with ``"w"``
+  — a writer that loaded a stale (foreign) journal could truncate rows a
+  concurrent same-campaign writer had just recorded, and a torn or
+  corrupt row anywhere in the file was silently treated like a torn
+  tail.
+
+Every test here fails on the pre-PR code and pins the fixed behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.engine import (
+    CampaignCheckpoint,
+    ExecutionPolicy,
+    ReliabilityEngine,
+    Scenario,
+    query_from_dict,
+)
+from repro.faults.mixture import uniform_fleet
+from repro.protocols.raft import RaftSpec
+
+
+def scenario(n=5, p=0.01, **kw):
+    return Scenario(spec=RaftSpec(n), fleet=uniform_fleet(n, p), **kw)
+
+
+@pytest.fixture
+def tight_switching():
+    """Force thread switches every ~µs so races surface in one run."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    yield
+    sys.setswitchinterval(previous)
+
+
+class TestMemoThreadSafety:
+    def test_concurrent_store_and_lookup_under_eviction(self, tight_switching):
+        """Eviction racing ``move_to_end`` must never corrupt the memo.
+
+        A tiny cache keeps every insert evicting while other threads
+        refresh recency on the same keys; unguarded, ``move_to_end``
+        raises ``KeyError`` when its key is evicted mid-call (and
+        ``popitem`` can race itself).  The fix serialises every memo
+        access on the engine lock.
+        """
+        engine = ReliabilityEngine(cache_size=4)
+        keys = [("stress", i) for i in range(16)]
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def hammer(worker: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for round_ in range(400):
+                    key = keys[(worker + round_) % len(keys)]
+                    engine.cache_store(key, round_)
+                    engine.cache_lookup(keys[(worker * 7 + round_) % len(keys)])
+            except BaseException as error:  # noqa: BLE001 - recording for assert
+                errors.append(error)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        assert errors == []
+        info = engine.cache_info()
+        assert info["size"] <= 4
+        # Every lookup counted exactly once despite the contention.
+        assert info["hits"] + info["misses"] == 8 * 400
+
+    def test_hit_counter_is_exact_under_contention(self, tight_switching):
+        """Lost-update check: N threads x M hits must count N*M.
+
+        Unguarded ``cache_hits += 1`` is a read-modify-write; under
+        contention increments vanish and the /metrics hit rate lies.
+        """
+        engine = ReliabilityEngine(cache_size=8)
+        engine.cache_store(("hot", 1), "value")
+        barrier = threading.Barrier(8)
+
+        def hit(_worker: int) -> None:
+            barrier.wait(timeout=30)
+            for _ in range(500):
+                assert engine.cache_lookup(("hot", 1)) == "value"
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hit, range(8)))
+        assert engine.cache_hits == 8 * 500
+        assert engine.cache_misses == 0
+
+    def test_concurrent_runs_share_one_engine_bit_identically(self):
+        """Many threads through one warm engine = the serial answers."""
+        queries = [
+            query_from_dict(
+                {"kind": "reliability", "scenario": scenario(n, 0.01).to_dict()}
+            )
+            for n in (3, 5, 7)
+        ]
+        policy = ExecutionPolicy.for_service(1, checkpoint_dir=None)
+        reference = [
+            answer.to_dict()["answer"]
+            for answer in ReliabilityEngine().run(queries, policy=policy)
+        ]
+        engine = ReliabilityEngine()
+
+        def run_all(_worker: int):
+            return [
+                answer.to_dict()["answer"]
+                for answer in engine.run(queries, policy=policy)
+            ]
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(run_all, range(12)))
+        assert all(result == reference for result in results)
+
+
+class TestJournalDurability:
+    def _checkpoint(self, path, *, key="campaign-a", shards=4):
+        return CampaignCheckpoint(path, key=key, shards=shards)
+
+    def test_stale_truncation_race_keeps_concurrent_rows(self, tmp_path):
+        """The deterministic schedule the ``"w"``-mode journal lost on.
+
+        Both writers of campaign B load while a foreign (campaign A)
+        journal holds the path, so both mark it stale.  Writer 1 rewrites
+        the file with shard 0; writer 2, still thinking the file is
+        foreign, must *re-probe* before replacing — pre-PR it truncated
+        writer 1's row away.
+        """
+        path = tmp_path / "journal.jsonl"
+        foreign = self._checkpoint(path, key="campaign-a")
+        foreign.load()
+        foreign.record(0, "foreign-row")
+
+        writer1 = self._checkpoint(path, key="campaign-b")
+        writer2 = self._checkpoint(path, key="campaign-b")
+        assert writer1.load() == {}
+        assert writer2.load() == {}  # both saw the foreign journal
+        writer1.record(0, "b0")
+        writer2.record(1, "b1")
+
+        resumed = self._checkpoint(path, key="campaign-b").load()
+        assert resumed == {0: "b0", 1: "b1"}
+
+    def test_concurrent_records_all_survive(self, tmp_path, tight_switching):
+        """Parallel same-campaign writers never lose each other's rows."""
+        path = tmp_path / "journal.jsonl"
+        shards = 32
+        barrier = threading.Barrier(8)
+
+        def record(index: int) -> None:
+            checkpoint = self._checkpoint(path, shards=shards)
+            checkpoint.load()
+            barrier.wait(timeout=30)
+            for shard in range(index, shards, 8):
+                checkpoint.record(shard, f"row-{shard}")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(record, range(8)))
+        loaded = self._checkpoint(path, shards=shards).load()
+        assert loaded == {shard: f"row-{shard}" for shard in range(shards)}
+
+    def test_mid_file_corruption_discards_journal(self, tmp_path):
+        """A malformed row *before* the tail is corruption, not a torn write.
+
+        Pre-PR, ``load`` skipped any undecodable line and resumed from
+        whatever rows happened to parse — silently trusting a damaged
+        journal.  Now only the final line may be torn; anything earlier
+        discards the file, and the next ``record`` rewrites it.
+        """
+        path = tmp_path / "journal.jsonl"
+        checkpoint = self._checkpoint(path)
+        checkpoint.load()
+        checkpoint.record(0, "alpha")
+        checkpoint.record(1, "beta")
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # damage a non-final row
+        path.write_text("\n".join(lines) + "\n")
+
+        fresh = self._checkpoint(path)
+        assert fresh.load() == {}
+        fresh.record(2, "gamma")  # rewrites the journal from scratch
+        assert self._checkpoint(path).load() == {2: "gamma"}
+
+    def test_torn_final_line_keeps_fsynced_prefix(self, tmp_path):
+        """An interrupted last write loses only itself."""
+        path = tmp_path / "journal.jsonl"
+        checkpoint = self._checkpoint(path)
+        checkpoint.load()
+        checkpoint.record(0, "alpha")
+        checkpoint.record(1, "beta")
+        with path.open("a") as handle:
+            handle.write('{"shard": 2, "val')  # torn mid-write
+        assert self._checkpoint(path).load() == {0: "alpha", 1: "beta"}
+
+    def test_out_of_range_shard_mid_file_discards_journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        checkpoint = self._checkpoint(path, shards=2)
+        checkpoint.load()
+        checkpoint.record(0, "alpha")
+        with path.open("a") as handle:
+            handle.write(json.dumps({"shard": 99, "value": "bogus"}) + "\n")
+            handle.write(json.dumps({"shard": 1, "value": "beta"}) + "\n")
+        assert self._checkpoint(path, shards=2).load() == {}
+
+    def test_oversized_journal_is_refused(self, tmp_path, monkeypatch):
+        path = tmp_path / "journal.jsonl"
+        checkpoint = self._checkpoint(path)
+        checkpoint.load()
+        checkpoint.record(0, "alpha")
+        monkeypatch.setattr(CampaignCheckpoint, "MAX_JOURNAL_BYTES", 8)
+        fresh = self._checkpoint(path)
+        assert fresh.load() == {}
+        fresh.record(1, "beta")  # rewrites rather than appending to a monster
+        monkeypatch.setattr(CampaignCheckpoint, "MAX_JOURNAL_BYTES", 1 << 26)
+        assert self._checkpoint(path).load() == {1: "beta"}
+
+    def test_duplicate_header_from_racing_first_writes_is_benign(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        checkpoint = self._checkpoint(path)
+        checkpoint.load()
+        checkpoint.record(0, "alpha")
+        header = path.read_text().splitlines()[0]
+        with path.open("a") as handle:
+            handle.write(header + "\n")
+            handle.write(json.dumps({"shard": 1, "value": "beta"}) + "\n")
+        assert self._checkpoint(path).load() == {0: "alpha", 1: "beta"}

@@ -1,0 +1,372 @@
+"""The query daemon end to end: routing, coalescing, streaming, resume.
+
+Everything runs against a real :class:`~repro.serve.BackgroundServer` on
+an ephemeral port, talked to with stdlib ``http.client`` — the same wire
+a production client would use.  The determinism spine of the suite: a
+daemon answer is *bit-identical* to running the same queries through the
+engine directly, for any worker count, streamed or not, before and after
+a daemon restart.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.engine import (
+    Answer,
+    ExecutionPolicy,
+    MTTFQuery,
+    Provenance,
+    QuerySet,
+    ReliabilityEngine,
+    Scenario,
+    SimulationQuery,
+)
+from repro.faults.mixture import uniform_fleet
+from repro.protocols.raft import RaftSpec
+from repro.serve import BackgroundServer, ServiceConfig
+from repro.serve.coalesce import canonical_query_key
+
+GRID_PAYLOAD = json.dumps(
+    {"grid": {"protocols": ["raft"], "sizes": [3, 5, 7], "probabilities": [0.01]}}
+)
+
+
+def scenario(n=5, p=0.01, **kw):
+    return Scenario(spec=RaftSpec(n), fleet=uniform_fleet(n, p), **kw)
+
+
+def post(port: int, payload: str, path: str = "/v1/query") -> tuple[int, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request("POST", path, body=payload)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def get(port: int, path: str) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def answer_values(rows: list[dict]) -> list[dict]:
+    """The value-bearing fields of response rows (no timing, no cache bit)."""
+    return [row["answer"] for row in rows]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(ServiceConfig(port=0)) as running:
+        yield running
+
+
+class TestRouting:
+    def test_healthz(self, server):
+        status, body = get(server.port, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["uptime_seconds"] >= 0.0
+
+    def test_unknown_path_404(self, server):
+        status, body = get(server.port, "/nope")
+        assert status == 404
+        assert "no route" in body["error"]
+
+    def test_wrong_method_405(self, server):
+        status, _body = get(server.port, "/v1/query")
+        assert status == 405
+        status, _body = post(server.port, "{}", path="/healthz")
+        assert status == 405
+
+    def test_bad_json_400(self, server):
+        status, body = post(server.port, "{not json")
+        assert status == 400
+        assert "invalid query payload" in body["error"]
+
+    def test_unknown_shape_400(self, server):
+        status, _body = post(server.port, '{"fnord": 1}')
+        assert status == 400
+
+    def test_empty_queries_400(self, server):
+        status, body = post(server.port, '{"queries": []}')
+        assert status == 400
+        assert "no queries" in body["error"]
+
+    def test_oversized_body_413(self):
+        config = ServiceConfig(port=0, max_body_bytes=64)
+        with BackgroundServer(config) as small:
+            status, body = post(small.port, "x" * 100)
+            assert status == 413
+            assert "exceeds limit" in body["error"]
+
+
+class TestAnswers:
+    def test_round_trip_matches_direct_engine_run(self, server):
+        """The wire adds nothing: daemon rows == direct engine rows."""
+        status, body = post(server.port, GRID_PAYLOAD)
+        assert status == 200
+        assert body["count"] == 3
+        direct = ReliabilityEngine().run(
+            QuerySet.from_json(GRID_PAYLOAD),
+            policy=ExecutionPolicy.for_service(1),
+        )
+        assert answer_values(body["answers"]) == answer_values(
+            [answer.to_dict() for answer in direct]
+        )
+
+    def test_answers_identical_at_every_worker_count(self):
+        """jobs=4 and jobs=1 daemons serve bit-identical values."""
+        bodies = []
+        for jobs in (1, 4):
+            with BackgroundServer(ServiceConfig(port=0, jobs=jobs)) as running:
+                status, body = post(running.port, GRID_PAYLOAD)
+                assert status == 200
+                bodies.append(answer_values(body["answers"]))
+        assert bodies[0] == bodies[1]
+
+    def test_repeat_request_hits_warm_cache(self, server):
+        payload = json.dumps(
+            {"grid": {"protocols": ["raft"], "sizes": [9], "probabilities": [0.02]}}
+        )
+        first_status, first = post(server.port, payload)
+        second_status, second = post(server.port, payload)
+        assert (first_status, second_status) == (200, 200)
+        assert second["cache_hits"] == 1
+        assert answer_values(second["answers"]) == answer_values(first["answers"])
+
+    def test_mixed_query_storm_is_bit_identical(self, server):
+        """Concurrent mixed-kind storms all see the single-client answers."""
+        query_set = QuerySet.build(
+            [
+                MTTFQuery.from_afr(
+                    scenario(5, label="m"), afr=0.08, mttr_hours=24.0
+                ),
+                SimulationQuery(
+                    scenario(3, seed=11, label="s"),
+                    replicas=8,
+                    duration=5.0,
+                    commands=2,
+                ),
+            ]
+        )
+        payload = query_set.to_json()
+        reference = answer_values(
+            [
+                answer.to_dict()
+                for answer in ReliabilityEngine().run(
+                    query_set, policy=ExecutionPolicy.for_service(1)
+                )
+            ]
+        )
+        results: list = [None] * 8
+        payloads = [payload, GRID_PAYLOAD]
+
+        def storm(slot: int) -> None:
+            status, body = post(server.port, payloads[slot % 2])
+            results[slot] = (status, answer_values(body["answers"]))
+
+        threads = [
+            threading.Thread(target=storm, args=(slot,)) for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        grid_reference = answer_values(
+            [
+                answer.to_dict()
+                for answer in ReliabilityEngine().run(
+                    QuerySet.from_json(GRID_PAYLOAD),
+                    policy=ExecutionPolicy.for_service(1),
+                )
+            ]
+        )
+        for slot, outcome in enumerate(results):
+            assert outcome is not None, f"storm thread {slot} never finished"
+            status, values = outcome
+            assert status == 200
+            assert values == (reference if slot % 2 == 0 else grid_reference)
+
+
+class TestCoalescing:
+    def test_identical_inflight_queries_execute_once(self):
+        """The single-flight proof: N concurrent identical queries, one run.
+
+        A deliberately slow injected backend counts executions; eight
+        clients fire the same query while the first execution is still in
+        flight, so seven must join it rather than start their own.
+        """
+        engine = ReliabilityEngine()
+        executions: list[str] = []
+        lock = threading.Lock()
+
+        def slow_backend(eng, queries, policy):
+            with lock:
+                executions.append("run")
+            time.sleep(1.0)  # hold the execution open for the latecomers
+            return [
+                Answer(q, 123.456, Provenance(estimator="slow", backend="mttf"))
+                for q in queries
+            ]
+
+        engine.register_backend("mttf", slow_backend)
+        payload = QuerySet.build(
+            [MTTFQuery.from_afr(scenario(5), afr=0.08, mttr_hours=24.0)]
+        ).to_json()
+        clients = 8
+        results: list = [None] * clients
+        with BackgroundServer(ServiceConfig(port=0), engine=engine) as running:
+            def fire(slot: int) -> None:
+                results[slot] = post(running.port, payload)
+
+            threads = [
+                threading.Thread(target=fire, args=(slot,))
+                for slot in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            _status, metrics = get(running.port, "/metrics")
+        assert len(executions) == 1
+        statuses = [result[0] for result in results]
+        assert statuses == [200] * clients
+        values = {json.dumps(result[1]["answers"][0]["answer"]) for result in results}
+        assert len(values) == 1  # everyone got the one execution's answer
+        assert sum(result[1]["coalesced"] for result in results) == clients - 1
+        assert metrics["coalesced_total"] == clients - 1
+
+    def test_canonical_key_distinguishes_different_queries(self):
+        one = MTTFQuery.from_afr(scenario(5), afr=0.08, mttr_hours=24.0)
+        two = MTTFQuery.from_afr(scenario(5), afr=0.09, mttr_hours=24.0)
+        same = MTTFQuery.from_afr(scenario(5), afr=0.08, mttr_hours=24.0)
+        assert canonical_query_key(one) == canonical_query_key(same)
+        assert canonical_query_key(one) != canonical_query_key(two)
+
+
+class TestStreaming:
+    def test_stream_emits_one_line_per_answer(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=120)
+        try:
+            conn.request("POST", "/v1/query?stream=1", body=GRID_PAYLOAD)
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == "application/x-ndjson"
+            lines = [
+                json.loads(line)
+                for line in response.read().decode().strip().split("\n")
+            ]
+        finally:
+            conn.close()
+        summary = lines[-1]
+        assert summary["done"] is True
+        assert summary["answers"] == 3
+        assert summary["errors"] == 0
+        rows = sorted(lines[:-1], key=lambda row: row["index"])
+        assert [row["index"] for row in rows] == [0, 1, 2]
+        _status, plain = post(server.port, GRID_PAYLOAD)
+        assert answer_values(rows) == answer_values(plain["answers"])
+
+
+class TestRestartResume:
+    def test_restart_resumes_campaign_byte_identically(self, tmp_path):
+        """Same journal dir across a daemon restart: same bytes out.
+
+        Daemon A answers a simulation campaign and journals its shards.
+        The journal is then truncated to a single completed shard — the
+        crash-mid-campaign shape — and daemon B (fresh engine, cold memo)
+        must resume from that prefix and produce the identical answer,
+        which also matches a journal-free run.
+        """
+        checkpoint_dir = tmp_path / "journals"
+        config = ServiceConfig(
+            port=0, checkpoint_dir=str(checkpoint_dir), shard_trials=16
+        )
+        payload = QuerySet.build(
+            [
+                SimulationQuery(
+                    scenario(3, seed=29, label="campaign"),
+                    replicas=48,
+                    duration=5.0,
+                    commands=2,
+                )
+            ]
+        ).to_json()
+        with BackgroundServer(config) as daemon_a:
+            status_a, body_a = post(daemon_a.port, payload)
+        assert status_a == 200
+        journals = list(checkpoint_dir.glob("campaign-*.jsonl"))
+        assert len(journals) == 1
+        lines = journals[0].read_text().splitlines()
+        assert len(lines) >= 3  # header + at least 48/16 shard rows
+        journals[0].write_text("\n".join(lines[:2]) + "\n")  # crash shape
+
+        with BackgroundServer(config) as daemon_b:
+            status_b, body_b = post(daemon_b.port, payload)
+        assert status_b == 200
+        assert answer_values(body_b["answers"]) == answer_values(
+            body_a["answers"]
+        )
+
+        clean = ServiceConfig(port=0, shard_trials=16)
+        with BackgroundServer(clean) as daemon_c:
+            status_c, body_c = post(daemon_c.port, payload)
+        assert status_c == 200
+        assert answer_values(body_c["answers"]) == answer_values(
+            body_a["answers"]
+        )
+
+
+class TestMetrics:
+    def test_metrics_shape_and_progression(self):
+        with BackgroundServer(ServiceConfig(port=0)) as running:
+            post(running.port, GRID_PAYLOAD)
+            post(running.port, GRID_PAYLOAD)
+            _status, metrics = get(running.port, "/metrics")
+        assert metrics["queries_total"] == 6
+        assert metrics["answers_total"] == 6
+        assert metrics["requests_total"] >= 2
+        assert metrics["engine_cache"]["hits"] >= 3
+        assert metrics["engine_cache"]["max_size"] == 4096
+        assert 0.0 < metrics["engine_cache"]["hit_rate"] <= 1.0
+        assert metrics["latency_seconds"]["count"] >= 2
+        assert metrics["latency_seconds"]["p50"] >= 0.0
+        assert "POST /v1/query -> 200" in metrics["responses"]
+        assert metrics["campaigns"]["answer_cache_hits"] == 3
+
+
+class TestCli:
+    def test_serve_subcommand_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--jobs",
+                "2",
+                "--checkpoint-dir",
+                "/tmp/journals",
+                "--cache-size",
+                "128",
+            ]
+        )
+        assert args.port == 0
+        assert args.jobs == 2
+        assert args.checkpoint_dir == "/tmp/journals"
+        assert args.cache_size == 128
+        assert args.on_shard_failure == "degrade"
+        assert args.retries == 1
