@@ -1,4 +1,4 @@
-"""P7 — contract checker throughput: full-repo lint must stay under 2 s.
+"""P7 — contract checker throughput: full-repo lint must stay under 3 s.
 
 The self-lint test (``tests/test_contracts_self.py``) runs inside tier-1,
 so the checker's wall time is paid on every ``pytest -x -q``; this
@@ -31,7 +31,10 @@ PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
 BASELINE = REPO_ROOT / "tests" / "data" / "contracts_baseline.json"
 
 REPEATS = 5
-TARGET_SECONDS = 2.0
+# Raised from 2.0 when the four concurrency families (lock-guard,
+# lock-order, async-hygiene, journal-durability) joined the pass — the
+# per_rule split in BENCH_contracts.json shows where the budget goes.
+TARGET_SECONDS = 3.0
 
 
 def _best(fn, repeats: int = REPEATS):

@@ -279,6 +279,43 @@ def main() -> None:
     )}) == [], "justified suppressions keep the lint quiet"
     print("  -> a seeded campaign cannot silently grow a hidden entropy source")
 
+    # The concurrency families work the same way.  `lock-guard` infers,
+    # per class, which attributes the lock discipline protects (whatever
+    # is *written* under `with self._lock:`) and flags every lock-free
+    # access — this is the rule that re-finds the engine-memo race PR 8
+    # had to fix by hand (see tests/test_contracts_concurrency.py).
+    racy = dedent(
+        """
+        import threading
+
+        class AnswerCache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._entries[key] = value
+
+            def get(self, key):
+                return self._entries.get(key)   # races put()!
+        """
+    )
+    concurrency_findings = lint_sources(
+        {"repro/serve/new_cache.py": racy}, rules=["lock-guard"]
+    )
+    print("Concurrency contracts: the race a single-threaded test never hits:")
+    for found in concurrency_findings:
+        print(f"  {found.render()}")
+    assert [f.rule for f in concurrency_findings] == ["lock-guard"]
+    fixed = racy.replace(
+        "        return self._entries.get(key)   # races put()!",
+        "        with self._lock:\n"
+        "            return self._entries.get(key)",
+    )
+    assert lint_sources({"repro/serve/new_cache.py": fixed}) == []
+    print("  -> guarded writes imply guarded reads, enforced before code ships")
+
     # -- 9. Serving queries: the engine as a long-running daemon ---------
     # Everything above is batch: the process answers and exits, taking
     # its warm caches with it.  `repro-analyze serve` keeps one engine

@@ -473,28 +473,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         lint_paths,
         registered_rules,
         render_json,
+        render_sarif,
         render_text,
         save_baseline,
     )
 
+    known_rules = registered_rules()
     if args.explain is not None:
-        rule = registered_rules().get(args.explain)
+        if args.explain == "list":
+            for rule_id in sorted(known_rules):
+                print(f"{rule_id} — {known_rules[rule_id].summary}")
+            return 0
+        rule = known_rules.get(args.explain)
         if rule is None:
             print(
                 f"unknown rule {args.explain!r}; "
-                f"rules: {', '.join(sorted(registered_rules()))}",
+                f"rules: {', '.join(sorted(known_rules))}",
                 file=sys.stderr,
             )
             return 2
         print(rule.explain())
         return 0
 
+    rules = None
+    if args.rules is not None:
+        rules = [rule_id.strip() for rule_id in args.rules.split(",") if rule_id.strip()]
+        unknown = sorted(set(rules) - set(known_rules))
+        if unknown:
+            print(
+                f"unknown rule(s) {', '.join(repr(r) for r in unknown)}; "
+                f"rules: {', '.join(sorted(known_rules))}",
+                file=sys.stderr,
+            )
+            return 2
+
     if args.paths:
         paths = [pathlib.Path(p) for p in args.paths]
     else:
         # Default scope: the installed package itself, wherever it lives.
         paths = [pathlib.Path(__file__).resolve().parent]
-    rules = None if args.rules is None else args.rules.split(",")
     result = lint_paths(paths, rules=rules, baseline=args.baseline)
     if args.write_baseline is not None:
         save_baseline(result.findings, args.write_baseline)
@@ -503,7 +520,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             "justify each entry in review"
         )
         return 0
-    print(render_json(result) if args.json else render_text(result, verbose=args.verbose))
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
+        print(render_json(result))
+    elif fmt == "sarif":
+        print(render_sarif(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
     return 0 if result.ok else 1
 
 
@@ -528,7 +551,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="files/directories to lint (default: the installed repro package)",
     )
     lint.add_argument(
-        "--json", action="store_true", help="emit the machine-readable report"
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format: human text, versioned JSON, or SARIF 2.1.0 "
+        "for CI/editor ingestion (default: text)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="shorthand for --format json (kept for compatibility)",
     )
     lint.add_argument(
         "--baseline",
@@ -545,13 +577,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules",
         default=None,
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids to run (default: all); an unknown "
+        "id exits 2 listing every valid rule",
     )
     lint.add_argument(
         "--explain",
         metavar="RULE-ID",
         default=None,
-        help="print a rule's rationale and a minimal bad/good example",
+        help="print a rule's rationale and a minimal bad/good example; "
+        "`--explain list` enumerates every rule id",
     )
     lint.add_argument(
         "--verbose",

@@ -41,6 +41,23 @@ Rule families (``repro-analyze lint --explain RULE-ID`` for details):
 ``registry-drift``
     Every ``register_query_kind`` class has a ``register_backend`` twin
     and vice versa, so a new query kind can't land half-wired (PR 4).
+``lock-guard``
+    Attributes a class writes under a lock are shared state — accesses on
+    lock-free paths race the guarded writers (the pre-PR-8 engine memo
+    and journal ``_stale`` bugs, found by lockset inference).
+``lock-order``
+    One global lock order, enforced over a project-wide
+    acquired-while-holding graph — a cycle is a potential deadlock that
+    single-threaded tests can never hit.
+``async-hygiene``
+    No blocking calls (``time.sleep``, ``os.fsync``, file I/O,
+    ``subprocess``, direct engine runs) inside ``async def`` unless
+    routed through an executor; no discarded coroutines or
+    ``create_task`` results (PR 8's asyncio daemon).
+``journal-durability``
+    Every journal/checkpoint write must ``os.fsync`` the same handle
+    before its guarding lock is released — ``flush()`` is page cache,
+    not durability (PR 6's crash-loses-at-most-one-shard contract).
 
 Single-site escapes are inline ``# repro: allow[rule-id] -- reason``
 comments; whole-module boundaries live in the
@@ -63,7 +80,7 @@ from repro.contracts.checker import (
 )
 from repro.contracts.config import DEFAULT_CONFIG, KeyBinding, LintConfig
 from repro.contracts.core import Finding, Rule, register_rule, registered_rules
-from repro.contracts.report import render_json, render_text
+from repro.contracts.report import render_json, render_sarif, render_text
 
 __all__ = [
     "ContractViolationError",
@@ -79,6 +96,7 @@ __all__ = [
     "register_rule",
     "registered_rules",
     "render_json",
+    "render_sarif",
     "render_text",
     "save_baseline",
     "split_against_baseline",

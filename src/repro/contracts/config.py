@@ -83,6 +83,17 @@ class LintConfig:
     #: Provenance-only fields (labels, display hints) belong here.
     field_exemptions: Mapping[str, str] = field(default_factory=dict)
 
+    #: Globs of modules holding checkpoint/journal write paths, where the
+    #: journal-durability rule demands an ``os.fsync`` for every write
+    #: before the guarding lock is released.  Scoped because ordinary file
+    #: output (reports, plots) legitimately trades durability for speed.
+    journal_paths: Tuple[str, ...] = (
+        "*runtime.py",  # CampaignCheckpoint journals (PR 6)
+        "*chaos.py",  # chaos-harness crash markers piggyback on the journal
+        "*journal*",
+        "*checkpoint*",
+    )
+
     def allowed(self, rule_id: str, path: str) -> bool:
         return path_matches(path, tuple(self.rule_allow.get(rule_id, ())))
 

@@ -210,9 +210,144 @@ def registered_rules() -> Dict[str, Rule]:
     """All rules, keyed by id (import-time registrations included)."""
     # Importing the rule modules here (not at module import) avoids a cycle:
     # the rule modules import Rule/register_rule from this module.
-    from repro.contracts import rules_determinism, rules_structure  # noqa: F401
+    from repro.contracts import (  # noqa: F401
+        rules_concurrency,
+        rules_determinism,
+        rules_structure,
+    )
 
     return dict(_RULES)
+
+
+# ---------------------------------------------------------------------------
+# Lockset walker (shared by the rules_concurrency families)
+# ---------------------------------------------------------------------------
+#: Names that read as locks even without a visible constructor.  Matched
+#: case-insensitively anywhere in the identifier, so ``_lock``,
+#: ``_JOURNAL_LOCKS_GUARD``, ``cache_mutex`` and ``_journal_lock`` all
+#: qualify.  Constructor-based detection (``threading.Lock()`` et al.)
+#: covers unconventional names.
+_LOCKISH_NAME_RE = re.compile(r"lock|mutex", re.IGNORECASE)
+
+#: Bare constructor names whose assignment declares a lock object.
+_LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+
+def is_lockish_name(name: str) -> bool:
+    return bool(_LOCKISH_NAME_RE.search(name))
+
+
+def is_lock_constructor_call(node: ast.AST) -> bool:
+    """Whether an expression is ``threading.Lock()`` / ``Lock()`` / etc."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = call_name(node)
+    return name in _LOCK_CONSTRUCTORS
+
+
+@dataclass(frozen=True, order=True)
+class LockToken:
+    """Identity of one acquired lock, as far as syntax can tell.
+
+    ``kind`` is ``"self"`` (``with self._lock:`` — instance state, later
+    qualified by class name for the project-wide order graph),
+    ``"global"`` (``with _REGISTRY_LOCK:`` — a module-level lock object)
+    or ``"call"`` (``with _journal_lock(path):`` — a factory returning a
+    lock; identity approximated by the factory's name).
+    """
+
+    kind: str
+    name: str
+
+    def render(self) -> str:
+        if self.kind == "self":
+            return f"self.{self.name}"
+        if self.kind == "call":
+            return f"{self.name}(...)"
+        return self.name
+
+
+def lock_token(expr: ast.AST, declared_attrs: frozenset = frozenset()) -> Optional[LockToken]:
+    """The lock a ``with``-item context expression acquires, if any.
+
+    ``declared_attrs`` holds attribute names the enclosing class assigned
+    a lock constructor to, so ``with self.guard:`` is recognised even
+    when the name alone would not be.  Non-lock contexts (files, pools,
+    ``contextlib`` helpers) return ``None``.
+    """
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        if expr.value.id == "self" and (
+            expr.attr in declared_attrs or is_lockish_name(expr.attr)
+        ):
+            return LockToken("self", expr.attr)
+        return None
+    if isinstance(expr, ast.Name):
+        if is_lockish_name(expr.id):
+            return LockToken("global", expr.id)
+        return None
+    if isinstance(expr, ast.Call):
+        name = call_name(expr)
+        if name is not None and name not in _LOCK_CONSTRUCTORS and is_lockish_name(name):
+            return LockToken("call", name)
+    return None
+
+
+def with_lock_tokens(
+    node: ast.AST, declared_attrs: frozenset = frozenset()
+) -> List[LockToken]:
+    """Lock tokens acquired by one ``with``/``async with`` statement."""
+    tokens: List[LockToken] = []
+    for item in getattr(node, "items", ()):
+        token = lock_token(item.context_expr, declared_attrs)
+        if token is not None:
+            tokens.append(token)
+    return tokens
+
+
+def walk_lock_regions(
+    func: ast.AST, declared_attrs: frozenset = frozenset()
+) -> Iterator[Tuple[ast.AST, frozenset]]:
+    """Yield ``(node, held_locks)`` for every node in a function body.
+
+    ``held_locks`` is the frozenset of :class:`LockToken`\\ s lexically
+    held at that node — extended inside ``with <lock>:`` bodies, which is
+    exact for the idiomatic ``with`` discipline this repository uses
+    (manual ``acquire``/``release`` pairs are out of scope).  ``with``
+    context expressions themselves are visited with the *outer* lockset:
+    ``with self._lock:`` does not guard its own acquisition, and a lock
+    factory called in the item runs before the lock is held.  Nested
+    ``def``/``lambda``/``class`` bodies are not descended into — they
+    execute at call time, not where the lock is held; callers analyse
+    them as separate scopes.
+    """
+
+    def visit(node: ast.AST, held: frozenset) -> Iterator[Tuple[ast.AST, frozenset]]:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            return
+        yield node, held
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            tokens = with_lock_tokens(node, declared_attrs)
+            for item in node.items:
+                yield from visit(item.context_expr, held)
+                if item.optional_vars is not None:
+                    yield from visit(item.optional_vars, held)
+            inner = held | frozenset(tokens)
+            for child in node.body:
+                yield from visit(child, inner)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+            ):
+                continue
+            yield from visit(child, held)
+
+    for stmt in getattr(func, "body", ()):
+        yield from visit(stmt, frozenset())
 
 
 def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:

@@ -1,4 +1,4 @@
-"""Text and JSON reporters for lint results.
+"""Text, JSON and SARIF reporters for lint results.
 
 The JSON schema is versioned and covered by a stability test — downstream
 tooling (pre-commit hooks, CI annotations) may rely on exactly these keys:
@@ -16,6 +16,12 @@ tooling (pre-commit hooks, CI annotations) may rely on exactly these keys:
       ],
       "stale_baseline": [{"path": "...", "rule": "...", "message": "..."}]
     }
+
+:func:`render_sarif` emits SARIF 2.1.0 so CI platforms and editors can
+ingest the same findings natively: one run, one ``reportingDescriptor``
+per registered rule (id + summary + rationale), one ``result`` per
+finding with ``baselineState`` distinguishing new (``"new"``) from
+baselined (``"unchanged"``) findings.
 """
 
 from __future__ import annotations
@@ -23,8 +29,15 @@ from __future__ import annotations
 import json
 
 from repro.contracts.checker import LintResult
+from repro.contracts.core import registered_rules
 
 REPORT_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult, *, verbose: bool = False) -> str:
@@ -69,6 +82,65 @@ def render_json(result: LintResult) -> str:
         "stale_baseline": [
             {"path": path, "rule": rule, "message": message}
             for path, rule, message in result.stale_baseline
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report for CI platforms and editor integrations.
+
+    Every registered rule is described in the tool's driver (so viewers
+    can show rationale without running ``--explain``); each finding maps
+    to one ``result`` whose ``baselineState`` is ``"new"`` for findings
+    that fail the run and ``"unchanged"`` for baselined debt.
+    """
+    rules = registered_rules()
+    descriptors = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale.strip()},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, rule in sorted(rules.items())
+    ]
+    baselined_ids = {id(f) for f in result.baselined}
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "note" if id(finding) in baselined_ids else "error",
+            "baselineState": (
+                "unchanged" if id(finding) in baselined_ids else "new"
+            ),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,  # SARIF is 1-based
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in result.findings
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze lint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

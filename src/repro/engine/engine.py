@@ -241,7 +241,7 @@ class ReliabilityEngine:
         singles: list[tuple[int, Scenario, str, EstimatorFn, tuple | None]] = []
         inflight: dict[tuple, int] = {}
         aliases: list[tuple[int, int]] = []  # (duplicate index, first index)
-        memo = self._memo if self._cache_size else None
+        use_memo = self._cache_size > 0
 
         # Hot loop: the per-scenario planning below inlines
         # Scenario.cache_key / the auto-method policy to keep facade
@@ -286,11 +286,11 @@ class ReliabilityEngine:
                     # so policy families never share sampling cache entries.
                     if spawned:
                         key = key + ("spawn", active.shard_trials)
-                if memo is not None and key is not None:
+                if use_memo and key is not None:
                     with self._lock:
-                        cached = memo.get(key)
+                        cached = self._memo.get(key)
                         if cached is not None:
-                            memo.move_to_end(key)
+                            self._memo.move_to_end(key)
                             self.cache_hits += 1
                     if cached is not None:
                         outcomes[index] = ScenarioOutcome(

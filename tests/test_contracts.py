@@ -710,6 +710,10 @@ class TestReports:
             "cache-key-coverage",
             "except-hygiene",
             "registry-drift",
+            "lock-guard",
+            "lock-order",
+            "async-hygiene",
+            "journal-durability",
         }
         for rule_id, rule in rules.items():
             text = rule.explain()
