@@ -1,0 +1,191 @@
+"""P10 — observability overhead: the disabled tracer must cost ≤ 5 %.
+
+Three measurements of the same supervised campaign workload:
+
+* **disabled** — no tracer installed; every instrumentation site hits the
+  shared no-op ``NULL_TRACER``/``NULL_SPAN`` singletons.  This is the
+  default production path and the one the 5 % gate guards.
+* **enabled** — a live tracer with an in-memory exporter records the full
+  span hierarchy (engine → backends → runtime shards → worker chunks).
+* **exporting** — the same hierarchy streamed to a JSONL span log.
+
+The headline number is the **disabled-path overhead fraction**: the cost
+of the no-op calls the instrumentation adds to an untraced run.  Wall
+clocks are too noisy to subtract two campaign timings of a ~1e-4 effect,
+so the fraction is measured honestly from its parts: a microbenchmark of
+one no-op span round-trip, times the span count an enabled run actually
+records, divided by the disabled campaign time.  The raw disabled vs
+enabled vs exporting campaign timings are also recorded for context.
+
+Emits ``BENCH_obs.json`` at the repo root.  Run as pytest
+(``pytest benchmarks/bench_obs.py -s``) or directly
+(``python benchmarks/bench_obs.py``); both write the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import (
+    ExecutionPolicy,
+    QuerySet,
+    ReliabilityEngine,
+    Scenario,
+    SimulationQuery,
+)
+from repro.faults.mixture import uniform_fleet
+from repro.obs import InMemoryExporter, JsonlExporter, NULL_TRACER, Tracer, use_tracer
+from repro.protocols.raft import RaftSpec
+
+from conftest import print_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_obs.json"
+
+OVERHEAD_LIMIT = 0.05
+CAMPAIGN_REPEATS = 3
+NOOP_CALLS = 200_000
+
+
+def _queries() -> QuerySet:
+    return QuerySet.build(
+        [
+            SimulationQuery(
+                Scenario(
+                    spec=RaftSpec(3),
+                    fleet=uniform_fleet(3, 0.2),
+                    seed=seed,
+                    label=f"bench-{seed}",
+                ),
+                replicas=16,
+                duration=5.0,
+                commands=2,
+            )
+            for seed in (101, 102)
+        ]
+    )
+
+
+def _policy() -> ExecutionPolicy:
+    return ExecutionPolicy.from_jobs(2, mode="thread", timeout=30.0, retries=1)
+
+
+def _campaign_seconds(tracer: Tracer | None, exporter=None) -> float:
+    """One cold supervised campaign run (fresh engine, fresh memo)."""
+    engine = ReliabilityEngine()
+    queries = _queries()
+    policy = _policy()
+    if tracer is None:
+        start = time.perf_counter()
+        engine.run(queries, policy=policy)
+        return time.perf_counter() - start
+    with use_tracer(tracer):
+        start = time.perf_counter()
+        engine.run(queries, policy=policy)
+        return time.perf_counter() - start
+
+
+def measure_noop_span_cost() -> float:
+    """Seconds per disabled-path span round-trip (enter/set/exit)."""
+    span = NULL_TRACER.span  # the exact call instrumented code makes
+    start = time.perf_counter()
+    for _ in range(NOOP_CALLS):
+        with span("x", a=1) as s:
+            s.set("b", 2)
+    return (time.perf_counter() - start) / NOOP_CALLS
+
+
+def measure_all(tmp_dir: Path) -> dict:
+    # Import/JIT warm-up off the clock.
+    _campaign_seconds(None)
+
+    disabled = min(_campaign_seconds(None) for _ in range(CAMPAIGN_REPEATS))
+
+    recording = InMemoryExporter()
+    enabled_tracer = Tracer.for_key(("bench-obs", "enabled"), exporter=recording)
+    enabled = min(
+        _campaign_seconds(enabled_tracer) for _ in range(CAMPAIGN_REPEATS)
+    )
+    spans_per_run = len(recording.records) // CAMPAIGN_REPEATS
+
+    jsonl_path = tmp_dir / "bench-obs-trace.jsonl"
+    exporting_tracer = Tracer.for_key(
+        ("bench-obs", "exporting"), exporter=JsonlExporter(str(jsonl_path))
+    )
+    exporting = min(
+        _campaign_seconds(exporting_tracer) for _ in range(CAMPAIGN_REPEATS)
+    )
+    exporting_tracer.exporter.close()
+
+    noop_span_seconds = measure_noop_span_cost()
+    # The disabled path pays one no-op round-trip per site the enabled run
+    # turned into a span; everything else is untouched code.
+    disabled_overhead = (noop_span_seconds * spans_per_run) / disabled
+
+    return {
+        "campaign": {
+            "queries": 2,
+            "replicas_each": 16,
+            "mode": "thread",
+            "jobs": 2,
+            "repeats": CAMPAIGN_REPEATS,
+        },
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "exporting_seconds": exporting,
+        "enabled_overhead_fraction": (enabled - disabled) / disabled,
+        "spans_per_run": spans_per_run,
+        "noop_span_seconds": noop_span_seconds,
+        "disabled_overhead_fraction": disabled_overhead,
+        "overhead_limit": OVERHEAD_LIMIT,
+    }
+
+
+def _print_report(payload: dict) -> None:
+    print_table(
+        "P10: observability overhead — supervised campaign, 2 queries x 16 replicas",
+        ["path", "seconds"],
+        [
+            ["tracing disabled", f"{payload['disabled_seconds']:.4f}"],
+            ["tracing enabled (in-memory)", f"{payload['enabled_seconds']:.4f}"],
+            ["tracing exporting (jsonl)", f"{payload['exporting_seconds']:.4f}"],
+        ],
+    )
+    print(
+        f"\nspans per enabled run: {payload['spans_per_run']}; "
+        f"no-op span round-trip: {payload['noop_span_seconds'] * 1e9:.0f} ns; "
+        f"disabled-path overhead: "
+        f"{payload['disabled_overhead_fraction'] * 100:.4f}% "
+        f"(limit {payload['overhead_limit'] * 100:.0f}%)"
+    )
+
+
+@pytest.mark.bench
+def test_disabled_tracer_overhead(tmp_path):
+    payload = measure_all(tmp_path)
+    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _print_report(payload)
+    assert payload["spans_per_run"] > 0
+    assert payload["disabled_overhead_fraction"] <= OVERHEAD_LIMIT, (
+        f"disabled-tracer overhead "
+        f"{payload['disabled_overhead_fraction'] * 100:.2f}% exceeds the "
+        f"{OVERHEAD_LIMIT * 100:.0f}% budget"
+    )
+
+
+def main() -> None:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        payload = measure_all(Path(tmp))
+    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _print_report(payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -420,9 +420,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid query file {path}: {exc}")
     if not len(query_set):
         raise SystemExit(f"query file {path} contains no queries")
-    answers = default_engine().run(query_set, policy=_policy_from_args(args))
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro.obs import InMemoryExporter, Tracer, use_tracer, write_trace
+
+        exporter = InMemoryExporter()
+        tracer = Tracer.for_key(("repro-analyze query", path.read_text()), exporter=exporter)
+        with use_tracer(tracer):
+            answers = default_engine().run(query_set, policy=_policy_from_args(args))
+        write_trace(exporter.records, trace_path)
+    else:
+        answers = default_engine().run(query_set, policy=_policy_from_args(args))
     if args.json:
-        print(json.dumps([answer.to_dict() for answer in answers], indent=2))
+        rows = []
+        for answer in answers:
+            row = answer.to_dict()
+            report = answer.provenance.report
+            if report is not None:
+                row["run"] = report.to_dict()
+            rows.append(row)
+        print(json.dumps(rows, indent=2))
         return 0
     rows = [
         [row["label"], row["kind"], row["N"], row["answer"], row["via"]]
@@ -449,6 +466,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retries=args.retries,
         on_shard_failure=args.on_shard_failure,
         cache_size=args.cache_size,
+        trace_path=args.trace,
     )
     serve_forever(config)
     return 0
@@ -714,6 +732,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint directory: journal completed campaign shards there "
         "and resume interrupted campaigns from it (bit-identical)",
     )
+    query.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record a span trace of the run: Chrome trace-event JSON "
+        "(open in Perfetto / chrome://tracing), or a JSONL span log when "
+        "FILE ends in .jsonl; answers are bit-identical with tracing on",
+    )
     query.set_defaults(func=_cmd_query)
 
     serve = sub.add_parser(
@@ -762,6 +788,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="engine memo capacity shared across all requests",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record per-request/query/shard spans and write the trace on "
+        "shutdown: Chrome trace-event JSON, or JSONL when FILE ends in "
+        ".jsonl; answers are bit-identical with tracing on",
     )
     serve.set_defaults(func=_cmd_serve)
 

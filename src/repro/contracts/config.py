@@ -136,6 +136,13 @@ DEFAULT_CONFIG = LintConfig(
             # either, which tests/test_serve.py proves by bit-comparing
             # daemon answers against direct engine runs.
             "*repro/serve/*",
+            # Tracing/profiling is metrology by definition: repro.obs
+            # reads clocks through its single declared shim
+            # (obs/clock.py) to timestamp spans, and no answer value
+            # flows from any reading — tests/test_obs.py pins answers
+            # bit-identical with tracing disabled, enabled, and
+            # exporting (PR 10).
+            "*repro/obs/*",
         ),
     },
     cache_key_modules=(

@@ -68,6 +68,7 @@ from repro.engine.result import (
     SimulationAnswer,
 )
 from repro.errors import EstimationError
+from repro.obs.trace import current_tracer, resolve_context
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.engine import ReliabilityEngine
@@ -322,28 +323,39 @@ def _campaign_chunk(payload):
     Each replica's faults are compiled from its private spawned stream by
     :func:`repro.injection.run_replica`, so the verdicts depend only on
     the per-replica streams — never on how replicas are chunked.
+
+    The payload's third element is the campaign's span context (or
+    ``None``): thread-pool workers re-attach to the live tracer and
+    record their chunk as a worker-track slice; process-pool children
+    degrade to the no-op tracer (see
+    :func:`repro.obs.trace.resolve_context`).  Tracing never touches the
+    generators, so verdicts are bit-identical with tracing on or off.
     """
     from repro.injection import run_replica
 
-    query, rngs = payload
+    query, rngs, span_context = payload
+    tracer, parent = resolve_context(span_context)
     scenario = query.scenario
     node_factory = _node_factory_for(scenario.spec)
     commands = _command_schedule(query.commands)
-    return [
-        run_replica(
-            scenario.spec,
-            scenario.fleet,
-            node_factory=node_factory,
-            duration=query.duration,
-            commands=commands,
-            crash_window=query.crash_window,
-            rng=rng,
-            plan=query.faults,
-            correlation=scenario.correlation,
-            failure_kind=scenario.failure_kind,
-        )
-        for rng in rngs
-    ]
+    with tracer.span(
+        "campaign.chunk", parent=parent, track="workers", replicas=len(rngs)
+    ):
+        return [
+            run_replica(
+                scenario.spec,
+                scenario.fleet,
+                node_factory=node_factory,
+                duration=query.duration,
+                commands=commands,
+                crash_window=query.crash_window,
+                rng=rng,
+                plan=query.faults,
+                correlation=scenario.correlation,
+                failure_kind=scenario.failure_kind,
+            )
+            for rng in rngs
+        ]
 
 
 def _campaign_cache_key(query: SimulationQuery):
@@ -456,46 +468,67 @@ def simulation_backend(
                 )
                 continue
         start = time.perf_counter()
-        # One spawned stream per *replica* (not per shard): replica i's
-        # verdict depends only on (seed, i), making the campaign invariant
-        # to worker count AND chunking.  plan_shards then merely groups
-        # replicas into pool-sized work items.  Keeping the spawned
-        # *children* (not generators) is what makes retries and resumes
-        # bit-identical: a shard's payload can be rebuilt from the same
-        # children at any time.
-        children = spawn_shard_sequences(seed, query.replicas)
-        chunk = policy.shard_trials or max(1, -(-query.replicas // _SIM_SHARD_GRAIN))
-        plan = plan_shards(query.replicas, chunk)
-        slices = []
-        offset = 0
-        for shard in plan.shards:
-            slices.append((offset, offset + shard))
-            offset += shard
-
-        def build_payload(bounds, query=query, children=children):
-            low, high = bounds
-            return (query, rebuild_shard_generators(children[low:high]))
-
-        payloads = [build_payload(bounds) for bounds in slices]
-        jobs = policy.jobs if policy.parallel else 1
-        mode = policy.mode if policy.parallel else "serial"
-        supervision = policy.supervision
-        if supervision is None:
-            chunks = run_sharded(_campaign_chunk, payloads, jobs=jobs, mode=mode)
-            report = None
-        else:
-            chunks, report = run_supervised(
-                _campaign_chunk,
-                payloads,
-                jobs=jobs,
-                mode=mode,
-                supervision=supervision,
-                rebuild=lambda index, slices=slices, build=build_payload: build(
-                    slices[index]
-                ),
-                checkpoint=_campaign_checkpoint(policy, key, plan.num_shards),
-                chaos=policy.chaos,
+        tracer = current_tracer()
+        with tracer.span(
+            "campaign",
+            label=query.label or "",
+            replicas=query.replicas,
+            supervised=policy.supervision is not None,
+        ) as campaign_span:
+            # One spawned stream per *replica* (not per shard): replica i's
+            # verdict depends only on (seed, i), making the campaign invariant
+            # to worker count AND chunking.  plan_shards then merely groups
+            # replicas into pool-sized work items.  Keeping the spawned
+            # *children* (not generators) is what makes retries and resumes
+            # bit-identical: a shard's payload can be rebuilt from the same
+            # children at any time.
+            children = spawn_shard_sequences(seed, query.replicas)
+            chunk = policy.shard_trials or max(
+                1, -(-query.replicas // _SIM_SHARD_GRAIN)
             )
+            plan = plan_shards(query.replicas, chunk)
+            campaign_span.set("shards", plan.num_shards)
+            slices = []
+            offset = 0
+            for shard in plan.shards:
+                slices.append((offset, offset + shard))
+                offset += shard
+
+            # The span context rides every payload so worker chunks can
+            # re-attach to this trace across the pool hop (None when
+            # tracing is disabled — payload shape is identical either way).
+            span_context = campaign_span.context()
+
+            def build_payload(
+                bounds, query=query, children=children, span_context=span_context
+            ):
+                low, high = bounds
+                return (
+                    query,
+                    rebuild_shard_generators(children[low:high]),
+                    span_context,
+                )
+
+            payloads = [build_payload(bounds) for bounds in slices]
+            jobs = policy.jobs if policy.parallel else 1
+            mode = policy.mode if policy.parallel else "serial"
+            supervision = policy.supervision
+            if supervision is None:
+                chunks = run_sharded(_campaign_chunk, payloads, jobs=jobs, mode=mode)
+                report = None
+            else:
+                chunks, report = run_supervised(
+                    _campaign_chunk,
+                    payloads,
+                    jobs=jobs,
+                    mode=mode,
+                    supervision=supervision,
+                    rebuild=lambda index, slices=slices, build=build_payload: build(
+                        slices[index]
+                    ),
+                    checkpoint=_campaign_checkpoint(policy, key, plan.num_shards),
+                    chaos=policy.chaos,
+                )
         verdicts = [
             verdict
             for chunk_result in chunks
@@ -539,6 +572,7 @@ def simulation_backend(
                     degraded=degraded,
                     dropped_shards=report.dropped if degraded else (),
                     effective_trials=effective if degraded else None,
+                    report=report,
                 ),
             )
         )

@@ -43,6 +43,7 @@ from repro.engine.registry import (
 )
 from repro.engine.result import AnswerSet, EngineResult, Provenance, ScenarioOutcome
 from repro.engine.scenario import Scenario, ScenarioSet
+from repro.obs.trace import current_span, current_tracer
 
 # Importing the backends module registers the built-in query backends
 # (reliability / availability / mttf / simulation) with the registry.
@@ -234,6 +235,21 @@ class ReliabilityEngine:
         if any(isinstance(item, Query) for item in scenarios):
             return self._run_queries(scenarios, policy)
         active = policy if policy is not None else self._policy
+        tracer = current_tracer()
+        with tracer.span(
+            "engine.run", scenarios=len(scenarios), mode=active.mode, jobs=active.jobs
+        ) as run_span:
+            result = self._run_scenarios(scenarios, active)
+            if tracer.enabled:
+                hits = sum(1 for outcome in result if outcome.provenance.cache_hit)
+                run_span.set("memo_hits", hits)
+                run_span.set("memo_misses", len(result) - hits)
+            return result
+
+    def _run_scenarios(
+        self, scenarios: list, active: ExecutionPolicy
+    ) -> EngineResult:
+        """Scenario-path planner body (contract documented on :meth:`run`)."""
         spawned = active.spawned_streams
         items = list(scenarios)
         outcomes: list[ScenarioOutcome | None] = [None] * len(items)
@@ -387,16 +403,19 @@ class ReliabilityEngine:
         by_kind: dict[str, list[int]] = {}
         for index, query in enumerate(queries):
             by_kind.setdefault(query.kind, []).append(index)
-        for kind, indices in by_kind.items():
-            backend = self.backend(kind)
-            group = backend(self, [queries[i] for i in indices], active)
-            if len(group) != len(indices):
-                raise EstimationError(
-                    f"backend for {kind!r} returned {len(group)} answers "
-                    f"for {len(indices)} queries"
-                )
-            for index, answer in zip(indices, group):
-                answers[index] = answer
+        tracer = current_tracer()
+        with tracer.span("engine.queries", queries=len(queries), kinds=len(by_kind)):
+            for kind, indices in by_kind.items():
+                backend = self.backend(kind)
+                with tracer.span(f"backend.{kind}", queries=len(indices)):
+                    group = backend(self, [queries[i] for i in indices], active)
+                if len(group) != len(indices):
+                    raise EstimationError(
+                        f"backend for {kind!r} returned {len(group)} answers "
+                        f"for {len(indices)} queries"
+                    )
+                for index, answer in zip(indices, group):
+                    answers[index] = answer
         assert all(answer is not None for answer in answers)
         return AnswerSet(tuple(answers))
 
@@ -580,7 +599,21 @@ class ReliabilityEngine:
         else:
             for lo, hi in ranges:
                 reduce_chunk(lo, hi, joint_count_pmf_batch(crash[lo:hi], byz[lo:hi]))
-        share = (time.perf_counter() - start) / batch_size
+        finished = time.perf_counter()
+        tracer = current_tracer()
+        if tracer.enabled:
+            # One span per shared DP sweep: how many scenarios amortised how
+            # many unique-fleet DPs, and what the batch cost wall-clock.
+            tracer.record_span(
+                "engine.counting_group",
+                start,
+                finished,
+                parent=current_span(),
+                n=n,
+                batch_size=batch_size,
+                fleets=len(unique_fleets),
+            )
+        share = (finished - start) / batch_size
         provenance = Provenance(
             estimator="counting", batched=True, batch_size=batch_size, seconds=share
         )

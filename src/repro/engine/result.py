@@ -28,6 +28,7 @@ from repro.analysis.result import (
     nines,
 )
 from repro.engine.query import Query
+from repro.engine.runtime import RunReport
 from repro.engine.scenario import Scenario
 from repro.faults.curves import HOURS_PER_YEAR
 
@@ -50,6 +51,13 @@ class Provenance:
     All three stay at their defaults on complete answers so complete-run
     provenance (including :meth:`describe` strings and JSON forms) is
     byte-identical with and without supervision.
+
+    ``report`` carries the full :class:`~repro.engine.runtime.RunReport`
+    of a supervised execution (attempts, timeouts, retries, rebuilds,
+    restores).  It is execution telemetry, not part of the answer: it
+    never enters :meth:`Answer.to_dict` (recovery must not change output
+    bytes) — surfacing layers (``repro-analyze query --json``, the serve
+    ndjson stream) attach it as a separate ``"run"`` key.
     """
 
     estimator: str
@@ -62,6 +70,7 @@ class Provenance:
     degraded: bool = False
     dropped_shards: tuple[int, ...] = ()
     effective_trials: int | None = None
+    report: RunReport | None = None
 
     def describe(self) -> str:
         source = "cache" if self.cache_hit else (

@@ -34,9 +34,10 @@ invariance contract survives timeouts, retries and pool rebuilds.
 Results merge in shard order regardless of completion order, exactly as
 in the bare dispatcher.
 
-Layering note: this module depends only on the standard library and
-:mod:`repro.errors`, so the analysis kernels can delegate to it without
-an import cycle through the engine package.
+Layering note: this module depends only on the standard library,
+:mod:`repro.errors`, and the stdlib-only :mod:`repro.obs` tracing layer,
+so the analysis kernels can delegate to it without an import cycle
+through the engine package.
 """
 
 from __future__ import annotations
@@ -51,6 +52,8 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.errors import InvalidConfigurationError, ShardExecutionError
+from repro.obs import clock as obs_clock
+from repro.obs.trace import current_tracer
 
 #: Executor modes accepted by :func:`dispatch` / :func:`run_supervised`.
 EXECUTOR_MODES = ("serial", "thread", "process")
@@ -158,6 +161,21 @@ class RunReport:
     def degraded(self) -> bool:
         """Whether the run dropped shards (partial results)."""
         return bool(self.dropped)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (stable schema, used by ``query --json`` rows)."""
+        return {
+            "shards": self.shards,
+            "completed": self.completed,
+            "attempts": self.attempts,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "restored": self.restored,
+            "retried": list(self.retried),
+            "dropped": list(self.dropped),
+            "failures": [[index, kind] for index, kind in self.failures],
+            "degraded": self.degraded,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -473,95 +491,161 @@ def run_supervised(
     retried: set[int] = set()
     stats = {"attempts": 0, "timeouts": 0, "rebuilds": 0}
 
-    restored = 0
-    if checkpoint is not None:
-        for index, value in checkpoint.load().items():
-            if 0 <= index < count and not done[index]:
-                results[index] = value
-                done[index] = True
-                restored += 1
+    # Tracing (no-op unless a tracer is installed on this context).  The
+    # run gets one "runtime.supervised" span; every worker dispatch gets a
+    # "shard" slice keyed s{index}d{dispatch} (structural — never RNG), and
+    # timeouts / retries / pool rebuilds land as instant events on the run
+    # span.  None of this touches payloads or streams, so results are
+    # bit-identical with tracing on or off.
+    tracer = current_tracer()
+    trace_on = tracer.enabled
+    dispatches = [0] * count  # total dispatches per shard (span keys)
 
-    if chaos is not None:
-        worker = chaos.bind(worker, mode)
-
-    def payload_for(index: int) -> object:
-        base = (
-            rebuild(index)
-            if rebuild is not None and failures_used[index] > 0
-            else payloads[index]
-        )
-        return (index, base) if chaos is not None else base
-
-    def finish(index: int, value) -> None:
-        results[index] = value
-        done[index] = True
-        if checkpoint is not None:
-            checkpoint.record(index, value)
-
-    def fail(index: int, kind: str, error: BaseException | None) -> float | None:
-        """Book one failed attempt; returns the retry-ready time, or
-        ``None`` when the shard is permanently failed (raise or drop)."""
-        failures_used[index] += 1
-        if kind == "timeout":
-            stats["timeouts"] += 1
-        if failures_used[index] <= sup.retries:
-            retried.add(index)
-            return time.monotonic() + sup.backoff * (2 ** (failures_used[index] - 1))
-        if sup.on_shard_failure == "raise":
-            raise ShardExecutionError(
-                f"shard {index} failed permanently after "
-                f"{failures_used[index]} attempt(s) (last failure: {kind}); "
-                "set on_shard_failure='degrade' to keep partial results"
-            ) from error
-        dropped.append(index)
-        drop_reasons.append((index, kind))
-        raise _ShardDropped
-
-    pending = [index for index in range(count) if not done[index]]
-
-    if jobs <= 1 or count <= 1 or mode == "serial":
-        # In-process execution: retries and degradation apply; the calling
-        # thread cannot be preempted, so `timeout` is inert here.
-        for index in pending:
-            while True:
-                stats["attempts"] += 1
-                try:
-                    value = worker(payload_for(index))
-                except Exception as error:
-                    try:
-                        ready_at = fail(index, "error", error)
-                    except _ShardDropped:
-                        break
-                    delay = ready_at - time.monotonic()
-                    if delay > 0:
-                        time.sleep(delay)
-                else:
-                    finish(index, value)
-                    break
-    elif pending:
-        _run_pooled(
-            worker,
-            payload_for,
-            pending,
-            jobs=jobs,
-            mode=mode,
-            sup=sup,
-            fail=fail,
-            finish=finish,
-            stats=stats,
-        )
-
-    report = RunReport(
+    with tracer.span(
+        "runtime.supervised",
         shards=count,
-        completed=sum(done),
-        dropped=tuple(sorted(dropped)),
-        retried=tuple(sorted(retried)),
-        failures=tuple(sorted(drop_reasons)),
-        attempts=stats["attempts"],
-        timeouts=stats["timeouts"],
-        pool_rebuilds=stats["rebuilds"],
-        restored=restored,
-    )
+        jobs=jobs,
+        mode=mode,
+        timeout=sup.timeout,
+        retries=sup.retries,
+    ) as run_span:
+
+        def attempt_begin(index: int) -> tuple[float, int]:
+            """Mark one worker dispatch; returns the span-timing token."""
+            if not trace_on:
+                return (0.0, 0)
+            dispatches[index] += 1
+            return (obs_clock.perf(), dispatches[index])
+
+        def attempt_end(index: int, token: tuple[float, int], outcome: str) -> None:
+            """Record one dispatched attempt as a slice on the shard track."""
+            if not trace_on:
+                return
+            started, dispatch_no = token
+            tracer.record_span(
+                "shard",
+                started,
+                obs_clock.perf(),
+                parent=run_span,
+                key=f"s{index}d{dispatch_no}",
+                track="shards",
+                status="ok" if outcome in ("ok", "requeued") else "error",
+                shard=index,
+                attempt=failures_used[index] + 1,
+                outcome=outcome,
+            )
+
+        restored = 0
+        if checkpoint is not None:
+            for index, value in checkpoint.load().items():
+                if 0 <= index < count and not done[index]:
+                    results[index] = value
+                    done[index] = True
+                    restored += 1
+            if restored:
+                run_span.event("restored", shards=restored)
+
+        if chaos is not None:
+            worker = chaos.bind(worker, mode)
+
+        def payload_for(index: int) -> object:
+            base = (
+                rebuild(index)
+                if rebuild is not None and failures_used[index] > 0
+                else payloads[index]
+            )
+            return (index, base) if chaos is not None else base
+
+        def finish(index: int, value) -> None:
+            results[index] = value
+            done[index] = True
+            if checkpoint is not None:
+                checkpoint.record(index, value)
+
+        def fail(index: int, kind: str, error: BaseException | None) -> float | None:
+            """Book one failed attempt; returns the retry-ready time, or
+            ``None`` when the shard is permanently failed (raise or drop)."""
+            failures_used[index] += 1
+            if kind == "timeout":
+                stats["timeouts"] += 1
+                run_span.event("timeout", shard=index, attempt=failures_used[index])
+            if failures_used[index] <= sup.retries:
+                retried.add(index)
+                delay = sup.backoff * (2 ** (failures_used[index] - 1))
+                run_span.event(
+                    "retry", shard=index, attempt=failures_used[index], backoff=delay
+                )
+                return time.monotonic() + delay
+            if sup.on_shard_failure == "raise":
+                raise ShardExecutionError(
+                    f"shard {index} failed permanently after "
+                    f"{failures_used[index]} attempt(s) (last failure: {kind}); "
+                    "set on_shard_failure='degrade' to keep partial results"
+                ) from error
+            dropped.append(index)
+            drop_reasons.append((index, kind))
+            run_span.event("dropped", shard=index, kind=kind)
+            raise _ShardDropped
+
+        pending = [index for index in range(count) if not done[index]]
+
+        if jobs <= 1 or count <= 1 or mode == "serial":
+            # In-process execution: retries and degradation apply; the calling
+            # thread cannot be preempted, so `timeout` is inert here.
+            for index in pending:
+                while True:
+                    stats["attempts"] += 1
+                    token = attempt_begin(index)
+                    try:
+                        value = worker(payload_for(index))
+                    except Exception as error:
+                        attempt_end(index, token, "error")
+                        try:
+                            ready_at = fail(index, "error", error)
+                        except _ShardDropped:
+                            break
+                        delay = ready_at - time.monotonic()
+                        if delay > 0:
+                            time.sleep(delay)
+                    else:
+                        attempt_end(index, token, "ok")
+                        finish(index, value)
+                        break
+        elif pending:
+            _run_pooled(
+                worker,
+                payload_for,
+                pending,
+                jobs=jobs,
+                mode=mode,
+                sup=sup,
+                fail=fail,
+                finish=finish,
+                stats=stats,
+                run_span=run_span,
+                attempt_begin=attempt_begin,
+                attempt_end=attempt_end,
+            )
+
+        report = RunReport(
+            shards=count,
+            completed=sum(done),
+            dropped=tuple(sorted(dropped)),
+            retried=tuple(sorted(retried)),
+            failures=tuple(sorted(drop_reasons)),
+            attempts=stats["attempts"],
+            timeouts=stats["timeouts"],
+            pool_rebuilds=stats["rebuilds"],
+            restored=restored,
+        )
+        if trace_on:
+            run_span.set("attempts", report.attempts)
+            run_span.set("completed", report.completed)
+            run_span.set("timeouts", report.timeouts)
+            run_span.set("pool_rebuilds", report.pool_rebuilds)
+            run_span.set("restored", report.restored)
+            if report.dropped:
+                run_span.set("dropped", list(report.dropped))
     return results, report
 
 
@@ -576,13 +660,16 @@ def _run_pooled(
     fail,
     finish,
     stats: dict,
+    run_span,
+    attempt_begin,
+    attempt_end,
 ) -> None:
     """The supervised pool loop shared by thread and process modes."""
     from concurrent.futures import BrokenExecutor, wait as wait_futures
 
     workers = min(jobs, len(pending))
     queue: list[tuple[int, float]] = [(index, 0.0) for index in pending]
-    inflight: dict = {}  # future -> (index, deadline or None)
+    inflight: dict = {}  # future -> (index, deadline or None, trace token)
     abandoned = False  # thread attempts we gave up waiting on
     pool = _make_pool(mode, workers)
 
@@ -594,13 +681,19 @@ def _run_pooled(
                 queue.pop(index_at)
                 stats["attempts"] += 1
                 deadline = None if sup.timeout is None else now + sup.timeout
-                inflight[pool.submit(worker, payload_for(index))] = (index, deadline)
+                token = attempt_begin(index)
+                inflight[pool.submit(worker, payload_for(index))] = (
+                    index,
+                    deadline,
+                    token,
+                )
             else:
                 index_at += 1
 
     def requeue_inflight(now: float) -> None:
         """Put every in-flight shard back, retry budgets untouched."""
-        for index, _ in inflight.values():
+        for index, _, token in inflight.values():
+            attempt_end(index, token, "requeued")
             queue.append((index, now))
         inflight.clear()
 
@@ -622,7 +715,7 @@ def _run_pooled(
 
             horizons = [
                 deadline - now
-                for _, deadline in inflight.values()
+                for _, deadline, _ in inflight.values()
                 if deadline is not None
             ]
             if queue and len(inflight) < workers:
@@ -634,23 +727,34 @@ def _run_pooled(
 
             broken: list[int] = []
             for future in completed:
-                index, _ = inflight.pop(future)
+                index, _, token = inflight.pop(future)
                 try:
                     value = future.result()
                 except BrokenExecutor:
                     # The pool died under this shard; the loss is not
                     # attributable to any one shard, so no retry is burnt.
+                    attempt_end(index, token, "worker-loss")
                     broken.append(index)
                 except Exception as error:
+                    attempt_end(index, token, "error")
                     retry_or_drop(index, "error", error)
                 else:
+                    attempt_end(index, token, "ok")
                     finish(index, value)
 
             if broken:
                 stats["rebuilds"] += 1
                 now = time.monotonic()
-                doomed = broken + [index for index, _ in inflight.values()]
+                casualties = [
+                    (index, token) for index, _, token in inflight.values()
+                ]
+                for index, token in casualties:
+                    attempt_end(index, token, "requeued")
+                doomed = broken + [index for index, _ in casualties]
                 inflight.clear()
+                run_span.event(
+                    "pool-rebuild", rebuilds=stats["rebuilds"], requeued=len(doomed)
+                )
                 if stats["rebuilds"] > sup.max_pool_rebuilds:
                     # Some in-flight shard keeps killing workers; fail the
                     # whole in-flight set rather than rebuilding forever.
@@ -667,13 +771,14 @@ def _run_pooled(
             now = time.monotonic()
             overdue = [
                 future
-                for future, (_, deadline) in inflight.items()
+                for future, (_, deadline, _) in inflight.items()
                 if deadline is not None and now >= deadline
             ]
             if not overdue:
                 continue
             for future in overdue:
-                index, _ = inflight.pop(future)
+                index, _, token = inflight.pop(future)
+                attempt_end(index, token, "timeout")
                 if mode == "thread":
                     # Threads cannot be interrupted: abandon the attempt
                     # (its eventual result is discarded) and move on.

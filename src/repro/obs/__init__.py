@@ -1,0 +1,62 @@
+"""repro.obs — deterministic tracing and profiling for the whole stack.
+
+Quick tour::
+
+    from repro.obs import InMemoryExporter, Tracer, use_tracer
+    from repro.obs.export import write_chrome_trace
+
+    exporter = InMemoryExporter()
+    tracer = Tracer.for_key(("my-campaign", 42), exporter=exporter)
+    with use_tracer(tracer):
+        answers = engine.run(queries, policy=policy)   # spans recorded
+    write_chrome_trace(exporter.records, "trace.json")  # open in Perfetto
+
+Guarantees: span/trace ids derive from digests and structural counters
+(never RNG), tracing never touches the spawned ``SeedSequence`` streams
+(answers are bit-identical with tracing on/off), and the disabled tracer
+is a no-op whose overhead is benchmarked at ≤5 %.
+"""
+
+from repro.obs.trace import (
+    InMemoryExporter,
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    SpanContext,
+    SpanRecord,
+    Tracer,
+    current_span,
+    current_tracer,
+    register_tracer,
+    resolve_context,
+    unregister_tracer,
+    use_tracer,
+)
+from repro.obs.export import (
+    JsonlExporter,
+    chrome_trace,
+    read_jsonl_spans,
+    write_chrome_trace,
+    write_trace,
+)
+
+__all__ = [
+    "InMemoryExporter",
+    "JsonlExporter",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "SpanContext",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace",
+    "current_span",
+    "current_tracer",
+    "read_jsonl_spans",
+    "register_tracer",
+    "resolve_context",
+    "unregister_tracer",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_trace",
+]

@@ -1,0 +1,25 @@
+"""The single clock shim behind every tracing timestamp.
+
+All span timing in :mod:`repro.obs` flows through :func:`perf` (relative,
+monotonic, high resolution) and :func:`wall` (absolute epoch seconds, read
+once per tracer to anchor exports).  Concentrating the reads here keeps the
+``wall-clock`` contract boundary narrow: ``*repro/obs/*`` is an allowed
+boundary precisely because no answer value ever depends on these reads —
+bit-identity with tracing on/off is pinned by ``tests/test_obs.py``.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+__all__ = ["perf", "wall"]
+
+
+def perf() -> float:
+    """Monotonic high-resolution timestamp used for span start/end/events."""
+    return _time.perf_counter()
+
+
+def wall() -> float:
+    """Wall-clock epoch seconds; read once per tracer to anchor perf times."""
+    return _time.time()

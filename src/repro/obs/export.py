@@ -1,0 +1,188 @@
+"""Span exporters: JSONL span logs and Chrome trace-event JSON.
+
+Three export surfaces, one record type (:class:`~repro.obs.trace.SpanRecord`):
+
+* :class:`~repro.obs.trace.InMemoryExporter` (lives in ``trace``) — the
+  default, used by tests.
+* :class:`JsonlExporter` — one JSON object per line, round-trippable via
+  :func:`read_jsonl_spans`.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format consumed by Perfetto and ``chrome://tracing``: one track per
+  span ``track`` label (overlapping spans fan out into numbered lanes),
+  shard attempts as complete slices, span events as instant events.
+
+All output is deterministic for a given record set: keys are sorted and
+event order is a pure function of the records.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Iterable, List, Optional, Sequence
+
+from repro.obs.trace import SpanRecord
+
+__all__ = [
+    "JsonlExporter",
+    "chrome_trace",
+    "read_jsonl_spans",
+    "write_chrome_trace",
+    "write_trace",
+]
+
+
+class JsonlExporter:
+    """Append finished spans to a JSONL file, one object per line."""
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "w", encoding="utf-8")
+
+    def export(self, record: SpanRecord) -> None:
+        line = json.dumps(record.to_dict(), sort_keys=True)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_jsonl_spans(path) -> List[SpanRecord]:
+    """Load a :class:`JsonlExporter` file back into span records."""
+    records: List[SpanRecord] = []
+    with open(str(path), "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(SpanRecord.from_dict(json.loads(line)))
+    return records
+
+
+def _assign_tracks(records: Sequence[SpanRecord]):
+    """Lay spans out into (track, lane) rows; overlapping spans get new lanes.
+
+    Returns ``(slices, tid_names)`` where ``slices`` is a list of
+    ``(record, tid)`` and ``tid_names`` maps tid → display name.
+    """
+    groups: dict = {}
+    for record in records:
+        groups.setdefault(record.track, []).append(record)
+    slices = []
+    tid_names = {}
+    next_tid = 1
+    for track in sorted(groups):
+        rows = sorted(groups[track], key=lambda r: (r.start, r.end, r.span_id))
+        lane_ends: List[float] = []
+        lane_tids: List[int] = []
+        for record in rows:
+            lane = None
+            for index, end in enumerate(lane_ends):
+                if end <= record.start + 1e-12:
+                    lane = index
+                    break
+            if lane is None:
+                lane = len(lane_ends)
+                lane_ends.append(record.end)
+                lane_tids.append(next_tid)
+                next_tid += 1
+            else:
+                lane_ends[lane] = record.end
+            slices.append((record, lane_tids[lane]))
+        for lane, tid in enumerate(lane_tids):
+            tid_names[tid] = track if len(lane_tids) == 1 else f"{track} #{lane}"
+    return slices, tid_names
+
+
+def chrome_trace(records: Iterable[SpanRecord], *, trace_id: Optional[str] = None) -> dict:
+    """Render span records as a Chrome trace-event JSON document.
+
+    Timestamps are microseconds relative to the earliest span start, so the
+    document is deterministic for a fixed record set.  Load the result in
+    Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+    """
+    records = list(records)
+    if trace_id is None:
+        trace_id = records[0].trace_id if records else ""
+    zero = min((record.start for record in records), default=0.0)
+    slices, tid_names = _assign_tracks(records)
+
+    def micros(value: float) -> float:
+        return round((value - zero) * 1e6, 3)
+
+    events = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": f"repro trace {trace_id}"}}
+    ]
+    for tid in sorted(tid_names):
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid, "args": {"name": tid_names[tid]}}
+        )
+        events.append(
+            {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": tid, "args": {"sort_index": tid}}
+        )
+    for record, tid in slices:
+        args = dict(sorted(record.attributes.items()))
+        args["span_id"] = record.span_id
+        if record.parent_id:
+            args["parent_id"] = record.parent_id
+        if record.status != "ok":
+            args["status"] = record.status
+        if record.links:
+            args["links"] = list(record.links)
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.track,
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": micros(record.start),
+                "dur": round(max(record.end - record.start, 0.0) * 1e6, 3),
+                "args": args,
+            }
+        )
+        for ts, name, attrs in record.events:
+            events.append(
+                {
+                    "name": name,
+                    "cat": record.track,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": micros(ts),
+                    "args": dict(sorted(attrs.items())),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[SpanRecord], path) -> None:
+    """Serialise :func:`chrome_trace` output to ``path`` (deterministic bytes)."""
+    document = chrome_trace(records)
+    with open(str(path), "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, indent=None, separators=(",", ":"))
+        handle.write("\n")
+
+
+def write_trace(records: Iterable[SpanRecord], path) -> None:
+    """Write records to ``path`` — JSONL when it ends in ``.jsonl``, else Chrome JSON."""
+    if str(path).endswith(".jsonl"):
+        with JsonlExporter(path) as exporter:
+            for record in records:
+                exporter.export(record)
+    else:
+        write_chrome_trace(records, path)

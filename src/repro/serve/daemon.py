@@ -51,7 +51,28 @@ from repro.serve.http import (
     write_chunk,
     write_response,
 )
-from repro.serve.metrics import ServiceMetrics
+from repro.serve.metrics import ServiceMetrics, render_prometheus
+from repro.obs.trace import (
+    NULL_TRACER,
+    Tracer,
+    register_tracer,
+    unregister_tracer,
+    use_tracer,
+)
+
+
+def _answer_row(answer) -> dict:
+    """Answer dict plus the supervision ``run`` report when one exists.
+
+    The report rides ``Provenance.report`` and is attached here — at the
+    wire layer — rather than inside ``Answer.to_dict``, so recovered and
+    clean campaigns keep byte-identical answer payloads.
+    """
+    row = answer.to_dict()
+    report = answer.provenance.report
+    if report is not None:
+        row["run"] = report.to_dict()
+    return row
 
 
 @dataclass(frozen=True)
@@ -62,8 +83,11 @@ class ServiceConfig:
     count); ``executor_workers`` bounds how many *requests'* queries
     execute concurrently.  ``shard_timeout`` / ``retries`` /
     ``on_shard_failure`` are the supervision knobs every campaign runs
-    under; ``checkpoint_dir`` enables the restart-resume journal.  None
-    of them changes any answer value.
+    under; ``checkpoint_dir`` enables the restart-resume journal.
+    ``trace_path`` turns on per-request tracing: every request, query
+    and campaign shard is recorded and the trace is written on shutdown
+    (Chrome trace-event JSON, or a JSONL span log when the path ends in
+    ``.jsonl``).  None of them changes any answer value.
     """
 
     host: str = "127.0.0.1"
@@ -77,6 +101,7 @@ class ServiceConfig:
     cache_size: int = 4096
     executor_workers: int = 8
     max_body_bytes: int = 8 * 1024 * 1024
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -130,6 +155,27 @@ class ReliabilityService:
         )
         self._started_at = time.monotonic()
         self._server: asyncio.AbstractServer | None = None
+        # Tracing is a config opt-in; the trace id derives from the bind
+        # address (a digest — never RNG) and the registry registration
+        # lets campaign worker threads re-attach via their payload's span
+        # context.  With tracing off, self.tracer is the shared no-op.
+        if self.config.trace_path:
+            from repro.obs.trace import InMemoryExporter
+
+            self._trace_exporter = InMemoryExporter()
+            self.tracer = Tracer.for_key(
+                ("repro.serve", self.config.host, self.config.port),
+                exporter=self._trace_exporter,
+            )
+            register_tracer(self.tracer)
+        else:
+            self._trace_exporter = None
+            self.tracer = NULL_TRACER
+        # canonical query key -> span id of the single execution that
+        # answered it; coalesced joiners link here.  Only populated while
+        # tracing is on (bounded by distinct query keys, like the memo).
+        self._exec_spans: dict = {}
+        self._exec_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> asyncio.AbstractServer:
@@ -145,6 +191,17 @@ class ReliabilityService:
             self._server.close()
             await self._server.wait_closed()
         self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._trace_exporter is not None:
+            unregister_tracer(self.tracer)
+            # File I/O stays off the event loop (async-hygiene contract).
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._flush_trace
+            )
+
+    def _flush_trace(self) -> None:
+        from repro.obs.export import write_trace
+
+        write_trace(self._trace_exporter.records, self.config.trace_path)
 
     # -- connection handling -----------------------------------------------
     async def _handle_client(
@@ -164,7 +221,14 @@ class ReliabilityService:
                 if request is None:
                     break
                 started = time.perf_counter()
-                status = await self._dispatch(request, writer)
+                with self.tracer.span(
+                    "http.request",
+                    track="http",
+                    method=request.method,
+                    path=request.path,
+                ) as request_span:
+                    status = await self._dispatch(request, writer)
+                    request_span.set("status", status)
                 self.metrics.record_request(
                     request.method,
                     request.path,
@@ -207,15 +271,23 @@ class ReliabilityService:
         if request.path == "/metrics":
             if request.method != "GET":
                 return await self._error_response(writer, 405, "GET only")
-            body = json.dumps(
-                self.metrics.snapshot(
-                    engine=self.engine,
-                    extra={
-                        "uptime_seconds": time.monotonic() - self._started_at,
-                        "inflight_queries": len(self.inflight),
-                    },
+            snapshot = self.metrics.snapshot(
+                engine=self.engine,
+                extra={
+                    "uptime_seconds": time.monotonic() - self._started_at,
+                    "inflight_queries": len(self.inflight),
+                },
+            )
+            if request.query.get("format") == "prometheus":
+                await write_response(
+                    writer,
+                    200,
+                    render_prometheus(snapshot).encode("utf-8"),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                    keep_alive=request.keep_alive,
                 )
-            ).encode("utf-8")
+                return 200
+            body = json.dumps(snapshot).encode("utf-8")
             await write_response(writer, 200, body, keep_alive=request.keep_alive)
             return 200
         if request.path == "/v1/query":
@@ -276,7 +348,7 @@ class ReliabilityService:
             ).encode("utf-8")
             await write_response(writer, status, body, keep_alive=request.keep_alive)
             return status
-        rows = [answer.to_dict() for _, answer, _, _ in outcomes]
+        rows = [_answer_row(answer) for _, answer, _, _ in outcomes]
         coalesced = sum(1 for _, _, _, joined in outcomes if joined)
         body = json.dumps(
             {
@@ -310,7 +382,7 @@ class ReliabilityService:
             else:
                 answered += 1
                 line = {"index": index}
-                line.update(answer.to_dict())
+                line.update(_answer_row(answer))
             await write_chunk(writer, (json.dumps(line) + "\n").encode("utf-8"))
         summary = {
             "done": True,
@@ -327,20 +399,36 @@ class ReliabilityService:
         """(index, answer, error, joined) — never raises, streams need all."""
         key = canonical_query_key(query)
         loop = asyncio.get_running_loop()
-        try:
-            answer, joined = await self.inflight.run(
-                key,
-                lambda: loop.run_in_executor(
-                    self._pool, partial(self._run_query, query)
-                ),
-            )
-        except Exception as error:
-            return index, None, error, False
+        query_started = time.perf_counter()
+        with self.tracer.span(
+            "serve.query", kind=query.kind, label=query.label or ""
+        ) as query_span:
+            try:
+                answer, joined = await self.inflight.run(
+                    key,
+                    lambda: loop.run_in_executor(
+                        self._pool,
+                        partial(self._run_query, query, query_span.context(), key),
+                    ),
+                )
+            except Exception as error:
+                query_span.set("error", type(error).__name__)
+                return index, None, error, False
+            finally:
+                self.metrics.record_query_latency(
+                    query.kind, time.perf_counter() - query_started
+                )
+            if joined:
+                # A coalesced joiner never executed anything: record the
+                # link to the one execution span that answered it.
+                query_span.set("coalesced", True)
+                with self._exec_lock:
+                    query_span.link(self._exec_spans.get(key))
         self.metrics.record_query(coalesced=joined)
         self.metrics.record_answer(answer)
         return index, answer, None, joined
 
-    def _run_query(self, query):
+    def _run_query(self, query, span_context=None, key=None):
         """Executor-thread entry: one query through the shared warm engine.
 
         Per-query submissions (rather than whole request batches) are
@@ -349,8 +437,24 @@ class ReliabilityService:
         CTMC solves) is exactly what the engine memo provides across
         requests instead, and per-query values are bit-identical to
         batched ones by the engine's batching contracts.
+
+        ``span_context`` (the requesting ``serve.query`` span) parents the
+        execution span — executors do not inherit the event loop's
+        contextvars, so the hop is explicit; ``use_tracer`` then installs
+        the service tracer on this thread so engine/runtime spans nest
+        under the execution.
         """
-        return self.engine.run([query], policy=self.policy)[0]
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self.engine.run([query], policy=self.policy)[0]
+        with tracer.span(
+            "query.execute", parent=span_context, track="executor", kind=query.kind
+        ) as execute_span:
+            if key is not None:
+                with self._exec_lock:
+                    self._exec_spans[key] = execute_span.span_id
+            with use_tracer(tracer):
+                return self.engine.run([query], policy=self.policy)[0]
 
 
 # ---------------------------------------------------------------------------
